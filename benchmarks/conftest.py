@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+Benchmarks default to the ``smoke`` scale so the full harness finishes in
+a couple of minutes; set ``REPRO_SCALE=default`` (or ``full``) to
+regenerate the paper's tables at larger scale (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.scale import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale(os.environ.get("REPRO_SCALE", "smoke"))
+
+
+@pytest.fixture(scope="session")
+def bench_env(scale):
+    from repro.experiments.setup import get_bench
+    return get_bench(scale)

@@ -1,0 +1,31 @@
+"""Benchmark: Figure 1 -- simulation speed vs estimation accuracy."""
+
+from __future__ import annotations
+
+from repro.experiments import figure1
+
+
+def test_figure1_landscape(benchmark, scale, bench_env):
+    """Time every simulation level on one FSE kernel; regenerates Fig. 1."""
+    result = benchmark.pedantic(lambda: figure1.run(scale),
+                                rounds=1, iterations=1)
+    by_name = {p.name: p for p in result.points}
+    algo = by_name["algorithm (host)"]
+    iss = by_name["ISS (functional)"]
+    model = by_name["ISS + model (our work)"]
+    cycle = by_name["cycle/energy model (CAS rung)"]
+    for p in result.points:
+        benchmark.extra_info[p.name] = {
+            "wall_s": round(p.wall_seconds, 4),
+            "time_err_pct": p.time_error_percent,
+        }
+    # Fig. 1 ordering: the algorithm is fastest, the cycle-level model is
+    # the slowest; our approach sits between ISS and cycle-accurate while
+    # being the fastest level that yields non-functional properties.
+    assert algo.wall_seconds < model.wall_seconds
+    assert model.wall_seconds < cycle.wall_seconds
+    assert iss.wall_seconds <= model.wall_seconds * 1.2
+    assert not algo.provides_nfp and not iss.provides_nfp
+    assert model.provides_nfp and cycle.provides_nfp
+    assert abs(model.time_error_percent) < 12.0
+    assert cycle.time_error_percent == 0.0

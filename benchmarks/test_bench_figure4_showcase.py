@@ -1,0 +1,29 @@
+"""Benchmark: Figure 4 -- measurement vs estimation showcase bars."""
+
+from __future__ import annotations
+
+from repro.experiments import figure4
+
+
+def test_figure4_showcases(benchmark, scale, bench_env):
+    """All four showcase bars; regenerates Figure 4."""
+    result = benchmark.pedantic(lambda: figure4.run(scale),
+                                rounds=1, iterations=1)
+    assert len(result.bars) == 4
+    for bar in result.bars:
+        benchmark.extra_info[bar.name] = {
+            "E_meas_mJ": round(bar.measured_energy_j * 1e3, 4),
+            "E_est_mJ": round(bar.estimated_energy_j * 1e3, 4),
+            "T_meas_ms": round(bar.measured_time_s * 1e3, 4),
+            "T_est_ms": round(bar.estimated_time_s * 1e3, 4),
+        }
+        # the paper's visual claim: estimations sit close to measurements
+        assert abs(bar.energy_error_percent) < 12.0
+        assert abs(bar.time_error_percent) < 12.0
+    by_name = {b.name: b for b in result.bars}
+    # fixed builds must cost far more than float builds for FSE,
+    # moderately more for HEVC (the Fig. 4 bar shape)
+    assert by_name["fse fixed"].measured_energy_j > \
+        5 * by_name["fse float"].measured_energy_j
+    assert by_name["hevc fixed"].measured_energy_j > \
+        1.2 * by_name["hevc float"].measured_energy_j

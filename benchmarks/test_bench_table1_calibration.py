@@ -1,0 +1,41 @@
+"""Benchmark: Table I -- kernel-pair calibration of the specific costs."""
+
+from __future__ import annotations
+
+from repro.hw.board import Board
+from repro.hw.config import leon3_fpu
+from repro.hw.powermeter import PerfectInstruments
+from repro.nfp.calibration import Calibrator
+from repro.nfp.model import PAPER_TABLE1
+from repro.isa.categories import CATEGORY_IDS
+
+
+def test_table1_calibration(benchmark, scale):
+    """Calibrate all nine categories; regenerates Table I."""
+    def calibrate():
+        board = Board(leon3_fpu(), PerfectInstruments())
+        calibrator = Calibrator(board,
+                                iterations=scale.calibration_iterations,
+                                unroll=scale.calibration_unroll)
+        return calibrator.calibrate()
+
+    result = benchmark.pedantic(calibrate, rounds=1, iterations=1)
+    costs = result.specific_costs()
+    paper = PAPER_TABLE1.costs
+    for i, cid in enumerate(CATEGORY_IDS):
+        benchmark.extra_info[f"t_{cid}_ns"] = round(costs.time_ns[i], 2)
+        benchmark.extra_info[f"e_{cid}_nj"] = round(costs.energy_nj[i], 2)
+        # the testbed is tuned to land near the paper's Table I
+        assert costs.time_ns[i] == __import__("pytest").approx(
+            paper.time_ns[i], rel=0.25)
+
+
+def test_single_category_calibration(benchmark):
+    """Micro: one category's reference/test kernel pair (Table II flow)."""
+    board = Board(leon3_fpu(), PerfectInstruments())
+    calibrator = Calibrator(board, iterations=500, unroll=16)
+    record = benchmark.pedantic(
+        lambda: calibrator.calibrate_category("int_arith"),
+        rounds=1, iterations=1)
+    assert record.time_ns > 0
+    assert record.energy_nj > 0

@@ -1,0 +1,26 @@
+"""Benchmark: Table IV -- the FPU design decision."""
+
+from __future__ import annotations
+
+from repro.experiments import table4
+
+
+def test_table4_fpu_design_space(benchmark, scale, bench_env):
+    """Float-vs-fixed over both workload families; regenerates Table IV."""
+    result = benchmark.pedantic(lambda: table4.run(scale),
+                                rounds=1, iterations=1)
+    for family in ("fse", "hevc"):
+        for prop in ("energy", "time"):
+            benchmark.extra_info[f"{family}_{prop}_pct"] = round(
+                result.estimated[family][prop], 2)
+    benchmark.extra_info["area_pct"] = round(result.area_increase_percent, 1)
+
+    # shape claims of the paper: FSE saves >90 %, HEVC well under half,
+    # and the FPU roughly doubles the logic-element count.
+    assert result.estimated["fse"]["energy"] < -85.0
+    assert result.estimated["fse"]["time"] < -85.0
+    assert -60.0 < result.estimated["hevc"]["energy"] < -25.0
+    assert -60.0 < result.estimated["hevc"]["time"] < -25.0
+    assert 90.0 < result.area_increase_percent < 130.0
+    # FSE must benefit far more than HEVC (the decision crossover)
+    assert result.estimated["fse"]["energy"] < result.estimated["hevc"]["energy"]

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Estimate the decoding energy of HEVC-lite bitstreams per configuration.
+
+Encodes one synthetic sequence under all four coding configurations and
+three QPs, then estimates decode time/energy for each stream -- the kind
+of per-bitstream evaluation behind the paper's 36-stream test set.
+
+Run:  python examples/hevc_energy.py
+"""
+
+from repro.codecs.hevclite import CONFIGS, QPS, encode, make_sequence
+from repro.codecs.hevclite.kernel import build_decoder_module
+from repro.hw import Board, leon3_fpu
+from repro.kir import compile_module
+from repro.nfp import Calibrator, NFPEstimator
+
+SEQUENCE = "blocks_bounce"
+
+
+def main() -> None:
+    board = Board(leon3_fpu())
+    print("calibrating the estimation model ...")
+    model = Calibrator(board, iterations=1500).calibrate().to_model()
+    estimator = NFPEstimator(model, board.config.core)
+
+    frames = make_sequence(SEQUENCE, 16, 16, 3)
+    print(f"\nsequence {SEQUENCE!r}: decode-side estimates per stream\n")
+    print(f"{'config':<14}{'qp':>4}{'bytes':>8}{'instr':>10}"
+          f"{'time est':>12}{'energy est':>13}")
+    for config in CONFIGS:
+        for qp in QPS:
+            enc = encode(frames, qp=qp, config=config)
+            program = compile_module(
+                build_decoder_module(enc.bitstream), "hard")
+            report = estimator.estimate_program(
+                program, kernel_name=f"{config}/qp{qp}")
+            print(f"{config:<14}{qp:>4}{len(enc.bitstream):>8}"
+                  f"{report.sim.retired:>10,}"
+                  f"{report.time_s * 1e3:>10.2f} ms"
+                  f"{report.energy_j * 1e3:>10.2f} mJ")
+    print("\nobservations: intra streams are biggest (no temporal "
+          "prediction);\nhigher QP shrinks streams and decode work; "
+          "lowdelay/randomaccess\ncost extra motion compensation but far "
+          "less residual decoding.")
+
+
+if __name__ == "__main__":
+    main()

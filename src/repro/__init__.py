@@ -1,0 +1,32 @@
+"""repro -- reproduction of "Estimation of Non-Functional Properties for
+Embedded Hardware with Application to Image Processing" (IPPS 2015).
+
+The package estimates processing **time** and **energy** of bare-metal
+kernels without cycle-accurate simulation: a fast instruction-accurate
+SPARC V8 simulator counts retired instructions per category, and a
+mechanistic model multiplies the counts with calibrated specific costs
+(``E = sum_c e_c * n_c``, ``T = sum_c t_c * n_c``).
+
+Quickstart::
+
+    from repro.asm import assemble
+    from repro.hw import Board, leon3_fpu
+    from repro.nfp import Calibrator, NFPEstimator
+
+    board = Board(leon3_fpu())                          # the testbed
+    model = Calibrator(board).calibrate().to_model()    # Table I
+    nfp = NFPEstimator(model)
+    report = nfp.estimate_program(assemble(open("kernel.s").read()))
+    print(report.time_s, report.energy_j)
+
+Sub-packages: :mod:`repro.isa` (SPARC V8 definitions), :mod:`repro.asm`
+(assembler), :mod:`repro.vm` (instruction-set simulator), :mod:`repro.hw`
+(cycle/energy testbed model), :mod:`repro.nfp` (the estimation method),
+:mod:`repro.kir` (kernel compiler), :mod:`repro.softfloat` (bit-exact
+soft FP), :mod:`repro.codecs.hevclite` and :mod:`repro.fse` (workloads),
+:mod:`repro.experiments` (per-table/figure drivers).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,32 @@
+"""Two-pass SPARC V8 assembler.
+
+Turns assembly source (as emitted by :mod:`repro.kir` or written by hand,
+e.g. the calibration kernels of Table II) into a loadable
+:class:`~repro.asm.program.Program` image for the simulator.
+
+Supported surface:
+
+* all instructions of :mod:`repro.isa` plus the usual synthetic instructions
+  (``set``, ``mov``, ``cmp``, ``tst``, ``clr``, ``inc``, ``dec``, ``neg``,
+  ``not``, ``ret``, ``retl``, ``jmp``, ``nop``, ``b``);
+* sections ``.text`` / ``.data`` / ``.bss`` with ``.align``, ``.word``,
+  ``.half``, ``.byte``, ``.ascii``, ``.asciz``, ``.skip``/``.space``,
+  ``.global`` (accepted, no-op), ``.equ``/``.set``;
+* expressions with ``+ - * / % & | ^ << >>``, parentheses, labels and the
+  ``%hi()``/``%lo()`` relocation operators;
+* ``!`` and ``#`` line comments, ``label:`` definitions, branch annul
+  suffix ``,a``.
+"""
+
+from repro.asm.assembler import Assembler, assemble
+from repro.asm.errors import AsmError, UndefinedSymbolError
+from repro.asm.program import Program, Section
+
+__all__ = [
+    "AsmError",
+    "Assembler",
+    "Program",
+    "Section",
+    "UndefinedSymbolError",
+    "assemble",
+]

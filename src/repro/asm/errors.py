@@ -1,0 +1,26 @@
+"""Assembler error types carrying source positions."""
+
+from __future__ import annotations
+
+
+class AsmError(Exception):
+    """Any assembly failure; carries the 1-based source line when known."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        self.message = message
+        super().__init__(f"line {line}: {message}" if line else message)
+
+    def at_line(self, line: int) -> "AsmError":
+        """Return a copy of this error annotated with ``line`` if unset."""
+        if self.line is not None:
+            return self
+        return AsmError(self.message, line)
+
+
+class UndefinedSymbolError(AsmError):
+    """An expression referenced a symbol that was never defined."""
+
+    def __init__(self, symbol: str, line: int | None = None):
+        self.symbol = symbol
+        super().__init__(f"undefined symbol {symbol!r}", line)

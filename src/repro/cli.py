@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands reproduce the paper's tables/figures or expose the toolchain:
+
+==============  ====================================================
+command         action
+==============  ====================================================
+table1          calibrate and print Table I
+table3          estimation-error evaluation (Table III)
+table4          FPU design-space exploration (Table IV)
+figure1         simulator landscape (Figure 1)
+figure2         trace one instruction through the simulator (Fig. 2)
+figure3         morph-function grouping (Figure 3)
+figure4         measurement vs estimation showcases (Figure 4)
+all             every table and figure in sequence
+asm FILE        assemble a SPARC source file and print a summary
+run FILE        assemble and simulate; print console and counts
+disasm WORD     decode and disassemble a hex instruction word
+==============  ====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=("smoke", "default", "full"),
+                        default=None,
+                        help="experiment size (default: REPRO_SCALE or "
+                             "'default')")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Estimation of Non-Functional "
+                    "Properties for Embedded Hardware' (IPPS 2015)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for cmd in ("table1", "table3", "table4", "figure1", "figure4", "all"):
+        p = sub.add_parser(cmd)
+        _add_scale(p)
+        if cmd == "table3":
+            p.add_argument("--per-kernel", action="store_true",
+                           help="print the per-kernel error breakdown")
+    sub.add_parser("figure2")
+    sub.add_parser("figure3")
+    p = sub.add_parser("asm")
+    p.add_argument("file")
+    p = sub.add_parser("run")
+    p.add_argument("file")
+    p.add_argument("--no-fpu", action="store_true")
+    p.add_argument("--max-instructions", type=int, default=50_000_000)
+    p = sub.add_parser("disasm")
+    p.add_argument("word", help="hex instruction word, e.g. 0x82008004")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+
+    if command in ("table1", "table3", "table4", "figure1", "figure4", "all"):
+        from repro.experiments import (figure1, figure4, table1, table3,
+                                       table4)
+        from repro.experiments.scale import get_scale
+        scale = get_scale(args.scale)
+        if command == "all":
+            from repro.experiments import figure23
+            print(table1.run(scale).render(), "\n")
+            print(table3.run(scale).render(), "\n")
+            print(table4.run(scale).render(), "\n")
+            print(figure1.run(scale).render(), "\n")
+            print(figure23.run_figure2().render(), "\n")
+            print(figure23.run_figure3().render(), "\n")
+            print(figure4.run(scale).render())
+            return 0
+        driver = {"table1": table1, "table3": table3, "table4": table4,
+                  "figure1": figure1, "figure4": figure4}[command]
+        result = driver.run(scale)
+        if command == "table3" and args.per_kernel:
+            print(result.render(per_kernel=True))
+        else:
+            print(result.render())
+        return 0
+
+    if command == "figure2":
+        from repro.experiments.figure23 import run_figure2
+        print(run_figure2().render())
+        return 0
+    if command == "figure3":
+        from repro.experiments.figure23 import run_figure3
+        print(run_figure3().render())
+        return 0
+
+    if command == "asm":
+        from repro.asm import assemble
+        with open(args.file, encoding="utf-8") as handle:
+            program = assemble(handle.read())
+        print(f"entry   0x{program.entry:08x}")
+        for section in program.sections:
+            print(f"{section.name:<8} 0x{section.addr:08x}  "
+                  f"{section.size} bytes")
+        return 0
+
+    if command == "run":
+        from repro.asm import assemble
+        from repro.vm import CoreConfig, Simulator
+        with open(args.file, encoding="utf-8") as handle:
+            program = assemble(handle.read())
+        config = CoreConfig(has_fpu=not args.no_fpu)
+        result = Simulator(program, config).run(
+            max_instructions=args.max_instructions)
+        if result.console:
+            sys.stdout.write(result.console)
+        print(f"exit code : {result.exit_code}")
+        print(f"retired   : {result.retired}")
+        for cid, count in result.category_counts.items():
+            if count:
+                print(f"  {cid:<10} {count}")
+        return 0
+
+    if command == "disasm":
+        from repro.isa import decode, disassemble
+        word = int(args.word, 16)
+        print(disassemble(decode(word)))
+        return 0
+
+    raise AssertionError(command)  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,1 @@
+"""Video codec substrates used as estimation workloads."""

@@ -1,0 +1,43 @@
+"""HEVC-lite: the video-decoding workload of the evaluation (Section VI.A).
+
+A complete small hybrid video codec standing in for HM-11.0:
+
+* :mod:`~repro.codecs.hevclite.encoder` -- host-side closed-loop encoder;
+* :mod:`~repro.codecs.hevclite.decoder_ref` -- host-side reference decoder;
+* :mod:`~repro.codecs.hevclite.kernel` -- the decoder as a bare-metal
+  kernel-IR program for the simulated LEON3;
+* :mod:`~repro.codecs.hevclite.streams` -- the 36-bitstream evaluation set
+  (4 configurations x 3 QPs x 3 sequences).
+"""
+
+from repro.codecs.hevclite.decoder_ref import DecodeResult, decode
+from repro.codecs.hevclite.encoder import (
+    CONFIGS,
+    EncodeResult,
+    encode,
+    frame_types_for,
+)
+from repro.codecs.hevclite.kernel import build_decoder_module
+from repro.codecs.hevclite.sequences import SEQUENCE_NAMES, make_sequence
+from repro.codecs.hevclite.streams import (
+    QPS,
+    StreamSpec,
+    encode_spec,
+    stream_specs,
+)
+
+__all__ = [
+    "CONFIGS",
+    "DecodeResult",
+    "EncodeResult",
+    "QPS",
+    "SEQUENCE_NAMES",
+    "StreamSpec",
+    "build_decoder_module",
+    "decode",
+    "encode",
+    "encode_spec",
+    "frame_types_for",
+    "make_sequence",
+    "stream_specs",
+]

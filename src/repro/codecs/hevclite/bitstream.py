@@ -1,0 +1,85 @@
+"""Bit-level I/O with exponential-Golomb codes (the HEVC entropy layer)."""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """MSB-first bit writer."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def put_bit(self, bit: int) -> None:
+        self._acc = (self._acc << 1) | (bit & 1)
+        self._nbits += 1
+        if self._nbits == 8:
+            self._bytes.append(self._acc)
+            self._acc = 0
+            self._nbits = 0
+
+    def put_bits(self, value: int, count: int) -> None:
+        for shift in range(count - 1, -1, -1):
+            self.put_bit((value >> shift) & 1)
+
+    def put_ue(self, value: int) -> None:
+        """Unsigned exponential-Golomb."""
+        if value < 0:
+            raise ValueError(f"ue(v) needs a non-negative value: {value}")
+        value += 1
+        nbits = value.bit_length()
+        self.put_bits(0, nbits - 1)
+        self.put_bits(value, nbits)
+
+    def put_se(self, value: int) -> None:
+        """Signed exponential-Golomb (0, 1, -1, 2, -2, ...)."""
+        mapped = 2 * value - 1 if value > 0 else -2 * value
+        self.put_ue(mapped)
+
+    def flush(self) -> bytes:
+        """Pad with zero bits to a byte boundary and return the stream."""
+        while self._nbits:
+            self.put_bit(0)
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """MSB-first bit reader (mirrors the kernel's reader exactly)."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self.pos = 0  # bit position
+
+    def get_bit(self) -> int:
+        byte = self._data[self.pos >> 3]
+        bit = (byte >> (7 - (self.pos & 7))) & 1
+        self.pos += 1
+        return bit
+
+    def get_bits(self, count: int) -> int:
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.get_bit()
+        return value
+
+    def get_ue(self) -> int:
+        zeros = 0
+        while self.get_bit() == 0:
+            zeros += 1
+            if zeros > 32:
+                raise ValueError("malformed exp-Golomb code")
+        value = 1
+        for _ in range(zeros):
+            value = (value << 1) | self.get_bit()
+        return value - 1
+
+    def get_se(self) -> int:
+        mapped = self.get_ue()
+        if mapped & 1:
+            return (mapped + 1) >> 1
+        return -(mapped >> 1)
+
+    @property
+    def byte_pos(self) -> int:
+        return (self.pos + 7) >> 3

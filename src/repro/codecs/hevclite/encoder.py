@@ -1,0 +1,203 @@
+"""HEVC-lite encoder (host-side; produces the bitstreams the kernels decode).
+
+A closed-loop block-based hybrid encoder: intra prediction from
+reconstructed neighbours, full-pel motion-compensated inter prediction,
+HEVC-style 8x8 integer transform + quantisation, exp-Golomb entropy
+coding.  The encoder reconstructs exactly like the decoder, so decoder
+output can be verified against ``encode(...).recon``.
+
+Coding configurations (the paper's four):
+
+==============  =================  =================================
+id              frame types        notes
+==============  =================  =================================
+intra           I I I ...          no temporal prediction
+lowdelay_p      I P P ...          one past reference
+lowdelay        I P B2 ...         B2 = two *past* references
+randomaccess    I P I P ...        periodic intra refresh
+==============  =================  =================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.codecs.hevclite.bitstream import BitWriter
+from repro.codecs.hevclite.predict import (
+    MODE_AVG,
+    MODE_DC,
+    MODE_HOR,
+    MODE_INTER,
+    MODE_INTER_BI,
+    MODE_VER,
+    average_blocks,
+    intra_neighbours,
+    intra_predict,
+    motion_compensate,
+)
+from repro.codecs.hevclite.tables import BLOCK, ZIGZAG8
+from repro.codecs.hevclite.transform import (
+    dequantize,
+    forward_transform,
+    inverse_transform,
+    quantize,
+)
+
+MAGIC = 0x48564C31  # "HVL1"
+
+FRAME_I = 0
+FRAME_P = 1
+FRAME_B_PAST = 2
+FRAME_B_BI = 3
+
+CONFIGS = ("intra", "lowdelay_p", "lowdelay", "randomaccess")
+
+_SEARCH_RANGE = 4
+
+Frame = list[list[int]]
+
+
+@dataclass
+class EncodeResult:
+    """Encoder output: the bitstream plus its own reconstruction."""
+
+    bitstream: bytes
+    recon: list[Frame]
+    frame_types: list[int]
+    qp: int
+    config: str
+
+
+def frame_types_for(config: str, num_frames: int) -> list[int]:
+    """Frame-type schedule of a coding configuration."""
+    if config == "intra":
+        return [FRAME_I] * num_frames
+    if config == "lowdelay_p":
+        return [FRAME_I] + [FRAME_P] * (num_frames - 1)
+    if config == "lowdelay":
+        types = [FRAME_I]
+        for i in range(1, num_frames):
+            types.append(FRAME_P if i == 1 else FRAME_B_PAST)
+        return types
+    if config == "randomaccess":
+        return [FRAME_I if i % 2 == 0 else FRAME_P for i in range(num_frames)]
+    raise ValueError(f"unknown config {config!r}; available: {CONFIGS}")
+
+
+def _sad(a: Frame, b: list[list[int]], bx: int, by: int) -> int:
+    total = 0
+    for y in range(BLOCK):
+        row = a[by + y]
+        prow = b[y]
+        for x in range(BLOCK):
+            total += abs(row[bx + x] - prow[x])
+    return total
+
+
+def _search_motion(orig: Frame, ref: Frame, bx: int, by: int,
+                   width: int, height: int) -> tuple[int, int, int]:
+    """Exhaustive full-pel search; returns (mvx, mvy, sad)."""
+    best = (0, 0, _sad(orig, motion_compensate(ref, bx, by, 0, 0,
+                                               width, height), bx, by))
+    for mvy in range(-_SEARCH_RANGE, _SEARCH_RANGE + 1):
+        for mvx in range(-_SEARCH_RANGE, _SEARCH_RANGE + 1):
+            if mvx == 0 and mvy == 0:
+                continue
+            pred = motion_compensate(ref, bx, by, mvx, mvy, width, height)
+            sad = _sad(orig, pred, bx, by)
+            # small motion cost keeps vectors compact, as real encoders do
+            sad += 2 * (abs(mvx) + abs(mvy))
+            if sad < best[2]:
+                best = (mvx, mvy, sad)
+    return best
+
+
+def encode(frames: list[Frame], qp: int, config: str) -> EncodeResult:
+    """Encode ``frames`` at ``qp`` under coding configuration ``config``."""
+    if not frames:
+        raise ValueError("need at least one frame")
+    height = len(frames[0])
+    width = len(frames[0][0])
+    if width % BLOCK or height % BLOCK:
+        raise ValueError(f"dimensions {width}x{height} not multiples of 8")
+    types = frame_types_for(config, len(frames))
+
+    writer = BitWriter()
+    writer.put_bits(MAGIC, 32)
+    writer.put_bits(width, 16)
+    writer.put_bits(height, 16)
+    writer.put_bits(len(frames), 8)
+    writer.put_bits(qp, 8)
+    writer.put_bits(CONFIGS.index(config), 8)
+    writer.put_bits(0, 8)
+
+    recon_frames: list[Frame] = []
+    for index, (orig, ftype) in enumerate(zip(frames, types)):
+        writer.put_bits(ftype, 8)
+        ref0 = recon_frames[-1] if recon_frames else None
+        ref1 = recon_frames[-2] if len(recon_frames) >= 2 else ref0
+        recon = [[0] * width for _ in range(height)]
+        for by in range(0, height, BLOCK):
+            for bx in range(0, width, BLOCK):
+                _encode_block(writer, orig, recon, ref0, ref1, ftype,
+                              bx, by, width, height, qp)
+        recon_frames.append(recon)
+
+    return EncodeResult(bitstream=writer.flush(), recon=recon_frames,
+                        frame_types=types, qp=qp, config=config)
+
+
+def _encode_block(writer: BitWriter, orig: Frame, recon: Frame,
+                  ref0: Frame | None, ref1: Frame | None, ftype: int,
+                  bx: int, by: int, width: int, height: int, qp: int) -> None:
+    top, left = intra_neighbours(recon, bx, by, width, height)
+    candidates: list[tuple[int, int, tuple, list[list[int]]]] = []
+    for mode in (MODE_DC, MODE_VER, MODE_HOR, MODE_AVG):
+        pred = intra_predict(mode, top, left)
+        candidates.append((_sad(orig, pred, bx, by) + 4, mode, (), pred))
+    if ftype != FRAME_I and ref0 is not None:
+        mvx, mvy, sad = _search_motion(orig, ref0, bx, by, width, height)
+        pred = motion_compensate(ref0, bx, by, mvx, mvy, width, height)
+        candidates.append((sad, MODE_INTER, (mvx, mvy), pred))
+        if ftype in (FRAME_B_PAST, FRAME_B_BI) and ref1 is not None:
+            mvx1, mvy1, _ = _search_motion(orig, ref1, bx, by, width, height)
+            pred1 = motion_compensate(ref1, bx, by, mvx1, mvy1,
+                                      width, height)
+            bi = average_blocks(pred, pred1)
+            sad_bi = _sad(orig, bi, bx, by) + 8
+            candidates.append((sad_bi, MODE_INTER_BI,
+                               (mvx, mvy, mvx1, mvy1), bi))
+    _, mode, mvs, pred = min(candidates, key=lambda c: (c[0], c[1]))
+
+    residual = [[orig[by + y][bx + x] - pred[y][x] for x in range(BLOCK)]
+                for y in range(BLOCK)]
+    levels = quantize(forward_transform(residual), qp)
+
+    writer.put_ue(mode)
+    for mv in mvs:
+        writer.put_se(mv)
+    scan = [levels[idx // 8][idx % 8] for idx in ZIGZAG8]
+    nonzero = [(pos, lvl) for pos, lvl in enumerate(scan) if lvl]
+    writer.put_ue(len(nonzero))
+    prev_end = 0
+    for pos, lvl in nonzero:
+        writer.put_ue(pos - prev_end)
+        writer.put_se(lvl)
+        prev_end = pos + 1
+
+    rec_res = inverse_transform(dequantize(levels, qp))
+    for y in range(BLOCK):
+        for x in range(BLOCK):
+            value = pred[y][x] + rec_res[y][x]
+            recon[by + y][bx + x] = 0 if value < 0 else (
+                255 if value > 255 else value)
+
+
+def pack_header_info(bitstream: bytes) -> tuple[int, int, int, int, int]:
+    """Parse (width, height, frames, qp, config_id) from a stream header."""
+    magic, width, height, nframes, qp, cfg, _ = struct.unpack(
+        ">IHHBBBB", bitstream[:12])
+    if magic != MAGIC:
+        raise ValueError(f"bad magic 0x{magic:08x}")
+    return width, height, nframes, qp, cfg

@@ -1,0 +1,372 @@
+"""The HEVC-lite decoder as a bare-metal kernel-IR program.
+
+Mirrors :mod:`repro.codecs.hevclite.decoder_ref` operation-for-operation:
+exp-Golomb parsing, intra/inter prediction, dequantisation, the 8x8
+inverse core transform, reconstruction clipping, the rolling checksum and
+the double-precision statistics loop.  The builder embeds one encoded
+bitstream; stream geometry and QP-derived constants are compile-time
+(like cross-compiling HM for one input, as the paper's bare-metal kernels
+do -- 'we included in- and output streams directly into the kernel').
+
+The kernel prints three numbers (checksum, activity stat, deviation stat)
+that must match the reference decoder exactly, in both hard-float and
+soft-float builds.
+"""
+
+from __future__ import annotations
+
+from repro.codecs.hevclite.decoder_ref import DEFAULT_FP_ROUNDS
+from repro.codecs.hevclite.encoder import MAGIC, pack_header_info
+from repro.codecs.hevclite.tables import (
+    BLOCK,
+    INV_QUANT_SCALES,
+    T8,
+    ZIGZAG8,
+    rd_lambda,
+)
+from repro.kir import F64, I32, U32, Module
+
+_MODE_INTER = 4
+_MODE_INTER_BI = 5
+
+
+def build_decoder_module(bitstream: bytes,
+                         fp_rounds: int = DEFAULT_FP_ROUNDS,
+                         name: str = "hevcdec") -> Module:
+    """Build the decoder kernel for one embedded bitstream."""
+    width, height, nframes, qp, _cfg = pack_header_info(bitstream)
+    per, rem = qp // 6, qp % 6
+    scale = INV_QUANT_SCALES[rem] << per
+    lam = rd_lambda(qp)
+
+    m = Module(name)
+    m.global_bytes("bs", bitstream + b"\x00" * 4, align=4)
+    m.global_words("t8", [v & 0xFFFFFFFF for row in T8 for v in row])
+    m.global_words("zz", list(ZIGZAG8))
+    fsize = width * height
+    for buf in ("fcur", "fprev", "fprev2"):
+        m.global_zeros(buf, fsize, align=4)
+    for buf in ("coef", "tmpb", "predb", "pred2", "resid"):
+        m.global_zeros(buf, 64 * 4, align=4)
+    m.global_zeros("brpos", 4, align=4)
+    m.global_zeros("st_act", 8, align=8)
+    m.global_zeros("st_dev", 8, align=8)
+
+    _build_bitreader(m)
+    _build_clip16(m)
+    _build_dequant(m, scale)
+    _build_itransform(m)
+    _build_intra(m, width, height)
+    _build_mc(m, width, height)
+    _build_decode_block(m, width, height, lam, fp_rounds)
+    _build_main(m, width, height, nframes, qp)
+    return m
+
+
+def _build_bitreader(m: Module) -> None:
+    bs = m.addr_of("bs")
+    brpos = m.addr_of("brpos")
+
+    f = m.function("br_bit", ret=I32)
+    pos = f.local(I32, "pos", init=f.load(brpos))
+    byte = f.local(I32, "byte", init=f.load_u8(bs + (pos >> 3)))
+    f.store(brpos, pos + 1)
+    shift = f.local(I32, "shift", init=7 - (pos & 7))
+    f.ret((byte >> shift) & 1)
+
+    f = m.function("br_bits", [("n", I32)], ret=I32)
+    n = f.params[0]
+    value = f.local(I32, "value", init=0)
+    with f.for_range("i", 0, n):
+        f.assign(value, (value << 1) | f.call("br_bit"))
+    f.ret(value)
+
+    f = m.function("br_ue", ret=I32)
+    zeros = f.local(I32, "zeros", init=0)
+    with f.while_(f.call("br_bit") == 0):
+        f.assign(zeros, zeros + 1)
+        with f.if_(zeros > 32):
+            f.sys_exit(2)  # malformed stream
+    value = f.local(I32, "uval", init=1)
+    with f.for_range("i", 0, zeros):
+        f.assign(value, (value << 1) | f.call("br_bit"))
+    f.ret(value - 1)
+
+    f = m.function("br_se", ret=I32)
+    mapped = f.local(I32, "mapped", init=f.call("br_ue"))
+    with f.if_((mapped & 1) != 0) as c:
+        f.ret((mapped + 1) >> 1)
+    with c.else_():
+        f.ret(0 - (mapped >> 1))
+
+
+def _build_clip16(m: Module) -> None:
+    f = m.function("clip16", [("v", I32)], ret=I32)
+    v = f.params[0]
+    with f.if_(v > 32767):
+        f.ret(32767)
+    with f.if_(v < -32768):
+        f.ret(-32768)
+    f.ret(v)
+
+
+def _build_dequant(m: Module, scale: int) -> None:
+    f = m.function("dequant", [("level", I32)], ret=I32)
+    level = f.params[0]
+    f.ret(f.call("clip16", (level * scale + 32) >> 6))
+
+
+def _build_itransform(m: Module) -> None:
+    """coef[] -> resid[] via the two-stage inverse core transform."""
+    t8 = m.addr_of("t8")
+    coef = m.addr_of("coef")
+    tmpb = m.addr_of("tmpb")
+    resid = m.addr_of("resid")
+    f = m.function("itransform", ret=None)
+    acc = f.local(I32, "acc")
+    with f.for_range("i", 0, BLOCK) as i:
+        with f.for_range("j", 0, BLOCK) as j:
+            f.assign(acc, 64)
+            with f.for_range("k", 0, BLOCK) as k:
+                f.assign(acc, acc + f.load(t8 + ((k * 8 + i) << 2))
+                         * f.load(coef + ((k * 8 + j) << 2)))
+            f.store(tmpb + ((i * 8 + j) << 2),
+                    f.call("clip16", acc >> 7))
+    with f.for_range("i2", 0, BLOCK) as i2:
+        with f.for_range("j2", 0, BLOCK) as j2:
+            f.assign(acc, 2048)
+            with f.for_range("k2", 0, BLOCK) as k2:
+                f.assign(acc, acc + f.load(t8 + ((k2 * 8 + j2) << 2))
+                         * f.load(tmpb + ((i2 * 8 + k2) << 2)))
+            f.store(resid + ((i2 * 8 + j2) << 2),
+                    f.call("clip16", acc >> 12))
+    f.ret()
+
+
+def _build_intra(m: Module, width: int, height: int) -> None:
+    """``intra_pred(mode, bx, by)`` fills predb from fcur neighbours."""
+    fcur = m.addr_of("fcur")
+    predb = m.addr_of("predb")
+    f = m.function("intra_pred", [("mode", I32), ("bx", I32), ("by", I32)],
+                   ret=None)
+    mode, bx, by = f.params
+    has_top = f.local(I32, "has_top", init=by > 0)
+    has_left = f.local(I32, "has_left", init=bx > 0)
+    toprow = f.local(I32, "toprow", init=(by - 1) * width + bx)
+    leftcol = f.local(I32, "leftcol", init=by * width + bx - 1)
+
+    with f.if_(mode == 0) as cdc:  # DC
+        dc = f.local(I32, "dc", init=128)
+        total = f.local(I32, "total", init=0)
+        with f.if_((has_top != 0) & (has_left != 0)) as cboth:
+            with f.for_range("i", 0, BLOCK) as i:
+                f.assign(total, total + f.load_u8(fcur + toprow + i)
+                         + f.load_u8(fcur + leftcol + i * width))
+            f.assign(dc, (total + BLOCK) >> 4)
+        with cboth.else_():
+            with f.if_(has_top != 0) as ctop:
+                with f.for_range("i2", 0, BLOCK) as i2:
+                    f.assign(total, total + f.load_u8(fcur + toprow + i2))
+                f.assign(dc, (total + (BLOCK >> 1)) >> 3)
+            with ctop.else_():
+                with f.if_(has_left != 0):
+                    with f.for_range("i3", 0, BLOCK) as i3:
+                        f.assign(total, total
+                                 + f.load_u8(fcur + leftcol + i3 * width))
+                    f.assign(dc, (total + (BLOCK >> 1)) >> 3)
+        with f.for_range("p", 0, 64) as p:
+            f.store(predb + (p << 2), dc)
+        f.ret()
+    topv = f.local(I32, "topv")
+    leftv = f.local(I32, "leftv")
+    with f.for_range("y", 0, BLOCK) as y:
+        f.assign(leftv, 128)
+        with f.if_(has_left != 0):
+            f.assign(leftv, f.load_u8(fcur + leftcol + y * width))
+        with f.for_range("x", 0, BLOCK) as x:
+            f.assign(topv, 128)
+            with f.if_(has_top != 0):
+                f.assign(topv, f.load_u8(fcur + toprow + x))
+            dst = f.local(I32, "dst", init=(y * 8 + x) << 2)
+            with f.if_(mode == 1) as c1:        # VERTICAL
+                f.store(predb + dst, topv)
+            with c1.else_():
+                with f.if_(mode == 2) as c2:    # HORIZONTAL
+                    f.store(predb + dst, leftv)
+                with c2.else_():                # AVERAGE
+                    f.store(predb + dst, (topv + leftv + 1) >> 1)
+    f.ret()
+
+
+def _build_mc(m: Module, width: int, height: int) -> None:
+    """``mc(refbase, bx, by, mvx, mvy, dstbase)``: clamped full-pel MC."""
+    f = m.function("mc", [("refbase", U32), ("bx", I32), ("by", I32),
+                          ("mvx", I32), ("mvy", I32)], ret=None)
+    refbase, bx, by, mvx, mvy = f.params
+    predb = m.addr_of("predb")
+    sy = f.local(I32, "sy")
+    sx = f.local(I32, "sx")
+    with f.for_range("y", 0, BLOCK) as y:
+        f.assign(sy, by + y + mvy)
+        with f.if_(sy < 0):
+            f.assign(sy, 0)
+        with f.if_(sy > height - 1):
+            f.assign(sy, height - 1)
+        with f.for_range("x", 0, BLOCK) as x:
+            f.assign(sx, bx + x + mvx)
+            with f.if_(sx < 0):
+                f.assign(sx, 0)
+            with f.if_(sx > width - 1):
+                f.assign(sx, width - 1)
+            f.store(predb + ((y * 8 + x) << 2),
+                    f.load_u8(refbase + sy * width + sx))
+    f.ret()
+
+
+def _build_decode_block(m: Module, width: int, height: int, lam: float,
+                        fp_rounds: int) -> None:
+    fcur = m.addr_of("fcur")
+    fprev = m.addr_of("fprev")
+    fprev2 = m.addr_of("fprev2")
+    coef = m.addr_of("coef")
+    predb = m.addr_of("predb")
+    pred2 = m.addr_of("pred2")
+    resid = m.addr_of("resid")
+    zz = m.addr_of("zz")
+    st_act = m.addr_of("st_act")
+    st_dev = m.addr_of("st_dev")
+
+    f = m.function("decode_block", [("ftype", I32), ("bx", I32), ("by", I32)],
+                   ret=None)
+    ftype, bx, by = f.params
+    mode = f.local(I32, "mode", init=f.call("br_ue"))
+    mvx = f.local(I32, "mvx")
+    mvy = f.local(I32, "mvy")
+
+    with f.if_(mode == _MODE_INTER) as cinter:
+        f.assign(mvx, f.call("br_se"))
+        f.assign(mvy, f.call("br_se"))
+        f.call_stat("mc", fprev, bx, by, mvx, mvy)
+    with cinter.else_():
+        with f.if_(mode == _MODE_INTER_BI) as cbi:
+            f.assign(mvx, f.call("br_se"))
+            f.assign(mvy, f.call("br_se"))
+            f.call_stat("mc", fprev, bx, by, mvx, mvy)
+            # stash list-0 prediction, then predict list 1 over it
+            with f.for_range("s", 0, 64) as s:
+                f.store(pred2 + (s << 2), f.load(predb + (s << 2)))
+            f.assign(mvx, f.call("br_se"))
+            f.assign(mvy, f.call("br_se"))
+            f.call_stat("mc", fprev2, bx, by, mvx, mvy)
+            with f.for_range("s2", 0, 64) as s2:
+                off = f.local(I32, "off", init=s2 << 2)
+                f.store(predb + off,
+                        (f.load(pred2 + off) + f.load(predb + off) + 1) >> 1)
+        with cbi.else_():
+            with f.if_(mode > 3):
+                f.sys_exit(3)  # bad mode
+            f.call_stat("intra_pred", mode, bx, by)
+
+    with f.for_range("c", 0, 64) as c:
+        f.store(coef + (c << 2), 0)
+    nnz = f.local(I32, "nnz", init=f.call("br_ue"))
+    with f.if_(nnz > 64):
+        f.sys_exit(4)
+    pos = f.local(I32, "pos", init=0)
+    with f.for_range("nz", 0, nnz):
+        f.assign(pos, pos + f.call("br_ue"))
+        with f.if_(pos >= 64):
+            f.sys_exit(5)
+        level = f.local(I32, "level", init=f.call("br_se"))
+        idx = f.local(I32, "idx", init=f.load(zz + (pos << 2)))
+        f.store(coef + (idx << 2), f.call("dequant", level))
+        f.assign(pos, pos + 1)
+
+    f.call_stat("itransform")
+
+    sum_abs = f.local(I32, "sum_abs", init=0)
+    sum_pix = f.local(I32, "sum_pix", init=0)
+    value = f.local(I32, "value")
+    res = f.local(I32, "res")
+    with f.for_range("y", 0, BLOCK) as y:
+        rowoff = f.local(I32, "rowoff", init=(by + y) * width + bx)
+        with f.for_range("x", 0, BLOCK) as x:
+            boff = f.local(I32, "boff", init=(y * 8 + x) << 2)
+            f.assign(res, f.load(resid + boff))
+            f.assign(value, f.load(predb + boff) + res)
+            with f.if_(value < 0):
+                f.assign(value, 0)
+            with f.if_(value > 255):
+                f.assign(value, 255)
+            f.store8(fcur + rowoff + x, value)
+            with f.if_(res < 0) as cneg:
+                f.assign(sum_abs, sum_abs - res)
+            with cneg.else_():
+                f.assign(sum_abs, sum_abs + res)
+            f.assign(sum_pix, sum_pix + value)
+
+    # HM-style double-precision bookkeeping; identical to decoder_ref.
+    act = f.local(F64, "act")
+    dev = f.local(F64, "dev")
+    s1 = f.local(F64, "s1")
+    a = f.local(F64, "a")
+    mean = f.local(F64, "mean")
+    d = f.local(F64, "d")
+    f.assign(act, f.loadf(st_act))
+    f.assign(dev, f.loadf(st_dev))
+    with f.for_range("r", 0, fp_rounds) as r:
+        f.assign(s1, f.itod(sum_abs + r))
+        f.assign(a, f.fsqrt(s1 * f.f64const(0.015625)))
+        f.assign(act, act + a * f.f64const(lam))
+        f.assign(mean, f.itod(sum_pix) * f.f64const(0.015625))
+        f.assign(d, mean - f.f64const(128.0))
+        f.assign(dev, dev + d * d)
+    f.storef(st_act, act)
+    f.storef(st_dev, dev)
+    f.ret()
+
+
+def _build_main(m: Module, width: int, height: int, nframes: int,
+                qp: int) -> None:
+    fcur = m.addr_of("fcur")
+    fprev = m.addr_of("fprev")
+    fprev2 = m.addr_of("fprev2")
+    st_act = m.addr_of("st_act")
+    st_dev = m.addr_of("st_dev")
+    fsize = width * height
+
+    f = m.function("main", ret=I32)
+    f.store(m.addr_of("brpos"), 0)
+    # header: verify what the encoder wrote (bad streams exit non-zero)
+    with f.if_(f.call("br_bits", 32) != MAGIC):
+        f.sys_exit(10)
+    with f.if_(f.call("br_bits", 16) != width):
+        f.sys_exit(11)
+    with f.if_(f.call("br_bits", 16) != height):
+        f.sys_exit(11)
+    with f.if_(f.call("br_bits", 8) != nframes):
+        f.sys_exit(12)
+    with f.if_(f.call("br_bits", 8) != qp):
+        f.sys_exit(13)
+    f.call_stat("br_bits", 8)  # config id (informative)
+    f.call_stat("br_bits", 8)  # reserved
+
+    h = f.local(U32, "h", init=0)
+    ftype = f.local(I32, "ftype")
+    with f.for_range("fr", 0, nframes):
+        f.assign(ftype, f.call("br_bits", 8))
+        with f.if_(ftype > 3):
+            f.sys_exit(14)
+        with f.for_range("by", 0, height // BLOCK) as by:
+            with f.for_range("bx", 0, width // BLOCK) as bx:
+                f.call_stat("decode_block", ftype, bx * BLOCK, by * BLOCK)
+        with f.for_range("p", 0, fsize) as p:
+            f.assign(h, h * 31 + f.load_u8(fcur + p))
+        # reference rotation: prev -> prev2, cur -> prev
+        with f.for_range("p2", 0, fsize) as p2:
+            f.store8(fprev2 + p2, f.load_u8(fprev + p2))
+            f.store8(fprev + p2, f.load_u8(fcur + p2))
+    f.sys_write_u32(h)
+    f.sys_write_u32(f.dtoi(f.loadf(st_act)))
+    f.sys_write_u32(f.dtoi(f.loadf(st_dev)))
+    f.ret(0)

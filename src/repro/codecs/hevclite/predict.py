@@ -1,0 +1,89 @@
+"""Intra and inter prediction for 8x8 blocks.
+
+Intra predicts from *reconstructed* neighbours of the current frame (as
+in HEVC); inter performs full-pel motion compensation from reference
+frames with edge clamping.  Prediction modes:
+
+====  =========  =============================================
+code  name       rule
+====  =========  =============================================
+0     DC         mean of available top/left neighbours
+1     VERTICAL   copy the top neighbour row
+2     HORIZONTAL copy the left neighbour column
+3     AVERAGE    per-pixel mean of modes 1 and 2 (planar-lite)
+4     INTER      one motion vector (P, and B list-0)
+5     INTER_BI   two motion vectors, averaged
+====  =========  =============================================
+"""
+
+from __future__ import annotations
+
+from repro.codecs.hevclite.tables import BLOCK
+
+MODE_DC = 0
+MODE_VER = 1
+MODE_HOR = 2
+MODE_AVG = 3
+MODE_INTER = 4
+MODE_INTER_BI = 5
+
+Frame = list[list[int]]
+
+
+def intra_neighbours(frame: Frame, bx: int, by: int,
+                     width: int, height: int) -> tuple[list[int] | None,
+                                                       list[int] | None]:
+    """Top row and left column of reconstructed neighbours (None if off-frame)."""
+    top = None
+    left = None
+    if by > 0:
+        top = [frame[by - 1][bx + x] for x in range(BLOCK)]
+    if bx > 0:
+        left = [frame[by + y][bx - 1] for y in range(BLOCK)]
+    return top, left
+
+
+def intra_predict(mode: int, top: list[int] | None,
+                  left: list[int] | None) -> list[list[int]]:
+    """Build the 8x8 intra prediction block."""
+    n = BLOCK
+    if mode == MODE_DC:
+        if top and left:
+            dc = (sum(top) + sum(left) + n) >> 4
+        elif top:
+            dc = (sum(top) + (n >> 1)) >> 3
+        elif left:
+            dc = (sum(left) + (n >> 1)) >> 3
+        else:
+            dc = 128
+        return [[dc] * n for _ in range(n)]
+    top = top or [128] * n
+    left = left or [128] * n
+    if mode == MODE_VER:
+        return [list(top) for _ in range(n)]
+    if mode == MODE_HOR:
+        return [[left[y]] * n for y in range(n)]
+    if mode == MODE_AVG:
+        return [[(top[x] + left[y] + 1) >> 1 for x in range(n)]
+                for y in range(n)]
+    raise ValueError(f"not an intra mode: {mode}")
+
+
+def motion_compensate(ref: Frame, bx: int, by: int, mvx: int, mvy: int,
+                      width: int, height: int) -> list[list[int]]:
+    """Full-pel motion compensation with edge clamping."""
+    n = BLOCK
+    out = [[0] * n for _ in range(n)]
+    for y in range(n):
+        sy = min(max(by + y + mvy, 0), height - 1)
+        row = ref[sy]
+        for x in range(n):
+            sx = min(max(bx + x + mvx, 0), width - 1)
+            out[y][x] = row[sx]
+    return out
+
+
+def average_blocks(a: list[list[int]], b: list[list[int]]) -> list[list[int]]:
+    """Bi-prediction averaging with rounding."""
+    return [[(a[y][x] + b[y][x] + 1) >> 1 for x in range(BLOCK)]
+            for y in range(BLOCK)]

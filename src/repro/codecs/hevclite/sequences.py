@@ -1,0 +1,80 @@
+"""Synthetic raw video sequences (the paper's three input sequences)."""
+
+from __future__ import annotations
+
+import math
+
+SEQUENCE_NAMES = ("gradient_pan", "blocks_bounce", "texture_noise")
+
+Frame = list[list[int]]
+
+
+def _lcg(seed: int):
+    state = (seed * 1664525 + 1013904223) & 0xFFFFFFFF
+
+    def rand() -> int:
+        nonlocal state
+        state = (state * 1664525 + 1013904223) & 0xFFFFFFFF
+        return state >> 16
+
+    return rand
+
+
+def make_sequence(name: str, width: int = 16, height: int = 16,
+                  frames: int = 3) -> list[Frame]:
+    """Generate a deterministic raw sequence by name."""
+    if name == "gradient_pan":
+        return _gradient_pan(width, height, frames)
+    if name == "blocks_bounce":
+        return _blocks_bounce(width, height, frames)
+    if name == "texture_noise":
+        return _texture_noise(width, height, frames)
+    raise ValueError(f"unknown sequence {name!r}; "
+                     f"available: {SEQUENCE_NAMES}")
+
+
+def _gradient_pan(width: int, height: int, frames: int) -> list[Frame]:
+    """A smooth diagonal gradient panning one pixel per frame."""
+    out = []
+    for t in range(frames):
+        frame = [[max(0, min(255, 40 + 6 * ((x + 2 * t) % width)
+                             + 5 * ((y + t) % height)))
+                  for x in range(width)] for y in range(height)]
+        out.append(frame)
+    return out
+
+
+def _blocks_bounce(width: int, height: int, frames: int) -> list[Frame]:
+    """A bright square moving over a dark background (sharp edges)."""
+    out = []
+    for t in range(frames):
+        frame = [[48] * width for _ in range(height)]
+        bs = max(4, width // 4)
+        x0 = (2 + 3 * t) % (width - bs)
+        y0 = (1 + 2 * t) % (height - bs)
+        for y in range(y0, y0 + bs):
+            for x in range(x0, x0 + bs):
+                frame[y][x] = 220
+        # a static mid-grey stripe for intra modes to chew on
+        for y in range(height):
+            frame[y][width - 2] = 128
+        out.append(frame)
+    return out
+
+
+def _texture_noise(width: int, height: int, frames: int) -> list[Frame]:
+    """Sinusoidal texture plus correlated noise, drifting slowly."""
+    rand = _lcg(97)
+    base = [[(rand() % 33) - 16 for _ in range(width)] for _ in range(height)]
+    out = []
+    for t in range(frames):
+        frame = []
+        for y in range(height):
+            row = []
+            for x in range(width):
+                v = 128 + 36 * math.sin(0.8 * (x + t) + 0.3 * y) \
+                    + base[y][(x + t) % width]
+                row.append(max(0, min(255, int(round(v)))))
+            frame.append(row)
+        out.append(frame)
+    return out

@@ -1,0 +1,51 @@
+"""The HEVC-lite evaluation stream set (the paper's 36 bitstreams).
+
+36 = 4 coding configurations (intra, lowdelay, lowdelay P, randomaccess)
+x 3 visual qualities (QP 10, 32, 45) x 3 input raw sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.codecs.hevclite.encoder import CONFIGS, EncodeResult, encode
+from repro.codecs.hevclite.sequences import SEQUENCE_NAMES, make_sequence
+
+QPS = (10, 32, 45)
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Identity of one evaluation bitstream."""
+
+    config: str
+    qp: int
+    sequence: str
+    width: int = 16
+    height: int = 16
+    frames: int = 3
+
+    @property
+    def name(self) -> str:
+        return f"{self.sequence}_{self.config}_qp{self.qp}"
+
+
+def stream_specs(width: int = 16, height: int = 16,
+                 frames: int = 3) -> list[StreamSpec]:
+    """All 36 stream specs in deterministic order."""
+    return [
+        StreamSpec(config=config, qp=qp, sequence=seq,
+                   width=width, height=height, frames=frames)
+        for config in CONFIGS
+        for qp in QPS
+        for seq in SEQUENCE_NAMES
+    ]
+
+
+@lru_cache(maxsize=None)
+def encode_spec(spec: StreamSpec) -> EncodeResult:
+    """Encode (and cache) the bitstream for ``spec``."""
+    frames = make_sequence(spec.sequence, spec.width, spec.height,
+                           spec.frames)
+    return encode(frames, spec.qp, spec.config)

@@ -1,0 +1,61 @@
+"""Constant tables of the HEVC-lite codec.
+
+The 8x8 core transform matrix and the quantisation scales are HEVC's own
+(H.265 spec tables); the zigzag scan and the rate-distortion lambda follow
+the HM reference software conventions.
+"""
+
+from __future__ import annotations
+
+#: HEVC 8x8 core transform matrix (rows are basis vectors).
+T8: tuple[tuple[int, ...], ...] = (
+    (64, 64, 64, 64, 64, 64, 64, 64),
+    (89, 75, 50, 18, -18, -50, -75, -89),
+    (83, 36, -36, -83, -83, -36, 36, 83),
+    (75, -18, -89, -50, 50, 89, 18, -75),
+    (64, -64, -64, 64, 64, -64, -64, 64),
+    (50, -89, 18, 75, -75, -18, 89, -50),
+    (36, -83, 83, -36, -36, 83, -83, 36),
+    (18, -50, 75, -89, 89, -75, 50, -18),
+)
+
+#: Forward quantisation scales, indexed by qp % 6 (HEVC quantScales).
+QUANT_SCALES: tuple[int, ...] = (26214, 23302, 20560, 18396, 16384, 14564)
+
+#: Inverse quantisation scales, indexed by qp % 6 (HEVC invQuantScales).
+INV_QUANT_SCALES: tuple[int, ...] = (40, 45, 51, 57, 64, 72)
+
+#: Diagonal zigzag scan order for an 8x8 block (raster indices).
+ZIGZAG8: tuple[int, ...] = tuple(
+    y * 8 + x
+    for s in range(15)
+    for y, x in sorted(
+        ((yy, s - yy) for yy in range(max(0, s - 7), min(8, s + 1))),
+        key=lambda p: p[0] if s % 2 else -p[0],
+    )
+)
+
+BLOCK = 8
+BITDEPTH = 8
+
+#: forward transform shifts for 8x8 / 8-bit (HEVC: log2N + BD - 9, log2N + 6)
+FWD_SHIFT1 = 2
+FWD_SHIFT2 = 9
+#: inverse transform shifts (HEVC: 7 and 12 for 8-bit)
+INV_SHIFT1 = 7
+INV_SHIFT2 = 12
+#: dequantisation shift for 8x8 / 8-bit (HEVC: BD + log2N - 5)
+DEQUANT_SHIFT = 6
+
+
+def qp_per_rem(qp: int) -> tuple[int, int]:
+    """Split a QP (0..51) into (qp // 6, qp % 6)."""
+    if not 0 <= qp <= 51:
+        raise ValueError(f"QP out of range: {qp}")
+    return qp // 6, qp % 6
+
+
+def rd_lambda(qp: int) -> float:
+    """HM-style rate-distortion lambda, used by the decoder's double-
+    precision statistics bookkeeping (the paper's 'few FP operations')."""
+    return 0.85 * 2.0 ** ((qp - 12) / 3.0)

@@ -1,0 +1,91 @@
+"""HEVC-style 8x8 integer transform and quantisation (pure integer)."""
+
+from __future__ import annotations
+
+from repro.codecs.hevclite.tables import (
+    BLOCK,
+    DEQUANT_SHIFT,
+    FWD_SHIFT1,
+    FWD_SHIFT2,
+    INV_QUANT_SCALES,
+    INV_SHIFT1,
+    INV_SHIFT2,
+    QUANT_SCALES,
+    T8,
+    qp_per_rem,
+)
+
+Matrix = list[list[int]]
+
+
+def _clip16(value: int) -> int:
+    if value > 32767:
+        return 32767
+    if value < -32768:
+        return -32768
+    return value
+
+
+def forward_transform(residual: Matrix) -> Matrix:
+    """Forward 8x8 core transform (encoder side)."""
+    n = BLOCK
+    tmp = [[0] * n for _ in range(n)]
+    add1 = 1 << (FWD_SHIFT1 - 1)
+    for i in range(n):
+        for j in range(n):
+            acc = sum(T8[i][k] * residual[k][j] for k in range(n))
+            tmp[i][j] = (acc + add1) >> FWD_SHIFT1
+    out = [[0] * n for _ in range(n)]
+    add2 = 1 << (FWD_SHIFT2 - 1)
+    for i in range(n):
+        for j in range(n):
+            acc = sum(tmp[i][k] * T8[j][k] for k in range(n))
+            out[i][j] = (acc + add2) >> FWD_SHIFT2
+    return out
+
+
+def inverse_transform(coeffs: Matrix) -> Matrix:
+    """Inverse 8x8 core transform; the kernel implements the identical
+    arithmetic (same shifts, same 16-bit clipping points)."""
+    n = BLOCK
+    tmp = [[0] * n for _ in range(n)]
+    add1 = 1 << (INV_SHIFT1 - 1)
+    for i in range(n):
+        for j in range(n):
+            acc = sum(T8[k][i] * coeffs[k][j] for k in range(n))
+            tmp[i][j] = _clip16((acc + add1) >> INV_SHIFT1)
+    out = [[0] * n for _ in range(n)]
+    add2 = 1 << (INV_SHIFT2 - 1)
+    for i in range(n):
+        for j in range(n):
+            acc = sum(T8[k][j] * tmp[i][k] for k in range(n))
+            out[i][j] = _clip16((acc + add2) >> INV_SHIFT2)
+    return out
+
+
+def quantize(coeffs: Matrix, qp: int) -> Matrix:
+    """Forward quantisation (encoder side; HEVC scales, 1/3 offset)."""
+    per, rem = qp_per_rem(qp)
+    scale = QUANT_SCALES[rem]
+    qbits = 14 + per
+    offset = (1 << qbits) // 3
+    out = [[0] * BLOCK for _ in range(BLOCK)]
+    for y in range(BLOCK):
+        for x in range(BLOCK):
+            c = coeffs[y][x]
+            mag = (abs(c) * scale + offset) >> qbits
+            out[y][x] = -mag if c < 0 else mag
+    return out
+
+
+def dequantize_level(level: int, qp: int) -> int:
+    """Dequantise one level (shared scalar used by ref and kernel)."""
+    per, rem = qp_per_rem(qp)
+    scale = INV_QUANT_SCALES[rem] << per
+    return _clip16((level * scale + (1 << (DEQUANT_SHIFT - 1))) >> DEQUANT_SHIFT)
+
+
+def dequantize(levels: Matrix, qp: int) -> Matrix:
+    """Dequantise a whole block."""
+    return [[dequantize_level(levels[y][x], qp) for x in range(BLOCK)]
+            for y in range(BLOCK)]

@@ -1,0 +1,45 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+==========  ==========================================================
+driver      reproduces
+==========  ==========================================================
+table1      Table I  -- calibrated specific times/energies
+table3      Table III -- mean/max absolute estimation error
+table4      Table IV -- FPU design decision (energy/time/area)
+figure1     Fig. 1 -- simulator landscape (speed vs accuracy)
+figure23    Figs. 2-3 -- instruction flow and morph grouping
+figure4     Fig. 4 -- measurement vs estimation showcase bars
+==========  ==========================================================
+
+Every driver exposes ``run(scale)`` returning a result object with a
+``render()`` method; scales are ``smoke``/``default``/``full`` (see
+:mod:`repro.experiments.scale`).
+"""
+
+from repro.experiments import (  # noqa: F401
+    figure1,
+    figure4,
+    figure23,
+    table1,
+    table3,
+    table4,
+)
+from repro.experiments.scale import DEFAULT, FULL, SMOKE, Scale, get_scale
+from repro.experiments.setup import Bench, get_bench, reset_benches
+
+__all__ = [
+    "Bench",
+    "DEFAULT",
+    "FULL",
+    "SMOKE",
+    "Scale",
+    "figure1",
+    "figure23",
+    "figure4",
+    "get_bench",
+    "get_scale",
+    "reset_benches",
+    "table1",
+    "table3",
+    "table4",
+]

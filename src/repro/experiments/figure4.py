@@ -1,0 +1,94 @@
+"""Figure 4: measurement vs estimation for the four showcase processes.
+
+Bars for FSE float, FSE fixed, HEVC float, HEVC fixed: measured energy,
+estimated energy (left axis), measured time, estimated time (right axis).
+Each showcase aggregates the full kernel set of its family/build, like the
+paper's full-sequence runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.render import hbar, text_table
+from repro.experiments.scale import Scale, get_scale
+from repro.experiments.setup import get_bench
+from repro.experiments.workloads import workload_pairs
+
+
+@dataclass
+class ShowcaseBar:
+    name: str
+    measured_energy_j: float
+    estimated_energy_j: float
+    measured_time_s: float
+    estimated_time_s: float
+
+    @property
+    def energy_error_percent(self) -> float:
+        return 100 * (self.estimated_energy_j - self.measured_energy_j) \
+            / self.measured_energy_j
+
+    @property
+    def time_error_percent(self) -> float:
+        return 100 * (self.estimated_time_s - self.measured_time_s) \
+            / self.measured_time_s
+
+
+@dataclass
+class Figure4Result:
+    bars: list[ShowcaseBar]
+
+    def render(self) -> str:
+        rows = []
+        for b in self.bars:
+            rows.append((b.name,
+                         f"{b.measured_energy_j * 1e3:.3f} mJ",
+                         f"{b.estimated_energy_j * 1e3:.3f} mJ",
+                         f"{b.energy_error_percent:+.2f} %",
+                         f"{b.measured_time_s * 1e3:.3f} ms",
+                         f"{b.estimated_time_s * 1e3:.3f} ms",
+                         f"{b.time_error_percent:+.2f} %"))
+        out = text_table(
+            ("showcase", "E meas", "E est", "E err",
+             "T meas", "T est", "T err"),
+            rows,
+            title="Figure 4: measurement vs estimation for the four "
+                  "showcase processes")
+        emax = max(b.measured_energy_j for b in self.bars)
+        lines = ["", "energy bars (measured #, estimated @):"]
+        for b in self.bars:
+            lines.append(f"  {b.name:<12} {hbar(b.measured_energy_j, emax)}")
+            lines.append(f"  {'':<12} "
+                         + hbar(b.estimated_energy_j, emax).replace('#', '@'))
+        return out + "\n" + "\n".join(lines)
+
+
+def run(scale: Scale | str | None = None) -> Figure4Result:
+    scale = scale if isinstance(scale, Scale) else get_scale(
+        scale if isinstance(scale, str) else None)
+    bench = get_bench(scale)
+
+    sums: dict[str, dict[str, float]] = {}
+    for pair in workload_pairs(scale):
+        family = pair.name.split(":")[0]
+        for tag, program, fpu in (("float", pair.float_program, True),
+                                  ("fixed", pair.fixed_program, False)):
+            name = f"{family} {tag}"
+            est = bench.estimate(f"{pair.name}:{tag}", program, fpu)
+            meas = bench.measure(f"{pair.name}:{tag}", program, fpu)
+            acc = sums.setdefault(name, {"me": 0.0, "ee": 0.0,
+                                         "mt": 0.0, "et": 0.0})
+            acc["me"] += meas.energy_j
+            acc["ee"] += est.energy_j
+            acc["mt"] += meas.time_s
+            acc["et"] += est.time_s
+
+    order = ("fse float", "fse fixed", "hevc float", "hevc fixed")
+    bars = [ShowcaseBar(name=name,
+                        measured_energy_j=sums[name]["me"],
+                        estimated_energy_j=sums[name]["ee"],
+                        measured_time_s=sums[name]["mt"],
+                        estimated_time_s=sums[name]["et"])
+            for name in order if name in sums]
+    return Figure4Result(bars=bars)

@@ -1,0 +1,44 @@
+"""Plain-text rendering helpers for experiment results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def text_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+               title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append("|".join(f" {h:<{w}} " for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append("|".join(f" {c:<{w}} " for c, w in zip(row, widths)))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def hbar(value: float, vmax: float, width: int = 40) -> str:
+    """A horizontal ASCII bar scaled to ``vmax``."""
+    if vmax <= 0:
+        return ""
+    n = int(round(width * value / vmax))
+    return "#" * max(0, min(width, n))
+
+
+def fmt_si(value: float, unit: str) -> str:
+    """Format with an SI prefix (e.g. 1.23e-3, 'J' -> '1.23 mJ')."""
+    prefixes = [(1.0, ""), (1e-3, "m"), (1e-6, "u"), (1e-9, "n"),
+                (1e-12, "p")]
+    for scale, prefix in prefixes:
+        if abs(value) >= scale or scale == prefixes[-1][0]:
+            return f"{value / scale:.3f} {prefix}{unit}"
+    return f"{value:.3e} {unit}"  # pragma: no cover

@@ -1,0 +1,79 @@
+"""Experiment scaling presets.
+
+The paper decodes full video sequences for hundreds of seconds on a 50 MHz
+soft-core; a pure-Python ISS simulates ~10^6 instructions per second, so
+experiments run at configurable scale.  All reproduced *shapes* (error
+statistics, FPU savings, crossovers) are scale-stable; EXPERIMENTS.md
+records which scale produced the recorded numbers.
+
+========  ==========================================================
+scale     contents
+========  ==========================================================
+smoke     2 FSE kernels + 4 HEVC streams, short calibration (tests)
+default   8 FSE kernels + 12 HEVC streams (benchmarks)
+full      the paper's full set: 24 FSE kernels + 36 HEVC streams
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.fse.params import FseParams
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One experiment size preset."""
+
+    name: str
+    fse_indices: tuple[int, ...]
+    fse_params: FseParams
+    fse_size: int
+    hevc_indices: tuple[int, ...]
+    calibration_iterations: int
+    calibration_unroll: int = 32
+    max_instructions: int = 400_000_000
+
+
+SMOKE = Scale(
+    name="smoke",
+    fse_indices=(0, 1),
+    fse_params=FseParams(block=8, iterations=4),
+    fse_size=8,
+    hevc_indices=(0, 13, 22, 31),
+    calibration_iterations=800,
+)
+
+DEFAULT = Scale(
+    name="default",
+    fse_indices=tuple(range(8)),
+    fse_params=FseParams(block=8, iterations=10),
+    fse_size=8,
+    # every third stream: covers all 4 configs and all 3 QPs
+    hevc_indices=tuple(range(0, 36, 3)),
+    calibration_iterations=4000,
+)
+
+FULL = Scale(
+    name="full",
+    fse_indices=tuple(range(24)),
+    fse_params=FseParams(block=8, iterations=10),
+    fse_size=8,
+    hevc_indices=tuple(range(36)),
+    calibration_iterations=20000,
+)
+
+_SCALES = {s.name: s for s in (SMOKE, DEFAULT, FULL)}
+
+
+def get_scale(name: str | None = None) -> Scale:
+    """Resolve a scale by name (or the ``REPRO_SCALE`` env var, or default)."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "default")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; available: {sorted(_SCALES)}") from None

@@ -1,0 +1,88 @@
+"""Shared experiment infrastructure: boards, calibration, measurement cache.
+
+One board pair (with and without FPU) and one calibrated model per scale
+are shared across all experiment drivers in a process; workload
+measurements are memoised because Table III, Table IV and Figure 4 all
+reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.program import Program
+from repro.hw.board import Board, Measurement
+from repro.hw.config import leon3_fpu, leon3_nofpu
+from repro.hw.powermeter import InstrumentModel
+from repro.nfp.calibration import CalibrationResult, Calibrator
+from repro.nfp.estimator import EstimationReport, NFPEstimator
+from repro.experiments.scale import Scale
+
+
+@dataclass
+class Bench:
+    """The full measurement/estimation environment at one scale."""
+
+    scale: Scale
+    board_fpu: Board
+    board_nofpu: Board
+    calibration: CalibrationResult
+    estimator_fpu: NFPEstimator
+    estimator_nofpu: NFPEstimator
+    _measurements: dict[tuple[str, bool], Measurement] = field(
+        default_factory=dict)
+    _estimates: dict[tuple[str, bool], EstimationReport] = field(
+        default_factory=dict)
+
+    def measure(self, name: str, program: Program,
+                fpu: bool) -> Measurement:
+        """Measure ``program`` on the matching board (memoised by name)."""
+        key = (name, fpu)
+        if key not in self._measurements:
+            board = self.board_fpu if fpu else self.board_nofpu
+            self._measurements[key] = board.measure(
+                program, max_instructions=self.scale.max_instructions)
+        return self._measurements[key]
+
+    def estimate(self, name: str, program: Program,
+                 fpu: bool) -> EstimationReport:
+        """Estimate ``program`` with the calibrated model (memoised)."""
+        key = (name, fpu)
+        if key not in self._estimates:
+            estimator = self.estimator_fpu if fpu else self.estimator_nofpu
+            self._estimates[key] = estimator.estimate_program(
+                program, kernel_name=name,
+                max_instructions=self.scale.max_instructions)
+        return self._estimates[key]
+
+
+_BENCHES: dict[str, Bench] = {}
+
+
+def get_bench(scale: Scale) -> Bench:
+    """Build (or fetch) the shared bench for ``scale``."""
+    if scale.name in _BENCHES:
+        return _BENCHES[scale.name]
+    instruments = InstrumentModel(seed=2015)
+    board_fpu = Board(leon3_fpu(), instruments)
+    board_nofpu = Board(leon3_nofpu(), instruments)
+    calibrator = Calibrator(board_fpu,
+                            iterations=scale.calibration_iterations,
+                            unroll=scale.calibration_unroll)
+    calibration = calibrator.calibrate()
+    model = calibration.to_model()
+    bench = Bench(
+        scale=scale,
+        board_fpu=board_fpu,
+        board_nofpu=board_nofpu,
+        calibration=calibration,
+        estimator_fpu=NFPEstimator(model, board_fpu.config.core),
+        estimator_nofpu=NFPEstimator(model, board_nofpu.config.core),
+    )
+    _BENCHES[scale.name] = bench
+    return bench
+
+
+def reset_benches() -> None:
+    """Drop all cached benches (tests use this for isolation)."""
+    _BENCHES.clear()

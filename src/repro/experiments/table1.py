@@ -1,0 +1,50 @@
+"""Table I: instruction categories and their specific energies and times."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.categories import CATEGORY_IDS, CATEGORY_NAMES
+from repro.nfp.calibration import CalibrationResult
+from repro.nfp.model import PAPER_TABLE1
+from repro.experiments.render import text_table
+from repro.experiments.scale import Scale, get_scale
+from repro.experiments.setup import get_bench
+
+
+@dataclass
+class Table1Result:
+    """Calibrated Table I next to the paper's values."""
+
+    calibration: CalibrationResult
+
+    def rows(self) -> list[tuple[str, float, float, float, float]]:
+        paper_t = PAPER_TABLE1.costs.time_ns
+        paper_e = PAPER_TABLE1.costs.energy_nj
+        out = []
+        for i, cid in enumerate(CATEGORY_IDS):
+            rec = self.calibration.records.get(cid)
+            if rec is None:
+                continue
+            out.append((CATEGORY_NAMES[i], rec.time_ns, rec.energy_nj,
+                        paper_t[i], paper_e[i]))
+        return out
+
+    def render(self) -> str:
+        rows = [(name, f"{t:.0f} ns", f"{e:.0f} nJ",
+                 f"{pt:.0f} ns", f"{pe:.0f} nJ")
+                for name, t, e, pt, pe in self.rows()]
+        return text_table(
+            ("Instruction category", "t_c (ours)", "e_c (ours)",
+             "t_c (paper)", "e_c (paper)"),
+            rows,
+            title="Table I: specific times and energies from kernel-pair "
+                  "calibration (Eq. 2)")
+
+
+def run(scale: Scale | str | None = None) -> Table1Result:
+    """Calibrate on the FPU board and report Table I."""
+    scale = scale if isinstance(scale, Scale) else get_scale(
+        scale if isinstance(scale, str) else None)
+    bench = get_bench(scale)
+    return Table1Result(calibration=bench.calibration)

@@ -1,0 +1,71 @@
+"""Table III: mean/maximum absolute estimation error over all kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nfp.metrics import ErrorSummary, KernelError, table3
+from repro.experiments.render import text_table
+from repro.experiments.scale import Scale, get_scale
+from repro.experiments.setup import get_bench
+from repro.experiments.workloads import kernel_set
+
+#: the paper's Table III (percent)
+PAPER_MEAN_ENERGY = 2.68
+PAPER_MEAN_TIME = 2.72
+PAPER_MAX_ENERGY = 6.32
+PAPER_MAX_TIME = 6.95
+
+
+@dataclass
+class Table3Result:
+    """Per-kernel errors plus the two aggregate Table-III columns."""
+
+    records: list[KernelError]
+    summary: dict[str, ErrorSummary]
+
+    def render(self, per_kernel: bool = False) -> str:
+        rows = [
+            ("Mean absolute error",
+             f"{self.summary['energy'].mean_abs_percent:.2f} %",
+             f"{self.summary['time'].mean_abs_percent:.2f} %",
+             f"{PAPER_MEAN_ENERGY:.2f} %", f"{PAPER_MEAN_TIME:.2f} %"),
+            ("Maximum absolute error",
+             f"{self.summary['energy'].max_abs_percent:.2f} %",
+             f"{self.summary['time'].max_abs_percent:.2f} %",
+             f"{PAPER_MAX_ENERGY:.2f} %", f"{PAPER_MAX_TIME:.2f} %"),
+        ]
+        out = text_table(
+            ("", "Energy (ours)", "Time (ours)",
+             "Energy (paper)", "Time (paper)"),
+            rows,
+            title=f"Table III: estimation error over "
+                  f"{self.summary['energy'].count} kernels (Eq. 3)")
+        if per_kernel:
+            detail = [(r.kernel,
+                       f"{100 * r.energy_error:+.2f} %",
+                       f"{100 * r.time_error:+.2f} %")
+                      for r in self.records]
+            out += "\n" + text_table(
+                ("kernel", "energy error", "time error"), detail)
+        return out
+
+
+def run(scale: Scale | str | None = None) -> Table3Result:
+    """Estimate and measure every evaluation kernel; aggregate per Eq. 3."""
+    scale = scale if isinstance(scale, Scale) else get_scale(
+        scale if isinstance(scale, str) else None)
+    bench = get_bench(scale)
+    records: list[KernelError] = []
+    for name, abi, program in kernel_set(scale):
+        fpu = abi == "hard"
+        report = bench.estimate(name, program, fpu)
+        measurement = bench.measure(name, program, fpu)
+        records.append(KernelError(
+            kernel=name,
+            estimated_time_s=report.time_s,
+            measured_time_s=measurement.time_s,
+            estimated_energy_j=report.energy_j,
+            measured_energy_j=measurement.energy_j,
+        ))
+    return Table3Result(records=records, summary=table3(records))

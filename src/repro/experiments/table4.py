@@ -1,0 +1,97 @@
+"""Table IV: what introducing an FPU changes (energy, time, chip area)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.render import text_table
+from repro.experiments.scale import Scale, get_scale
+from repro.experiments.setup import get_bench
+from repro.experiments.workloads import workload_pairs
+
+#: the paper's Table IV (percent change when adding an FPU)
+PAPER = {
+    "fse": {"energy": -92.6, "time": -92.8},
+    "hevc": {"energy": -42.88, "time": -43.49},
+    "area": +109.0,
+}
+
+
+@dataclass
+class Table4Result:
+    """Mean per-family changes, estimated (headline) and measured (check)."""
+
+    estimated: dict[str, dict[str, float]]  # family -> prop -> percent
+    measured: dict[str, dict[str, float]]
+    area_increase_percent: float
+
+    def render(self) -> str:
+        rows = []
+        for prop in ("energy", "time"):
+            rows.append((
+                f"{prop.capitalize()} change",
+                f"{self.estimated['fse'][prop]:+.1f} %",
+                f"{self.estimated['hevc'][prop]:+.1f} %",
+                f"{PAPER['fse'][prop]:+.1f} %",
+                f"{PAPER['hevc'][prop]:+.1f} %",
+            ))
+        rows.append(("# logic elements",
+                     f"{self.area_increase_percent:+.1f} %",
+                     f"{self.area_increase_percent:+.1f} %",
+                     f"{PAPER['area']:+.1f} %", f"{PAPER['area']:+.1f} %"))
+        out = text_table(
+            ("", "FSE (ours)", "HEVC (ours)", "FSE (paper)", "HEVC (paper)"),
+            rows,
+            title="Table IV: non-functional changes when introducing an FPU "
+                  "(model-estimated, as in the paper)")
+        check = [(family,
+                  f"{self.measured[family]['energy']:+.1f} %",
+                  f"{self.measured[family]['time']:+.1f} %")
+                 for family in ("fse", "hevc")]
+        out += "\n" + text_table(
+            ("family", "energy (measured)", "time (measured)"), check,
+            title="cross-check against testbed measurements")
+        return out
+
+
+def run(scale: Scale | str | None = None) -> Table4Result:
+    """Run the FPU design-space exploration over both workload families."""
+    scale = scale if isinstance(scale, Scale) else get_scale(
+        scale if isinstance(scale, str) else None)
+    bench = get_bench(scale)
+
+    est_acc: dict[str, dict[str, list[float]]] = {}
+    meas_acc: dict[str, dict[str, list[float]]] = {}
+    for pair in workload_pairs(scale):
+        family = pair.name.split(":")[0]
+        est_float = bench.estimate(f"{pair.name}:float", pair.float_program,
+                                   fpu=True)
+        est_fixed = bench.estimate(f"{pair.name}:fixed", pair.fixed_program,
+                                   fpu=False)
+        meas_float = bench.measure(f"{pair.name}:float", pair.float_program,
+                                   fpu=True)
+        meas_fixed = bench.measure(f"{pair.name}:fixed", pair.fixed_program,
+                                   fpu=False)
+        e = est_acc.setdefault(family, {"energy": [], "time": []})
+        e["energy"].append(100 * (est_float.energy_j - est_fixed.energy_j)
+                           / est_fixed.energy_j)
+        e["time"].append(100 * (est_float.time_s - est_fixed.time_s)
+                         / est_fixed.time_s)
+        mm = meas_acc.setdefault(family, {"energy": [], "time": []})
+        mm["energy"].append(100 * (meas_float.energy_j - meas_fixed.energy_j)
+                            / meas_fixed.energy_j)
+        mm["time"].append(100 * (meas_float.time_s - meas_fixed.time_s)
+                          / meas_fixed.time_s)
+
+    def mean(d: dict[str, dict[str, list[float]]]) -> dict[str, dict[str, float]]:
+        return {fam: {prop: sum(vals) / len(vals)
+                      for prop, vals in props.items()}
+                for fam, props in d.items()}
+
+    from repro.hw.area import fpu_area_increase
+    return Table4Result(
+        estimated=mean(est_acc),
+        measured=mean(meas_acc),
+        area_increase_percent=100 * fpu_area_increase(
+            bench.board_fpu.config.core),
+    )

@@ -1,0 +1,98 @@
+"""Procedural test images and loss masks (the Kodak-set surrogate).
+
+The paper evaluates FSE on 24 pictures from the Kodak database, each with
+its own loss mask.  The photographs themselves are not redistributable and
+are irrelevant to the estimation experiment -- what matters is 24 distinct
+FP-heavy kernels operating on diverse content.  This module generates
+deterministic images mixing gradients, sinusoidal textures and structural
+edges, plus four families of loss masks (isolated pixels, lost blocks,
+stripe bursts, and mixed).
+"""
+
+from __future__ import annotations
+
+import math
+
+NUM_TEST_IMAGES = 24
+
+
+def _lcg(seed: int):
+    state = (seed * 2654435761 + 12345) & 0xFFFFFFFF
+
+    def rand() -> int:
+        nonlocal state
+        state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+        return state >> 16
+
+    return rand
+
+
+def make_image(index: int, size: int) -> list[list[int]]:
+    """Deterministic 8-bit test image ``index`` (0..23) of ``size**2``."""
+    if not 0 <= index < NUM_TEST_IMAGES:
+        raise ValueError(f"image index out of range: {index}")
+    fx = 0.5 + (index % 5) * 0.45
+    fy = 0.3 + (index % 7) * 0.35
+    phase = index * 0.7
+    tilt_x = (index % 3) - 1
+    tilt_y = ((index // 3) % 3) - 1
+    rand = _lcg(index + 1)
+    img: list[list[int]] = []
+    for y in range(size):
+        row: list[int] = []
+        for x in range(size):
+            value = 128.0
+            value += 40.0 * math.sin(fx * x + phase) * math.cos(fy * y - phase)
+            value += 6.0 * tilt_x * (x - size / 2) + 6.0 * tilt_y * (y - size / 2)
+            if (x + 2 * y + index) % 11 < 3:
+                value += 25.0  # diagonal structural stripes
+            value += (rand() % 9) - 4  # mild sensor noise
+            row.append(max(0, min(255, int(round(value)))))
+        img.append(row)
+    return img
+
+
+def make_mask(index: int, size: int) -> list[list[int]]:
+    """Loss mask for image ``index``: 1 = known sample, 0 = lost."""
+    if not 0 <= index < NUM_TEST_IMAGES:
+        raise ValueError(f"mask index out of range: {index}")
+    rand = _lcg(1000 + index * 7)
+    mask = [[1] * size for _ in range(size)]
+    family = index % 4
+    if family == 0:  # isolated pixel losses (~20 %)
+        for y in range(size):
+            for x in range(size):
+                if rand() % 5 == 0:
+                    mask[y][x] = 0
+    elif family == 1:  # one lost block per 8x8 tile quadrant
+        bs = max(2, size // 4)
+        x0 = rand() % (size - bs)
+        y0 = rand() % (size - bs)
+        for y in range(y0, y0 + bs):
+            for x in range(x0, x0 + bs):
+                mask[y][x] = 0
+    elif family == 2:  # horizontal stripe bursts (packet loss)
+        for y in range(size):
+            if (y + index) % 5 == 0:
+                start = rand() % max(1, size // 2)
+                for x in range(start, min(size, start + size // 2)):
+                    mask[y][x] = 0
+    else:  # mixed: pixels + a small block
+        for y in range(size):
+            for x in range(size):
+                if rand() % 8 == 0:
+                    mask[y][x] = 0
+        bs = max(2, size // 6)
+        x0, y0 = size // 3, size // 2
+        for y in range(y0, min(size, y0 + bs)):
+            for x in range(x0, min(size, x0 + bs)):
+                mask[y][x] = 0
+    # FSE needs at least one known sample per block; guarantee the corners
+    mask[0][0] = 1
+    mask[size - 1][size - 1] = 1
+    return mask
+
+
+def test_case(index: int, size: int = 8) -> tuple[list[list[int]], list[list[int]]]:
+    """The (image, mask) pair for FSE kernel ``index``."""
+    return make_image(index, size), make_mask(index, size)

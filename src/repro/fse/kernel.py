@@ -1,0 +1,303 @@
+"""Frequency Selective Extrapolation as a kernel-IR program.
+
+Builds a bare-metal kernel that reconstructs one test image on the
+simulated LEON3: double-precision complex arithmetic, hand-rolled radix-2
+FFTs, greedy frequency-domain basis selection -- the paper's second
+showcase workload.  Compiled hard-float it exercises the FPU heavily;
+compiled soft-float it becomes the ``-msoft-float`` fixed-point variant
+with bit-identical output (the kernel prints a reconstruction checksum,
+which tests compare against :mod:`repro.fse.reference`).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.fse.images import test_case
+from repro.fse.params import FseParams
+from repro.kir import F64, I32, U32, Module
+from repro.kir.builder import Function
+
+
+def build_fse_module(image: list[list[int]], mask: list[list[int]],
+                     params: FseParams | None = None,
+                     name: str = "fse") -> Module:
+    """Build the FSE kernel module for one (image, mask) pair."""
+    params = params or FseParams()
+    n = params.block
+    n2 = n * n
+    size = len(image)
+    if size % n:
+        raise ValueError(f"image size {size} not a multiple of block {n}")
+
+    m = Module(name)
+    flat_img = bytes(p for row in image for p in row)
+    flat_msk = bytes(k for row in mask for k in row)
+    m.global_bytes("img", flat_img, align=4)
+    m.global_bytes("msk", flat_msk, align=4)
+    m.global_bytes("outbuf", flat_img, align=4)  # starts as the input
+
+    tw_re, tw_im = params.twiddles()
+    m.global_f64s("twre", tw_re)
+    m.global_f64s("twim", tw_im)
+    m.global_f64s("wtab", params.weight_table())
+    m.global_words("brev", params.bit_reversal())
+
+    for buf in ("w_sp", "w_re", "w_im", "r_re", "r_im", "c_re", "c_im"):
+        m.global_zeros(buf, n2 * 8, align=8)
+
+    _build_fft(m, params)
+    _build_fft2(m, params)
+    _build_block(m, params, size)
+    _build_main(m, params, size)
+    return m
+
+
+def _build_fft(m: Module, params: FseParams) -> None:
+    """``fse_fft(re_base, im_base, stride_bytes, inverse)``: in-place FFT."""
+    n = params.block
+    fn = m.function("fse_fft", [("reb", U32), ("imb", U32),
+                                ("stride", I32), ("inverse", I32)], ret=None)
+    reb, imb, stride, inverse = fn.params
+    f = fn
+
+    # bit-reversal permutation
+    brev = m.addr_of("brev")
+    ta = f.local(F64, "ta")
+    tb = f.local(F64, "tb")
+    with f.for_range("i", 0, n) as i:
+        j = f.local(I32, "j", init=f.load(brev + (i << 2)))
+        with f.if_(i < j):
+            ai = f.local(U32, "ai", init=reb + i * stride)
+            aj = f.local(U32, "aj", init=reb + j * stride)
+            f.assign(ta, f.loadf(ai))
+            f.assign(tb, f.loadf(aj))
+            f.storef(ai, tb)
+            f.storef(aj, ta)
+            f.assign(ai, imb + i * stride)
+            f.assign(aj, imb + j * stride)
+            f.assign(ta, f.loadf(ai))
+            f.assign(tb, f.loadf(aj))
+            f.storef(ai, tb)
+            f.storef(aj, ta)
+
+    wr = f.local(F64, "wr")
+    wi = f.local(F64, "wi")
+    tr = f.local(F64, "tr")
+    ti = f.local(F64, "ti")
+    akr = f.local(F64, "akr")
+    aki = f.local(F64, "aki")
+    twre = m.addr_of("twre")
+    twim = m.addr_of("twim")
+    length = f.local(I32, "length", init=2)
+    half = f.local(I32, "half")
+    with f.while_(length <= n):
+        f.assign(half, length >> 1)
+        base = f.local(I32, "base", init=(half - 1) << 3)
+        start = f.local(I32, "start", init=0)
+        with f.while_(start < n):
+            with f.for_range("jj", 0, half) as jj:
+                toff = f.local(I32, "toff", init=base + (jj << 3))
+                f.assign(wr, f.loadf(twre + toff))
+                f.assign(wi, f.loadf(twim + toff))
+                with f.if_(inverse != 0):
+                    f.assign(wi, -wi)
+                k = f.local(I32, "k", init=start + jj)
+                mm = f.local(I32, "mm", init=k + half)
+                kr = f.local(U32, "kr", init=reb + k * stride)
+                ki = f.local(U32, "ki", init=imb + k * stride)
+                mr = f.local(U32, "mr", init=reb + mm * stride)
+                mi = f.local(U32, "mi", init=imb + mm * stride)
+                bm_re = f.local(F64, "bm_re", init=f.loadf(mr))
+                bm_im = f.local(F64, "bm_im", init=f.loadf(mi))
+                f.assign(tr, wr * bm_re - wi * bm_im)
+                f.assign(ti, wr * bm_im + wi * bm_re)
+                f.assign(akr, f.loadf(kr))
+                f.assign(aki, f.loadf(ki))
+                f.storef(mr, akr - tr)
+                f.storef(mi, aki - ti)
+                f.storef(kr, akr + tr)
+                f.storef(ki, aki + ti)
+            f.assign(start, start + length)
+        f.assign(length, length << 1)
+    f.ret()
+
+
+def _build_fft2(m: Module, params: FseParams) -> None:
+    """``fse_fft2(re_base, im_base, inverse)``: 2-D FFT over the block."""
+    n = params.block
+    fn = m.function("fse_fft2", [("reb", U32), ("imb", U32),
+                                 ("inverse", I32)], ret=None)
+    reb, imb, inverse = fn.params
+    f = fn
+    row_bytes = n * 8
+    with f.for_range("y", 0, n) as y:
+        off = f.local(I32, "off", init=y * row_bytes)
+        f.call_stat("fse_fft", reb + off, imb + off, 8, inverse)
+    with f.for_range("x", 0, n) as x:
+        off2 = f.local(I32, "off2", init=x << 3)
+        f.call_stat("fse_fft", reb + off2, imb + off2, row_bytes, inverse)
+    f.ret()
+
+
+def _build_block(m: Module, params: FseParams, size: int) -> None:
+    """``fse_block(bx, by)``: extrapolate one block in place."""
+    n = params.block
+    n2 = n * n
+    fn = m.function("fse_block", [("bx", I32), ("by", I32)], ret=None)
+    bx, by = fn.params
+    f = fn
+
+    w_sp = m.addr_of("w_sp")
+    w_re = m.addr_of("w_re")
+    w_im = m.addr_of("w_im")
+    r_re = m.addr_of("r_re")
+    r_im = m.addr_of("r_im")
+    c_re = m.addr_of("c_re")
+    c_im = m.addr_of("c_im")
+    img = m.addr_of("img")
+    msk = m.addr_of("msk")
+    wtab = m.addr_of("wtab")
+
+    zero = f.local(F64, "zero", init=f.f64const(0.0))
+    wv = f.local(F64, "wv")
+    px = f.local(F64, "px")
+    idx = f.local(I32, "idx")
+    poff = f.local(I32, "poff")
+
+    # build the spatial weight window and the weighted signal
+    with f.for_range("y", 0, n) as y:
+        with f.for_range("x", 0, n) as x:
+            f.assign(idx, (y * n + x) << 3)
+            f.assign(poff, (by + y) * size + bx + x)
+            known = f.local(I32, "known", init=f.load_u8(msk + poff))
+            with f.if_(known != 0) as ck:
+                dx2 = f.local(I32, "dx2", init=(x << 1) - (n - 1))
+                dy2 = f.local(I32, "dy2", init=(y << 1) - (n - 1))
+                sq = f.local(I32, "sq",
+                             init=(dx2 * dx2 + dy2 * dy2 + 2) >> 2)
+                f.assign(wv, f.loadf(wtab + (sq << 3)))
+                f.assign(px, f.itod(f.load_u8(img + poff)))
+                f.storef(w_sp + idx, wv)
+                f.storef(r_re + idx, wv * px)
+            with ck.else_():
+                f.storef(w_sp + idx, zero)
+                f.storef(r_re + idx, zero)
+            f.storef(w_im + idx, zero)
+            f.storef(r_im + idx, zero)
+            f.storef(c_re + idx, zero)
+            f.storef(c_im + idx, zero)
+    # copy the spatial window into its FFT working buffer
+    with f.for_range("i", 0, n2) as i:
+        f.assign(idx, i << 3)
+        f.storef(w_re + idx, f.loadf(w_sp + idx))
+
+    f.call_stat("fse_fft2", w_re, w_im, 0)
+    f.call_stat("fse_fft2", r_re, r_im, 0)
+
+    w0 = f.local(F64, "w0", init=f.loadf(w_re))
+    inv_w0 = f.local(F64, "inv_w0", init=f.f64const(params.gamma) / w0)
+
+    best = f.local(I32, "best")
+    best_mag = f.local(F64, "best_mag")
+    mag = f.local(F64, "mag")
+    rr = f.local(F64, "rr")
+    ri = f.local(F64, "ri")
+    s_re = f.local(F64, "s_re")
+    s_im = f.local(F64, "s_im")
+    wr = f.local(F64, "wr")
+    wi = f.local(F64, "wi")
+    with f.for_range("it", 0, params.iterations):
+        # argmax |R|^2
+        f.assign(best, 0)
+        f.assign(rr, f.loadf(r_re))
+        f.assign(ri, f.loadf(r_im))
+        f.assign(best_mag, rr * rr + ri * ri)
+        with f.for_range("k", 1, n2) as k:
+            f.assign(idx, k << 3)
+            f.assign(rr, f.loadf(r_re + idx))
+            f.assign(ri, f.loadf(r_im + idx))
+            f.assign(mag, rr * rr + ri * ri)
+            with f.if_(mag > best_mag):
+                f.assign(best_mag, mag)
+                f.assign(best, k)
+        f.assign(idx, best << 3)
+        f.assign(s_re, f.loadf(r_re + idx) * inv_w0)
+        f.assign(s_im, f.loadf(r_im + idx) * inv_w0)
+        f.storef(c_re + idx, f.loadf(c_re + idx) + s_re)
+        f.storef(c_im + idx, f.loadf(c_im + idx) + s_im)
+        bu = f.local(I32, "bu", init=best & (n - 1))
+        bv = f.local(I32, "bv", init=best >> _log2(n))
+        # R[k] -= s * W[k - best]  (spectrum of the shifted window)
+        with f.for_range("v", 0, n) as v:
+            srow = f.local(I32, "srow", init=((v - bv) & (n - 1)) * n)
+            drow = f.local(I32, "drow", init=v * n)
+            with f.for_range("u", 0, n) as u:
+                widx = f.local(I32, "widx",
+                               init=(srow + ((u - bu) & (n - 1))) << 3)
+                f.assign(wr, f.loadf(w_re + widx))
+                f.assign(wi, f.loadf(w_im + widx))
+                f.assign(idx, (drow + u) << 3)
+                f.storef(r_re + idx,
+                         f.loadf(r_re + idx) - (s_re * wr - s_im * wi))
+                f.storef(r_im + idx,
+                         f.loadf(r_im + idx) - (s_re * wi + s_im * wr))
+
+    # model = unscaled inverse FFT of the (1/N^2-folded) coefficients
+    f.call_stat("fse_fft2", c_re, c_im, 1)
+
+    outbuf = m.addr_of("outbuf")
+    g = f.local(F64, "g")
+    pix = f.local(I32, "pix")
+    with f.for_range("wy", 0, n) as wy:
+        with f.for_range("wx", 0, n) as wx:
+            f.assign(poff, (by + wy) * size + bx + wx)
+            with f.if_(f.load_u8(msk + poff) == 0):
+                f.assign(g, f.loadf(c_re + ((wy * n + wx) << 3)))
+                with f.if_(g < f.f64const(0.0)) as cneg:
+                    f.assign(pix, 0)
+                with cneg.else_():
+                    with f.if_(g > f.f64const(255.0)) as cbig:
+                        f.assign(pix, 255)
+                    with cbig.else_():
+                        f.assign(pix, f.dtoi(g + f.f64const(0.5)))
+                f.store8(outbuf + poff, pix)
+    f.ret()
+
+
+def _build_main(m: Module, params: FseParams, size: int) -> None:
+    n = params.block
+    fn = m.function("main", ret=I32)
+    f = fn
+    msk = m.addr_of("msk")
+    outbuf = m.addr_of("outbuf")
+
+    with f.for_range("by", 0, size // n) as by:
+        with f.for_range("bx", 0, size // n) as bx:
+            lost = f.local(I32, "lost", init=0)
+            with f.for_range("y", 0, n) as y:
+                off = f.local(I32, "off",
+                              init=(by * n + y) * size + bx * n)
+                with f.for_range("x", 0, n) as x:
+                    with f.if_(f.load_u8(msk + off + x) == 0):
+                        f.assign(lost, 1)
+            with f.if_(lost != 0):
+                f.call_stat("fse_block", bx * n, by * n)
+
+    h = f.local(U32, "h", init=0)
+    with f.for_range("i", 0, size * size) as i:
+        f.assign(h, h * 31 + f.load_u8(outbuf + i))
+    f.sys_write_u32(h)
+    f.ret(0)
+
+
+def _log2(n: int) -> int:
+    return n.bit_length() - 1
+
+
+def build_fse_kernel(index: int, params: FseParams | None = None,
+                     size: int = 8) -> Module:
+    """Kernel module for FSE test case ``index`` (paper: 24 Kodak kernels)."""
+    image, mask = test_case(index, size)
+    return build_fse_module(image, mask, params,
+                            name=f"fse_{index:02d}_{size}")

@@ -1,0 +1,78 @@
+"""FSE algorithm parameters (shared by reference and kernel builds)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FseParams:
+    """Frequency Selective Extrapolation configuration.
+
+    Attributes
+    ----------
+    block:
+        FFT block size (power of two).  Each block is extrapolated
+        independently; known samples in the block form the support area.
+    iterations:
+        Number of greedy basis-selection iterations per block.
+    rho:
+        Isotropic weighting decay: a known sample at Euclidean distance
+        ``d`` from the block centre has weight ``rho ** d``.
+    gamma:
+        Orthogonality-deficiency compensation factor applied to each
+        expansion coefficient update (Seiler & Kaup use 0.5).
+    """
+
+    block: int = 8
+    iterations: int = 10
+    rho: float = 0.82
+    gamma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.block < 4 or self.block & (self.block - 1):
+            raise ValueError("block must be a power of two >= 4")
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if not 0.0 < self.rho < 1.0:
+            raise ValueError("rho must be in (0, 1)")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+
+    def weight_table(self) -> list[float]:
+        """``rho ** sqrt(k)`` for every possible squared distance ``k``.
+
+        The kernel indexes this table with the integer squared distance
+        ``dx*dx + dy*dy`` to obtain the exact isotropic weight without
+        computing ``pow`` at runtime.
+        """
+        max_sq = 2 * (self.block - 1) ** 2
+        return [self.rho ** math.sqrt(k) for k in range(max_sq + 1)]
+
+    def twiddles(self) -> tuple[list[float], list[float]]:
+        """Concatenated per-stage twiddle factors for the radix-2 FFT.
+
+        Stage ``s`` (sub-FFT length ``2**s``) occupies ``2**(s-1)``
+        consecutive entries starting at offset ``2**(s-1) - 1``; entry
+        ``j`` is ``exp(-2j*pi*j / 2**s)``.  Both the pure-Python reference
+        and the kernel use these exact float values, which is what makes
+        the two implementations bit-identical.
+        """
+        re: list[float] = []
+        im: list[float] = []
+        length = 2
+        while length <= self.block:
+            half = length // 2
+            for j in range(half):
+                angle = -2.0 * math.pi * j / length
+                re.append(math.cos(angle))
+                im.append(math.sin(angle))
+            length *= 2
+        return re, im
+
+    def bit_reversal(self) -> list[int]:
+        """Bit-reversal permutation for the in-place FFT."""
+        n = self.block
+        bits = n.bit_length() - 1
+        return [int(format(i, f"0{bits}b")[::-1], 2) for i in range(n)]

@@ -1,0 +1,36 @@
+"""Hardware testbed model: the FPGA board + instruments surrogate.
+
+This package stands in for the paper's physical measurement setup
+(LEON3 soft-core on a Terasic DE2-115, GRMON, power meter, Quartus
+synthesis reports).  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.hw.area import AreaReport, fpu_area_increase, synthesize
+from repro.hw.board import Board, Measurement, instruction_cost
+from repro.hw.config import HwConfig, leon3_fpu, leon3_nofpu
+from repro.hw.energy import default_energy_table, jitter_factor
+from repro.hw.powermeter import (
+    InstrumentModel,
+    InstrumentSpec,
+    PerfectInstruments,
+)
+from repro.hw.timing import default_cycle_table, intdiv_cycles
+
+__all__ = [
+    "AreaReport",
+    "Board",
+    "HwConfig",
+    "InstrumentModel",
+    "InstrumentSpec",
+    "Measurement",
+    "PerfectInstruments",
+    "default_cycle_table",
+    "default_energy_table",
+    "fpu_area_increase",
+    "instruction_cost",
+    "intdiv_cycles",
+    "jitter_factor",
+    "leon3_fpu",
+    "leon3_nofpu",
+    "synthesize",
+]

@@ -1,0 +1,64 @@
+"""FPGA synthesis area model (logic elements on the Cyclone IV).
+
+The paper's design decision (Table IV) weighs a ~109 % increase in logic
+elements against the energy/time saved by the FPU.  This model exposes
+per-component LE counts calibrated against that ratio for the default
+8-window core; other configurations scale plausibly (register windows
+cost LEs, the divider is optional in a real LEON3 but always present
+here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.config import CoreConfig
+
+#: Logic elements of the integer pipeline (fetch/decode/execute, no regfile).
+IU_LES = 3500
+#: Logic elements per register window (the windowed register file).
+LES_PER_WINDOW = 60
+#: Hardware multiplier/divider unit.
+MULDIV_LES = 270
+#: The GRFPU-lite class floating-point unit.
+FPU_LES = 4633
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Synthesis result for one core configuration."""
+
+    config_name: str
+    by_component: dict[str, int]
+
+    @property
+    def total_les(self) -> int:
+        return sum(self.by_component.values())
+
+    def formatted(self) -> str:
+        lines = [f"synthesis report: {self.config_name}"]
+        for name, les in sorted(self.by_component.items()):
+            lines.append(f"  {name:<18} {les:>7} LEs")
+        lines.append(f"  {'total':<18} {self.total_les:>7} LEs")
+        return "\n".join(lines)
+
+
+def synthesize(core: CoreConfig, name: str = "leon3") -> AreaReport:
+    """Estimate logic-element usage of ``core`` (the Quartus stand-in)."""
+    components = {
+        "integer unit": IU_LES,
+        "register file": LES_PER_WINDOW * core.nwindows,
+        "mul/div unit": MULDIV_LES,
+    }
+    if core.has_fpu:
+        components["fpu"] = FPU_LES
+    return AreaReport(config_name=name, by_component=components)
+
+
+def fpu_area_increase(core: CoreConfig | None = None) -> float:
+    """Relative LE increase from adding an FPU to ``core`` (Table IV row 3)."""
+    base = core.without_fpu() if core is not None else CoreConfig(has_fpu=False)
+    with_fpu = base.with_fpu()
+    les_base = synthesize(base).total_les
+    les_fpu = synthesize(with_fpu).total_les
+    return (les_fpu - les_base) / les_base

@@ -1,0 +1,160 @@
+"""The measurement testbed: run a kernel, measure time and energy.
+
+:class:`Board` plays the role of the paper's Terasic DE2-115 + GRMON +
+power-meter setup: it executes the kernel on the *instrumented* simulator
+loop, accumulating cycle-accurate time and data-dependent energy per
+retired instruction, then passes the totals through the instrument model
+to produce what the experimenter would read off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.program import Program
+from repro.hw.config import HwConfig
+from repro.hw.energy import jitter_factor
+from repro.hw.powermeter import InstrumentModel
+from repro.vm.cpu import DEFAULT_BUDGET
+from repro.vm.simulator import SimulationResult, Simulator
+from repro.vm.state import CpuState
+
+_FLAG_NORMAL = 0
+_FLAG_BRANCH = 1
+_FLAG_INTDIV = 2
+_FLAG_WINDOW = 3
+
+_BRANCH_KINDS = ("branch", "fbranch")
+
+
+@dataclass
+class Measurement:
+    """One testbed measurement of a kernel run.
+
+    ``true_*`` are the exact values accumulated by the hardware model;
+    ``time_s``/``energy_j`` are the instrument readings (what the paper's
+    Eq. 3 calls the measured values).
+    """
+
+    time_s: float
+    energy_j: float
+    true_time_s: float
+    true_energy_j: float
+    cycles: int
+    sim: SimulationResult
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.energy_j / self.time_s if self.time_s else 0.0
+
+
+class _CostAccumulator:
+    """Retire observer accumulating cycles and dynamic energy."""
+
+    __slots__ = ("cycles", "dyn_energy_nj", "_tbl", "_amp", "_untaken_cyc",
+                 "_untaken_factor", "_wtrap_cyc", "_wtrap_nj", "_spills",
+                 "_fills")
+
+    def __init__(self, config: HwConfig):
+        from repro.isa.decoder import decode  # local import, avoid cycle
+        from repro.isa.opcodes import INSTR_SPECS
+
+        self.cycles = 0
+        self.dyn_energy_nj = 0.0
+        self._amp = config.jitter_amplitude
+        self._untaken_cyc = config.untaken_branch_discount
+        self._untaken_factor = config.untaken_branch_energy_factor
+        self._wtrap_cyc = config.window_trap_cycles
+        self._wtrap_nj = config.window_trap_energy_nj
+        self._spills = 0
+        self._fills = 0
+
+        tbl: dict[str, tuple[int, float, int]] = {}
+        for mnemonic, spec in INSTR_SPECS.items():
+            flag = _FLAG_NORMAL
+            if mnemonic in ("udiv", "udivcc", "sdiv", "sdivcc"):
+                flag = _FLAG_INTDIV
+            elif spec.morph_group in ("doBranch", "doFBranch"):
+                flag = _FLAG_BRANCH
+            elif mnemonic in ("save", "restore"):
+                flag = _FLAG_WINDOW
+            tbl[mnemonic] = (config.cycle_table[mnemonic],
+                             config.dyn_energy_nj[mnemonic], flag)
+        self._tbl = tbl
+
+    def on_retire(self, pc: int, mnemonic: str, st: CpuState) -> None:
+        base_cyc, dyn, flag = self._tbl[mnemonic]
+        value = st.last_value
+        if flag:
+            if flag == _FLAG_BRANCH:
+                if not st.taken:
+                    base_cyc -= self._untaken_cyc
+                    dyn *= self._untaken_factor
+            elif flag == _FLAG_INTDIV:
+                base_cyc -= (32 - value.bit_length()) >> 1
+            else:  # save/restore: charge window overflow/underflow traps
+                if st.spill_count != self._spills:
+                    self._spills = st.spill_count
+                    base_cyc += self._wtrap_cyc
+                    dyn += self._wtrap_nj
+                if st.fill_count != self._fills:
+                    self._fills = st.fill_count
+                    base_cyc += self._wtrap_cyc
+                    dyn += self._wtrap_nj
+        self.cycles += base_cyc
+        h = ((value * 2654435761) ^ (pc * 0x9E3779B1)) & 0xFFFFFFFF
+        h ^= h >> 15
+        self.dyn_energy_nj += dyn * (
+            1.0 + self._amp * (((h & 0xFFFF) / 32768.0) - 1.0))
+
+
+class Board:
+    """A synthesised CPU configuration on the test bench.
+
+    Parameters
+    ----------
+    config:
+        Hardware configuration (timing, energy, clock, FPU presence).
+    instruments:
+        Timer/power-meter model; a fresh default instance is created when
+        omitted.  Pass :class:`~repro.hw.powermeter.PerfectInstruments`
+        to read exact values.
+    """
+
+    def __init__(self, config: HwConfig | None = None,
+                 instruments: InstrumentModel | None = None):
+        self.config = config or HwConfig()
+        self.instruments = instruments or InstrumentModel()
+
+    def measure(self, program: Program,
+                max_instructions: int = DEFAULT_BUDGET) -> Measurement:
+        """Run ``program`` on the bench and measure time and energy."""
+        config = self.config
+        accumulator = _CostAccumulator(config)
+        simulator = Simulator(program, config.core)
+        sim_result = simulator.run_metered(accumulator,
+                                           max_instructions=max_instructions)
+        true_time = accumulator.cycles * config.cycle_seconds
+        true_energy = (accumulator.dyn_energy_nj * 1e-9 +
+                       config.static_power_w * true_time)
+        return Measurement(
+            time_s=self.instruments.read_time(true_time),
+            energy_j=self.instruments.read_energy(true_energy),
+            true_time_s=true_time,
+            true_energy_j=true_energy,
+            cycles=accumulator.cycles,
+            sim=sim_result,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Board({self.config.name!r}, {self.config.clock_hz/1e6:.0f} MHz)"
+
+
+# Re-exported convenience: a single retire-cost sanity checker used in tests.
+def instruction_cost(config: HwConfig, mnemonic: str) -> tuple[int, float]:
+    """Base (cycles, dynamic energy nJ) of ``mnemonic`` under ``config``."""
+    return (config.cycle_table[mnemonic], config.dyn_energy_nj[mnemonic])
+
+
+# keep module self-contained for doctest-style use
+_ = jitter_factor

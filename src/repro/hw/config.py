@@ -1,0 +1,85 @@
+"""Full hardware configuration: functional core + non-functional cost model.
+
+:class:`HwConfig` is what "synthesising a LEON3 onto the DE2-115" pins
+down in the paper: clock rate, presence of the FPU, cycle and energy cost
+structure, and static power.  Factory functions provide the two
+configurations the paper evaluates (baseline CPU with FPU, and the same
+CPU without FPU for ``-msoft-float`` builds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.hw.energy import (
+    DEFAULT_JITTER_AMPLITUDE,
+    UNTAKEN_BRANCH_ENERGY_FACTOR,
+    WINDOW_TRAP_ENERGY_NJ,
+    default_energy_table,
+)
+from repro.hw.timing import (
+    UNTAKEN_BRANCH_DISCOUNT,
+    WINDOW_TRAP_CYCLES,
+    default_cycle_table,
+)
+from repro.vm.config import CoreConfig
+
+
+@dataclass(frozen=True)
+class HwConfig:
+    """A fully priced hardware platform.
+
+    Attributes
+    ----------
+    name:
+        Human-readable configuration name (used in reports).
+    core:
+        Functional configuration handed to the simulator.
+    clock_hz:
+        Core clock; the DE2-115 LEON3 designs run at 50 MHz.
+    cycle_table / dyn_energy_nj:
+        Per-mnemonic base costs (see :mod:`repro.hw.timing` /
+        :mod:`repro.hw.energy`).
+    static_power_w:
+        Leakage + clock-tree power charged for the whole run duration.
+    jitter_amplitude:
+        Data-dependent dynamic-energy variation (+/- fraction).
+    """
+
+    name: str = "leon3-50mhz"
+    core: CoreConfig = field(default_factory=CoreConfig)
+    clock_hz: float = 50e6
+    cycle_table: Mapping[str, int] = field(
+        default_factory=lambda: MappingProxyType(default_cycle_table()))
+    dyn_energy_nj: Mapping[str, float] = field(
+        default_factory=lambda: MappingProxyType(default_energy_table()))
+    static_power_w: float = 0.040
+    jitter_amplitude: float = DEFAULT_JITTER_AMPLITUDE
+    untaken_branch_discount: int = UNTAKEN_BRANCH_DISCOUNT
+    untaken_branch_energy_factor: float = UNTAKEN_BRANCH_ENERGY_FACTOR
+    window_trap_cycles: int = WINDOW_TRAP_CYCLES
+    window_trap_energy_nj: float = WINDOW_TRAP_ENERGY_NJ
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if not 0 <= self.jitter_amplitude < 0.5:
+            raise ValueError("jitter_amplitude must be in [0, 0.5)")
+
+    @property
+    def cycle_seconds(self) -> float:
+        return 1.0 / self.clock_hz
+
+
+def leon3_fpu(**core_overrides) -> HwConfig:
+    """The paper's baseline CPU *including* the FPU."""
+    return HwConfig(name="leon3-fpu",
+                    core=CoreConfig(has_fpu=True, **core_overrides))
+
+
+def leon3_nofpu(**core_overrides) -> HwConfig:
+    """The same CPU synthesised without an FPU (soft-float kernels only)."""
+    return HwConfig(name="leon3-nofpu",
+                    core=CoreConfig(has_fpu=False, **core_overrides))

@@ -1,0 +1,69 @@
+"""Measurement-instrument model: timer quantisation and power-meter noise.
+
+The paper measures wall time with ``clock()`` and energy with an external
+power meter; both instruments are imperfect.  :class:`InstrumentModel`
+converts the testbed's *true* time/energy into what those instruments
+would report:
+
+* each instrument has a fixed calibration (gain) error drawn once per
+  instance -- a systematic bias, like a real shunt tolerance;
+* each reading carries small additive relative noise;
+* the timer quantises to its tick.
+
+All randomness comes from a seeded generator so measurements are exactly
+reproducible, which matters for tests and for the calibration procedure
+(Table II) that differences two measurements.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InstrumentSpec:
+    """Noise/quantisation parameters of the measurement instruments."""
+
+    timer_resolution_s: float = 100e-6
+    timer_gain_sigma: float = 0.002
+    timer_noise_sigma: float = 0.0005
+    energy_gain_sigma: float = 0.003
+    energy_noise_sigma: float = 0.001
+
+
+class InstrumentModel:
+    """Stateful instrument pair (timer + power meter) with fixed calibration."""
+
+    def __init__(self, spec: InstrumentSpec | None = None, seed: int = 2015):
+        self.spec = spec or InstrumentSpec()
+        self._rng = random.Random(seed)
+        # Systematic per-instrument calibration error, fixed at "power-on".
+        self.timer_gain = 1.0 + self._rng.gauss(0.0, self.spec.timer_gain_sigma)
+        self.energy_gain = 1.0 + self._rng.gauss(0.0, self.spec.energy_gain_sigma)
+
+    def read_time(self, true_seconds: float) -> float:
+        """What ``clock()`` reports for a run of ``true_seconds``."""
+        noisy = true_seconds * self.timer_gain
+        noisy *= 1.0 + self._rng.gauss(0.0, self.spec.timer_noise_sigma)
+        tick = self.spec.timer_resolution_s
+        if tick > 0:
+            noisy = round(noisy / tick) * tick
+        return noisy
+
+    def read_energy(self, true_joules: float) -> float:
+        """What the power meter reports for ``true_joules``."""
+        noisy = true_joules * self.energy_gain
+        noisy *= 1.0 + self._rng.gauss(0.0, self.spec.energy_noise_sigma)
+        return noisy
+
+
+class PerfectInstruments(InstrumentModel):
+    """Instruments without any error (for isolating model error in tests)."""
+
+    def __init__(self) -> None:
+        super().__init__(InstrumentSpec(timer_resolution_s=0.0,
+                                        timer_gain_sigma=0.0,
+                                        timer_noise_sigma=0.0,
+                                        energy_gain_sigma=0.0,
+                                        energy_noise_sigma=0.0), seed=0)

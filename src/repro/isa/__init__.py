@@ -1,0 +1,88 @@
+"""SPARC V8 instruction-set architecture definitions.
+
+This package defines the subset of the SPARC V8 ISA implemented by the
+LEON3-class processor model used throughout :mod:`repro`:
+
+* :mod:`repro.isa.registers` -- integer/FP register files, names, aliases;
+* :mod:`repro.isa.fields` -- bit-field extraction/insertion helpers;
+* :mod:`repro.isa.opcodes` -- decode tables (the paper's *decode entries*);
+* :mod:`repro.isa.decoder` -- 32-bit word -> :class:`DecodedInstr`;
+* :mod:`repro.isa.encoder` -- :class:`DecodedInstr`/operands -> 32-bit word;
+* :mod:`repro.isa.disasm` -- textual disassembly (Fig. 2's *disassembler*).
+
+The decode tables mirror the grouping shown in Fig. 3 of the paper:
+every mnemonic carries the name of the *morph function group* that executes
+it in the simulator as well as the instruction *category* used by the
+mechanistic non-functional-property model (Table I).
+"""
+
+from repro.isa.decoder import DecodedInstr, decode
+from repro.isa.disasm import disassemble
+from repro.isa.encoder import (
+    encode_arith,
+    encode_branch,
+    encode_call,
+    encode_fbranch,
+    encode_fpop,
+    encode_jmpl,
+    encode_mem,
+    encode_sethi,
+    encode_trap,
+)
+from repro.isa.errors import DecodeError, EncodeError, IsaError
+from repro.isa.opcodes import (
+    ARITH_OP3,
+    FCC_COND_NAMES,
+    FPOP1_OPF,
+    FPOP2_OPF,
+    ICC_COND_NAMES,
+    MEM_OP3,
+    MORPH_GROUPS,
+    mnemonic_exists,
+)
+from repro.isa.registers import (
+    FREG_NAMES,
+    NUM_FREGS,
+    NUM_IREGS,
+    REG_ALIASES,
+    REG_NAMES,
+    freg_name,
+    parse_freg,
+    parse_reg,
+    reg_name,
+)
+
+__all__ = [
+    "ARITH_OP3",
+    "DecodeError",
+    "DecodedInstr",
+    "EncodeError",
+    "FCC_COND_NAMES",
+    "FPOP1_OPF",
+    "FPOP2_OPF",
+    "FREG_NAMES",
+    "ICC_COND_NAMES",
+    "IsaError",
+    "MEM_OP3",
+    "MORPH_GROUPS",
+    "NUM_FREGS",
+    "NUM_IREGS",
+    "REG_ALIASES",
+    "REG_NAMES",
+    "decode",
+    "disassemble",
+    "encode_arith",
+    "encode_branch",
+    "encode_call",
+    "encode_fbranch",
+    "encode_fpop",
+    "encode_jmpl",
+    "encode_mem",
+    "encode_sethi",
+    "encode_trap",
+    "freg_name",
+    "mnemonic_exists",
+    "parse_freg",
+    "parse_reg",
+    "reg_name",
+]

@@ -1,0 +1,81 @@
+"""The nine instruction categories of the mechanistic NFP model (Table I).
+
+The paper divides all retired instructions into nine categories, each with a
+specific time ``t_c`` and specific energy ``e_c``:
+
+====================  ==========================================
+category              members
+====================  ==========================================
+Integer Arithmetic    ALU ops, shifts, ``sethi``, integer mul/div
+Jump                  conditional branches, ``call``, ``jmpl``
+Memory Load           all loads (integer and FP)
+Memory Store          all stores (integer and FP)
+NOP                   the canonical ``nop`` (``sethi 0, %g0``)
+Other                 ``save``/``restore``, state-register access, traps
+FPU Arithmetic        FP add/sub/mul (paper), plus FP moves,
+                      conversions and compares (our closest mapping
+                      for FPU ops the paper does not enumerate)
+FPU Divide            ``fdivs``/``fdivd``
+FPU Square root       ``fsqrts``/``fsqrtd``
+====================  ==========================================
+
+Categories live at ISA level (not in :mod:`repro.nfp`) because the paper's
+processor model increments the per-category counters *inside the morph
+functions* (Section III) -- the simulator needs the mapping without
+depending on the estimation layer.
+"""
+
+from __future__ import annotations
+
+CAT_INT_ARITH = 0
+CAT_JUMP = 1
+CAT_MEM_LOAD = 2
+CAT_MEM_STORE = 3
+CAT_NOP = 4
+CAT_OTHER = 5
+CAT_FPU_ARITH = 6
+CAT_FPU_DIV = 7
+CAT_FPU_SQRT = 8
+
+NUM_CATEGORIES = 9
+
+#: Human-readable names in Table-I order.
+CATEGORY_NAMES: tuple[str, ...] = (
+    "Integer Arithmetic",
+    "Jump",
+    "Memory Load",
+    "Memory Store",
+    "NOP",
+    "Other",
+    "FPU Arithmetic",
+    "FPU Divide",
+    "FPU Square root",
+)
+
+#: Short machine-friendly identifiers, same order.
+CATEGORY_IDS: tuple[str, ...] = (
+    "int_arith",
+    "jump",
+    "mem_load",
+    "mem_store",
+    "nop",
+    "other",
+    "fpu_arith",
+    "fpu_div",
+    "fpu_sqrt",
+)
+
+_ID_TO_INDEX = {cid: i for i, cid in enumerate(CATEGORY_IDS)}
+
+
+def category_index(category_id: str) -> int:
+    """Map a short category identifier (e.g. ``"mem_load"``) to its index."""
+    try:
+        return _ID_TO_INDEX[category_id]
+    except KeyError:
+        raise ValueError(f"unknown category id: {category_id!r}") from None
+
+
+def category_name(index: int) -> str:
+    """Human-readable Table-I name for category ``index``."""
+    return CATEGORY_NAMES[index]

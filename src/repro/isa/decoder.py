@@ -1,0 +1,186 @@
+"""32-bit machine word -> :class:`DecodedInstr` (the paper's Fig. 2 decoder).
+
+The decoder analyses the instruction word for patterns and decides what
+kind of instruction it is; the result carries an internal tag (``mnemonic``
+plus ``kind``) which the disassembler renders as text and the morpher turns
+into *native code* (a Python closure) for the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.isa.errors import DecodeError
+from repro.isa.fields import bits, sign_extend
+from repro.isa.opcodes import (
+    ARITH_OP3,
+    FCC_COND_NAMES,
+    FPOP1_OPF,
+    FPOP2_OPF,
+    ICC_COND_NAMES,
+    MEM_OP3,
+    OP3_FPOP1,
+    OP3_FPOP2,
+    OP3_JMPL,
+    OP3_RDY,
+    OP3_RESTORE,
+    OP3_SAVE,
+    OP3_TICC,
+    OP3_WRY,
+    TRAP_COND_NAMES,
+)
+
+
+class DecodedInstr:
+    """One decoded SPARC V8 instruction.
+
+    Attributes
+    ----------
+    word:
+        The raw 32-bit encoding.
+    mnemonic:
+        Canonical lowercase mnemonic (``"add"``, ``"bne"``, ``"faddd"`` ...).
+    kind:
+        Coarse execution kind used by the morpher dispatch:
+        ``arith``, ``sethi``, ``nop``, ``branch``, ``fbranch``, ``call``,
+        ``jmpl``, ``save``, ``restore``, ``rdy``, ``wry``, ``trap``,
+        ``load``, ``store``, ``fpop``, ``fcmp``.
+    rd, rs1, rs2:
+        Register fields (FP register numbers for FP operations).
+    i:
+        Immediate flag; if True ``imm`` replaces ``rs2``.
+    imm:
+        Sign-extended ``simm13`` for format-3, byte displacement for
+        branches/call, raw 22-bit value for ``sethi``.
+    annul:
+        Annul bit for branches.
+    cond:
+        Condition field for branches and traps.
+    opf:
+        FP-operate sub-opcode for FP operations.
+    """
+
+    __slots__ = ("word", "mnemonic", "kind", "rd", "rs1", "rs2", "i", "imm",
+                 "annul", "cond", "opf")
+
+    def __init__(self, word: int, mnemonic: str, kind: str, rd: int = 0,
+                 rs1: int = 0, rs2: int = 0, i: bool = False, imm: int = 0,
+                 annul: bool = False, cond: int = 0, opf: int = 0):
+        self.word = word
+        self.mnemonic = mnemonic
+        self.kind = kind
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.i = i
+        self.imm = imm
+        self.annul = annul
+        self.cond = cond
+        self.opf = opf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DecodedInstr(0x{self.word:08x}, {self.mnemonic!r}, "
+                f"kind={self.kind!r}, rd={self.rd}, rs1={self.rs1}, "
+                f"rs2={self.rs2}, i={self.i}, imm={self.imm})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DecodedInstr):
+            return NotImplemented
+        return self.word == other.word
+
+    def __hash__(self) -> int:
+        return hash(self.word)
+
+
+def decode(word: int) -> DecodedInstr:
+    """Decode one 32-bit instruction word.
+
+    Raises
+    ------
+    DecodeError
+        If the word does not match any implemented instruction pattern.
+    """
+    word &= 0xFFFFFFFF
+    op = word >> 30
+
+    if op == 1:  # CALL: 30-bit word displacement
+        disp = sign_extend(word & 0x3FFFFFFF, 30) << 2
+        return DecodedInstr(word, "call", "call", imm=disp)
+
+    if op == 0:  # SETHI / branches
+        op2 = bits(word, 24, 22)
+        if op2 == 0b100:
+            rd = bits(word, 29, 25)
+            imm22 = word & 0x3FFFFF
+            if rd == 0 and imm22 == 0:
+                return DecodedInstr(word, "nop", "nop")
+            return DecodedInstr(word, "sethi", "sethi", rd=rd, imm=imm22)
+        if op2 in (0b010, 0b110):
+            annul = bool(bits(word, 29, 29))
+            cond = bits(word, 28, 25)
+            disp = sign_extend(word & 0x3FFFFF, 22) << 2
+            if op2 == 0b010:
+                return DecodedInstr(word, ICC_COND_NAMES[cond], "branch",
+                                    imm=disp, annul=annul, cond=cond)
+            return DecodedInstr(word, FCC_COND_NAMES[cond], "fbranch",
+                                imm=disp, annul=annul, cond=cond)
+        raise DecodeError(word, f"unsupported format-2 op2={op2:#o}")
+
+    rd = bits(word, 29, 25)
+    op3 = bits(word, 24, 19)
+    rs1 = bits(word, 18, 14)
+    i_flag = bool(bits(word, 13, 13))
+    rs2 = bits(word, 4, 0)
+    simm13 = sign_extend(word & 0x1FFF, 13)
+
+    if op == 3:  # memory
+        mnemonic = MEM_OP3.get(op3)
+        if mnemonic is None:
+            raise DecodeError(word, f"unsupported memory op3=0x{op3:02x}")
+        kind = "load" if mnemonic in (
+            "ld", "ldub", "lduh", "ldd", "ldsb", "ldsh", "ldf", "lddf"
+        ) else "store"
+        return DecodedInstr(word, mnemonic, kind, rd=rd, rs1=rs1, rs2=rs2,
+                            i=i_flag, imm=simm13)
+
+    # op == 2: arithmetic / control
+    mnemonic = ARITH_OP3.get(op3)
+    if mnemonic is not None:
+        return DecodedInstr(word, mnemonic, "arith", rd=rd, rs1=rs1, rs2=rs2,
+                            i=i_flag, imm=simm13)
+    if op3 == OP3_SAVE:
+        return DecodedInstr(word, "save", "save", rd=rd, rs1=rs1, rs2=rs2,
+                            i=i_flag, imm=simm13)
+    if op3 == OP3_RESTORE:
+        return DecodedInstr(word, "restore", "restore", rd=rd, rs1=rs1,
+                            rs2=rs2, i=i_flag, imm=simm13)
+    if op3 == OP3_JMPL:
+        return DecodedInstr(word, "jmpl", "jmpl", rd=rd, rs1=rs1, rs2=rs2,
+                            i=i_flag, imm=simm13)
+    if op3 == OP3_RDY:
+        if rs1 != 0:
+            raise DecodeError(word, "RDASR other than %y is not implemented")
+        return DecodedInstr(word, "rdy", "rdy", rd=rd)
+    if op3 == OP3_WRY:
+        if rd != 0:
+            raise DecodeError(word, "WRASR other than %y is not implemented")
+        return DecodedInstr(word, "wry", "wry", rs1=rs1, rs2=rs2, i=i_flag,
+                            imm=simm13)
+    if op3 == OP3_TICC:
+        cond = bits(word, 28, 25)
+        mnemonic = TRAP_COND_NAMES[cond]
+        return DecodedInstr(word, mnemonic, "trap", rs1=rs1, rs2=rs2,
+                            i=i_flag, imm=simm13 & 0x7F, cond=cond)
+    if op3 == OP3_FPOP1:
+        opf = bits(word, 13, 5)
+        mnemonic = FPOP1_OPF.get(opf)
+        if mnemonic is None:
+            raise DecodeError(word, f"unsupported FPop1 opf=0x{opf:03x}")
+        return DecodedInstr(word, mnemonic, "fpop", rd=rd, rs1=rs1, rs2=rs2,
+                            opf=opf)
+    if op3 == OP3_FPOP2:
+        opf = bits(word, 13, 5)
+        mnemonic = FPOP2_OPF.get(opf)
+        if mnemonic is None:
+            raise DecodeError(word, f"unsupported FPop2 opf=0x{opf:03x}")
+        return DecodedInstr(word, mnemonic, "fcmp", rd=rd, rs1=rs1, rs2=rs2,
+                            opf=opf)
+    raise DecodeError(word, f"unsupported arithmetic op3=0x{op3:02x}")

@@ -1,0 +1,157 @@
+"""Operands -> 32-bit SPARC V8 machine words (inverse of the decoder).
+
+Used by the assembler back-end.  Every function validates field ranges and
+raises :class:`repro.isa.errors.EncodeError` on overflow so that assembly
+errors surface with source positions instead of corrupt binaries.
+"""
+
+from __future__ import annotations
+
+from repro.isa.errors import EncodeError
+from repro.isa.fields import fits_signed
+from repro.isa.opcodes import (
+    ARITH_MNEMONIC_TO_OP3,
+    FCC_NAME_TO_COND,
+    FPOP2_OPF,
+    FPOP_MNEMONIC_TO_OPF,
+    ICC_NAME_TO_COND,
+    MEM_MNEMONIC_TO_OP3,
+    OP3_FPOP1,
+    OP3_FPOP2,
+    OP3_JMPL,
+    OP3_RDY,
+    OP3_TICC,
+    OP3_WRY,
+    TRAP_NAME_TO_COND,
+)
+
+
+def _check_reg(value: int, what: str) -> int:
+    if not 0 <= value < 32:
+        raise EncodeError(f"{what} register out of range: {value}")
+    return value
+
+
+def _format3(op: int, rd: int, op3: int, rs1: int, rs2: int | None,
+             imm: int | None) -> int:
+    word = (op << 30) | (_check_reg(rd, "rd") << 25) | (op3 << 19)
+    word |= _check_reg(rs1, "rs1") << 14
+    if imm is not None:
+        if rs2 is not None:
+            raise EncodeError("cannot encode both rs2 and an immediate")
+        if not fits_signed(imm, 13):
+            raise EncodeError(f"immediate does not fit simm13: {imm}")
+        word |= (1 << 13) | (imm & 0x1FFF)
+    else:
+        word |= _check_reg(rs2 if rs2 is not None else 0, "rs2")
+    return word
+
+
+def encode_arith(mnemonic: str, rd: int, rs1: int, rs2: int | None = None,
+                 imm: int | None = None) -> int:
+    """Encode an integer ALU / shift / mul / div / save / restore instruction."""
+    op3 = ARITH_MNEMONIC_TO_OP3.get(mnemonic)
+    if op3 is None:
+        raise EncodeError(f"not an arithmetic mnemonic: {mnemonic!r}")
+    if mnemonic in ("sll", "srl", "sra") and imm is not None:
+        if not 0 <= imm < 32:
+            raise EncodeError(f"shift count out of range: {imm}")
+    return _format3(2, rd, op3, rs1, rs2, imm)
+
+
+def encode_sethi(rd: int, imm22: int) -> int:
+    """Encode ``sethi imm22, rd`` (also the canonical ``nop`` for rd=0)."""
+    if not 0 <= imm22 < (1 << 22):
+        raise EncodeError(f"sethi immediate out of range: {imm22}")
+    return (_check_reg(rd, "rd") << 25) | (0b100 << 22) | imm22
+
+
+def encode_nop() -> int:
+    """Encode the canonical ``nop`` (``sethi 0, %g0``)."""
+    return encode_sethi(0, 0)
+
+
+def _encode_bicc(op2: int, cond: int, disp_bytes: int, annul: bool) -> int:
+    if disp_bytes % 4:
+        raise EncodeError(f"branch displacement not word aligned: {disp_bytes}")
+    disp = disp_bytes >> 2
+    if not fits_signed(disp, 22):
+        raise EncodeError(f"branch displacement out of range: {disp_bytes}")
+    word = (int(annul) << 29) | (cond << 25) | (op2 << 22) | (disp & 0x3FFFFF)
+    return word
+
+
+def encode_branch(mnemonic: str, disp_bytes: int, annul: bool = False) -> int:
+    """Encode an integer condition-code branch (``ba``, ``bne``, ...)."""
+    cond = ICC_NAME_TO_COND.get(mnemonic)
+    if cond is None:
+        raise EncodeError(f"not an integer branch mnemonic: {mnemonic!r}")
+    return _encode_bicc(0b010, cond, disp_bytes, annul)
+
+
+def encode_fbranch(mnemonic: str, disp_bytes: int, annul: bool = False) -> int:
+    """Encode a floating-point condition-code branch (``fbe``, ``fbl``, ...)."""
+    cond = FCC_NAME_TO_COND.get(mnemonic)
+    if cond is None:
+        raise EncodeError(f"not an FP branch mnemonic: {mnemonic!r}")
+    return _encode_bicc(0b110, cond, disp_bytes, annul)
+
+
+def encode_call(disp_bytes: int) -> int:
+    """Encode ``call`` with a byte displacement relative to the call PC."""
+    if disp_bytes % 4:
+        raise EncodeError(f"call displacement not word aligned: {disp_bytes}")
+    disp = disp_bytes >> 2
+    if not fits_signed(disp, 30):
+        raise EncodeError(f"call displacement out of range: {disp_bytes}")
+    return (1 << 30) | (disp & 0x3FFFFFFF)
+
+
+def encode_jmpl(rd: int, rs1: int, rs2: int | None = None,
+                imm: int | None = None) -> int:
+    """Encode ``jmpl address, rd`` (covers ``ret``/``retl``/``jmp``)."""
+    return _format3(2, rd, OP3_JMPL, rs1, rs2, imm)
+
+
+def encode_mem(mnemonic: str, rd: int, rs1: int, rs2: int | None = None,
+               imm: int | None = None) -> int:
+    """Encode a load or store; ``rd`` is the data register (int or FP)."""
+    op3 = MEM_MNEMONIC_TO_OP3.get(mnemonic)
+    if op3 is None:
+        raise EncodeError(f"not a memory mnemonic: {mnemonic!r}")
+    return _format3(3, rd, op3, rs1, rs2, imm)
+
+
+def encode_fpop(mnemonic: str, rd: int, rs2: int, rs1: int = 0) -> int:
+    """Encode an FP-operate instruction (``faddd``, ``fsqrtd``, ``fcmpd`` ...)."""
+    opf = FPOP_MNEMONIC_TO_OPF.get(mnemonic)
+    if opf is None:
+        raise EncodeError(f"not an FP-operate mnemonic: {mnemonic!r}")
+    op3 = OP3_FPOP2 if opf in FPOP2_OPF else OP3_FPOP1
+    word = (2 << 30) | (_check_reg(rd, "rd") << 25) | (op3 << 19)
+    word |= _check_reg(rs1, "rs1") << 14
+    word |= opf << 5
+    word |= _check_reg(rs2, "rs2")
+    return word
+
+
+def encode_rdy(rd: int) -> int:
+    """Encode ``rd %y, rd``."""
+    return (2 << 30) | (_check_reg(rd, "rd") << 25) | (OP3_RDY << 19)
+
+
+def encode_wry(rs1: int, rs2: int | None = None, imm: int | None = None) -> int:
+    """Encode ``wr rs1, operand, %y`` (Y := rs1 XOR operand)."""
+    return _format3(2, 0, OP3_WRY, rs1, rs2, imm)
+
+
+def encode_trap(mnemonic: str, rs1: int = 0, rs2: int | None = None,
+                imm: int | None = None) -> int:
+    """Encode a Ticc trap instruction, e.g. ``ta 0x80 + n``."""
+    cond = TRAP_NAME_TO_COND.get(mnemonic)
+    if cond is None:
+        raise EncodeError(f"not a trap mnemonic: {mnemonic!r}")
+    if imm is not None and not 0 <= imm < 128:
+        raise EncodeError(f"software trap number out of range: {imm}")
+    word = _format3(2, 0, OP3_TICC, rs1, rs2, imm)
+    return word | (cond << 25)

@@ -1,0 +1,18 @@
+"""Exception hierarchy for the ISA layer."""
+
+
+class IsaError(Exception):
+    """Base class for ISA-level errors."""
+
+
+class DecodeError(IsaError):
+    """A 32-bit word does not decode to a known SPARC V8 instruction."""
+
+    def __init__(self, word: int, reason: str = "unknown instruction pattern"):
+        self.word = word & 0xFFFFFFFF
+        self.reason = reason
+        super().__init__(f"cannot decode 0x{self.word:08x}: {reason}")
+
+
+class EncodeError(IsaError):
+    """Operands cannot be encoded into the requested instruction format."""

@@ -1,0 +1,42 @@
+"""Bit-field helpers shared by the encoder and decoder.
+
+All SPARC V8 instructions are exactly 32 bits.  These helpers keep the
+two-complement/sign-extension bookkeeping in one audited place.
+"""
+
+from __future__ import annotations
+
+MASK32 = 0xFFFFFFFF
+
+
+def u32(value: int) -> int:
+    """Wrap ``value`` to an unsigned 32-bit integer."""
+    return value & MASK32
+
+
+def s32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a signed integer."""
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def bits(word: int, hi: int, lo: int) -> int:
+    """Extract bits ``hi..lo`` (inclusive, ``hi >= lo``) of ``word``."""
+    return (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend a ``width``-bit field to a Python int."""
+    sign_bit = 1 << (width - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def fits_simm13(value: int) -> bool:
+    """True if ``value`` fits the signed 13-bit immediate field."""
+    return -4096 <= value <= 4095
+
+
+def fits_signed(value: int, width: int) -> bool:
+    """True if ``value`` fits a signed ``width``-bit field."""
+    bound = 1 << (width - 1)
+    return -bound <= value < bound

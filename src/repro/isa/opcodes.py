@@ -1,0 +1,338 @@
+"""SPARC V8 decode tables: the simulator's *decode entries*.
+
+The tables in this module are the single source of truth for which
+instructions exist, how they are encoded, which *morph function group*
+executes them in the simulator (the grouping the paper shows in Fig. 3,
+e.g. ``doArithmeticRegister`` handles ``SPARC_ADD_REGISTER`` and
+``SPARC_SUB_REGISTER``) and which non-functional-property *category*
+(Table I) they are counted under.
+
+Only the subset needed by the LEON3-class bare-metal kernels is present;
+decoding anything outside these tables raises
+:class:`repro.isa.errors.DecodeError`, which the simulator converts into an
+illegal-instruction trap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.categories import (
+    CAT_FPU_ARITH,
+    CAT_FPU_DIV,
+    CAT_FPU_SQRT,
+    CAT_INT_ARITH,
+    CAT_JUMP,
+    CAT_MEM_LOAD,
+    CAT_MEM_STORE,
+    CAT_NOP,
+    CAT_OTHER,
+)
+
+# ---------------------------------------------------------------------------
+# Format-3 arithmetic / control op3 codes (op field == 2)
+# ---------------------------------------------------------------------------
+
+#: op3 -> mnemonic for the integer ALU group.
+ARITH_OP3: dict[int, str] = {
+    0x00: "add",
+    0x01: "and",
+    0x02: "or",
+    0x03: "xor",
+    0x04: "sub",
+    0x05: "andn",
+    0x06: "orn",
+    0x07: "xnor",
+    0x08: "addx",
+    0x0A: "umul",
+    0x0B: "smul",
+    0x0C: "subx",
+    0x0E: "udiv",
+    0x0F: "sdiv",
+    0x10: "addcc",
+    0x11: "andcc",
+    0x12: "orcc",
+    0x13: "xorcc",
+    0x14: "subcc",
+    0x15: "andncc",
+    0x16: "orncc",
+    0x17: "xnorcc",
+    0x18: "addxcc",
+    0x1A: "umulcc",
+    0x1B: "smulcc",
+    0x1C: "subxcc",
+    0x1E: "udivcc",
+    0x1F: "sdivcc",
+    0x25: "sll",
+    0x26: "srl",
+    0x27: "sra",
+}
+
+OP3_SAVE = 0x3C
+OP3_RESTORE = 0x3D
+OP3_JMPL = 0x38
+OP3_RDY = 0x28
+OP3_WRY = 0x30
+OP3_TICC = 0x3A
+OP3_FPOP1 = 0x34
+OP3_FPOP2 = 0x35
+
+ARITH_MNEMONIC_TO_OP3: dict[str, int] = {v: k for k, v in ARITH_OP3.items()}
+ARITH_MNEMONIC_TO_OP3["save"] = OP3_SAVE
+ARITH_MNEMONIC_TO_OP3["restore"] = OP3_RESTORE
+
+# ---------------------------------------------------------------------------
+# Memory op3 codes (op field == 3)
+# ---------------------------------------------------------------------------
+
+#: op3 -> mnemonic for loads and stores (integer and FP).
+MEM_OP3: dict[int, str] = {
+    0x00: "ld",
+    0x01: "ldub",
+    0x02: "lduh",
+    0x03: "ldd",
+    0x04: "st",
+    0x05: "stb",
+    0x06: "sth",
+    0x07: "std",
+    0x09: "ldsb",
+    0x0A: "ldsh",
+    0x20: "ldf",
+    0x23: "lddf",
+    0x24: "stf",
+    0x27: "stdf",
+}
+
+MEM_MNEMONIC_TO_OP3: dict[str, int] = {v: k for k, v in MEM_OP3.items()}
+
+LOAD_MNEMONICS = frozenset(
+    {"ld", "ldub", "lduh", "ldd", "ldsb", "ldsh", "ldf", "lddf"}
+)
+STORE_MNEMONICS = frozenset({"st", "stb", "sth", "std", "stf", "stdf"})
+FP_MEM_MNEMONICS = frozenset({"ldf", "lddf", "stf", "stdf"})
+
+# ---------------------------------------------------------------------------
+# Branch condition codes
+# ---------------------------------------------------------------------------
+
+#: Bicc ``cond`` field -> mnemonic.
+ICC_COND_NAMES: dict[int, str] = {
+    0x8: "ba",
+    0x0: "bn",
+    0x9: "bne",
+    0x1: "be",
+    0xA: "bg",
+    0x2: "ble",
+    0xB: "bge",
+    0x3: "bl",
+    0xC: "bgu",
+    0x4: "bleu",
+    0xD: "bcc",
+    0x5: "bcs",
+    0xE: "bpos",
+    0x6: "bneg",
+    0xF: "bvc",
+    0x7: "bvs",
+}
+
+#: FBfcc ``cond`` field -> mnemonic.
+FCC_COND_NAMES: dict[int, str] = {
+    0x8: "fba",
+    0x0: "fbn",
+    0x7: "fbu",
+    0x6: "fbg",
+    0x5: "fbug",
+    0x4: "fbl",
+    0x3: "fbul",
+    0x2: "fblg",
+    0x1: "fbne",
+    0x9: "fbe",
+    0xA: "fbue",
+    0xB: "fbge",
+    0xC: "fbuge",
+    0xD: "fble",
+    0xE: "fbule",
+    0xF: "fbo",
+}
+
+#: Ticc ``cond`` field -> mnemonic (same condition encoding as Bicc).
+TRAP_COND_NAMES: dict[int, str] = {
+    0x8: "ta",
+    0x0: "tn",
+    0x9: "tne",
+    0x1: "te",
+    0xA: "tg",
+    0x2: "tle",
+    0xB: "tge",
+    0x3: "tl",
+    0xC: "tgu",
+    0x4: "tleu",
+    0xD: "tcc",
+    0x5: "tcs",
+    0xE: "tpos",
+    0x6: "tneg",
+    0xF: "tvc",
+    0x7: "tvs",
+}
+
+ICC_NAME_TO_COND: dict[str, int] = {v: k for k, v in ICC_COND_NAMES.items()}
+FCC_NAME_TO_COND: dict[str, int] = {v: k for k, v in FCC_COND_NAMES.items()}
+TRAP_NAME_TO_COND: dict[str, int] = {v: k for k, v in TRAP_COND_NAMES.items()}
+
+# Widely used aliases accepted by the assembler.
+ICC_NAME_TO_COND["b"] = ICC_NAME_TO_COND["ba"]
+ICC_NAME_TO_COND["bz"] = ICC_NAME_TO_COND["be"]
+ICC_NAME_TO_COND["bnz"] = ICC_NAME_TO_COND["bne"]
+ICC_NAME_TO_COND["bgeu"] = ICC_NAME_TO_COND["bcc"]
+ICC_NAME_TO_COND["blu"] = ICC_NAME_TO_COND["bcs"]
+
+# ---------------------------------------------------------------------------
+# Floating-point operate opcodes
+# ---------------------------------------------------------------------------
+
+#: FPop1 ``opf`` field -> mnemonic (op3 == 0x34).
+FPOP1_OPF: dict[int, str] = {
+    0x01: "fmovs",
+    0x05: "fnegs",
+    0x09: "fabss",
+    0x29: "fsqrts",
+    0x2A: "fsqrtd",
+    0x41: "fadds",
+    0x42: "faddd",
+    0x45: "fsubs",
+    0x46: "fsubd",
+    0x49: "fmuls",
+    0x4A: "fmuld",
+    0x4D: "fdivs",
+    0x4E: "fdivd",
+    0xC4: "fitos",
+    0xC6: "fdtos",
+    0xC8: "fitod",
+    0xC9: "fstod",
+    0xD1: "fstoi",
+    0xD2: "fdtoi",
+}
+
+#: FPop2 ``opf`` field -> mnemonic (op3 == 0x35, compares).
+FPOP2_OPF: dict[int, str] = {
+    0x51: "fcmps",
+    0x52: "fcmpd",
+}
+
+FPOP_MNEMONIC_TO_OPF: dict[str, int] = {v: k for k, v in FPOP1_OPF.items()}
+FPOP_MNEMONIC_TO_OPF.update({v: k for k, v in FPOP2_OPF.items()})
+
+#: FP-operate mnemonics whose source/destination are double (even) registers.
+FP_DOUBLE_ARGS: dict[str, tuple[bool, bool]] = {
+    # mnemonic -> (source is double, destination is double)
+    "faddd": (True, True),
+    "fsubd": (True, True),
+    "fmuld": (True, True),
+    "fdivd": (True, True),
+    "fsqrtd": (True, True),
+    "fcmpd": (True, False),
+    "fitod": (False, True),
+    "fstod": (False, True),
+    "fdtos": (True, False),
+    "fdtoi": (True, False),
+    "fadds": (False, False),
+    "fsubs": (False, False),
+    "fmuls": (False, False),
+    "fdivs": (False, False),
+    "fsqrts": (False, False),
+    "fcmps": (False, False),
+    "fmovs": (False, False),
+    "fnegs": (False, False),
+    "fabss": (False, False),
+    "fitos": (False, False),
+    "fstoi": (False, False),
+    "fstod": (False, True),
+    "fdtoi": (True, False),
+}
+
+#: FP-operate mnemonics that use ``rs1`` (two-source operations).
+FPOP_TWO_SOURCE = frozenset(
+    {"fadds", "faddd", "fsubs", "fsubd", "fmuls", "fmuld", "fdivs", "fdivd",
+     "fcmps", "fcmpd"}
+)
+
+# ---------------------------------------------------------------------------
+# Morph-function grouping (Fig. 3) and NFP categories (Table I)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static properties of one mnemonic.
+
+    ``morph_group`` names the simulator function that generates *native code*
+    for the instruction (Fig. 3); ``category`` is the Table-I accounting
+    bucket incremented when the instruction retires.
+    """
+
+    mnemonic: str
+    morph_group: str
+    category: int
+
+
+def _specs() -> dict[str, InstrSpec]:
+    table: dict[str, InstrSpec] = {}
+
+    def put(mnemonics: tuple[str, ...] | frozenset[str], group: str, cat: int) -> None:
+        for m in sorted(mnemonics):
+            table[m] = InstrSpec(m, group, cat)
+
+    alu = tuple(m for m in ARITH_OP3.values() if m not in ("sll", "srl", "sra"))
+    muldiv = ("umul", "umulcc", "smul", "smulcc", "udiv", "udivcc", "sdiv", "sdivcc")
+    alu = tuple(m for m in alu if m not in muldiv)
+    put(alu, "doArithmetic", CAT_INT_ARITH)
+    put(("sll", "srl", "sra"), "doShift", CAT_INT_ARITH)
+    put(muldiv, "doMulDiv", CAT_INT_ARITH)
+    put(("sethi",), "doSethi", CAT_INT_ARITH)
+    put(("nop",), "doNop", CAT_NOP)
+
+    put(tuple(ICC_COND_NAMES.values()), "doBranch", CAT_JUMP)
+    put(tuple(FCC_COND_NAMES.values()), "doFBranch", CAT_JUMP)
+    put(("call", "jmpl"), "doCallJmpl", CAT_JUMP)
+
+    put(LOAD_MNEMONICS, "doLoad", CAT_MEM_LOAD)
+    put(STORE_MNEMONICS, "doStore", CAT_MEM_STORE)
+
+    put(("save", "restore"), "doSaveRestore", CAT_OTHER)
+    put(("rdy", "wry"), "doStateRegister", CAT_OTHER)
+    put(tuple(TRAP_COND_NAMES.values()), "doTrap", CAT_OTHER)
+
+    put(("fadds", "faddd", "fsubs", "fsubd", "fmuls", "fmuld"),
+        "doFPArith", CAT_FPU_ARITH)
+    put(("fmovs", "fnegs", "fabss"), "doFPMove", CAT_FPU_ARITH)
+    put(("fitos", "fitod", "fstoi", "fdtoi", "fstod", "fdtos"),
+        "doFPConvert", CAT_FPU_ARITH)
+    put(("fcmps", "fcmpd"), "doFPCompare", CAT_FPU_ARITH)
+    put(("fdivs", "fdivd"), "doFPDiv", CAT_FPU_DIV)
+    put(("fsqrts", "fsqrtd"), "doFPSqrt", CAT_FPU_SQRT)
+    return table
+
+
+#: mnemonic -> :class:`InstrSpec` for every implemented instruction.
+INSTR_SPECS: dict[str, InstrSpec] = _specs()
+
+#: morph group -> sorted tuple of member mnemonics (Fig. 3 rendering).
+MORPH_GROUPS: dict[str, tuple[str, ...]] = {}
+for _spec in INSTR_SPECS.values():
+    MORPH_GROUPS.setdefault(_spec.morph_group, ())
+MORPH_GROUPS.update(
+    {
+        group: tuple(sorted(m for m, s in INSTR_SPECS.items() if s.morph_group == group))
+        for group in MORPH_GROUPS
+    }
+)
+
+
+def mnemonic_exists(mnemonic: str) -> bool:
+    """True if ``mnemonic`` is an implemented (decodable) instruction."""
+    return mnemonic in INSTR_SPECS
+
+
+def spec_for(mnemonic: str) -> InstrSpec:
+    """Look up the :class:`InstrSpec` for ``mnemonic`` (KeyError if unknown)."""
+    return INSTR_SPECS[mnemonic]

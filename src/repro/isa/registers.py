@@ -1,0 +1,86 @@
+"""SPARC V8 register-file naming and parsing.
+
+The integer register file visible to one window is 32 registers:
+
+====== ======== ==========================================
+index  name     role (SPARC ABI)
+====== ======== ==========================================
+0-7    %g0-%g7  globals (%g0 reads as zero, writes ignored)
+8-15   %o0-%o7  outs   (%o6 = %sp stack pointer, %o7 = call return address)
+16-23  %l0-%l7  locals
+24-31  %i0-%i7  ins    (%i6 = %fp frame pointer, %i7 = caller's %o7)
+====== ======== ==========================================
+
+``save``/``restore`` rotate the register window: the caller's *outs* become
+the callee's *ins* while locals are private per window.  The floating-point
+register file is 32 single-precision registers ``%f0``-``%f31``; an
+even/odd pair ``%f2n/%f2n+1`` holds one double-precision value.
+"""
+
+from __future__ import annotations
+
+NUM_IREGS = 32
+NUM_FREGS = 32
+
+_GROUPS = ("g", "o", "l", "i")
+
+#: Canonical names indexed by register number, e.g. ``REG_NAMES[14] == "%o6"``.
+REG_NAMES: tuple[str, ...] = tuple(
+    f"%{_GROUPS[idx // 8]}{idx % 8}" for idx in range(NUM_IREGS)
+)
+
+#: ABI aliases accepted by the assembler.
+REG_ALIASES: dict[str, int] = {
+    "%sp": 14,  # %o6
+    "%fp": 30,  # %i6
+}
+
+FREG_NAMES: tuple[str, ...] = tuple(f"%f{i}" for i in range(NUM_FREGS))
+
+_NAME_TO_NUM: dict[str, int] = {name: i for i, name in enumerate(REG_NAMES)}
+_NAME_TO_NUM.update(REG_ALIASES)
+
+_FNAME_TO_NUM: dict[str, int] = {name: i for i, name in enumerate(FREG_NAMES)}
+
+
+def reg_name(num: int) -> str:
+    """Return the canonical name of integer register ``num`` (0-31)."""
+    if not 0 <= num < NUM_IREGS:
+        raise ValueError(f"integer register number out of range: {num}")
+    return REG_NAMES[num]
+
+
+def freg_name(num: int) -> str:
+    """Return the name of floating-point register ``num`` (0-31)."""
+    if not 0 <= num < NUM_FREGS:
+        raise ValueError(f"FP register number out of range: {num}")
+    return FREG_NAMES[num]
+
+
+def parse_reg(text: str) -> int:
+    """Parse an integer register name (``%g0``..``%i7``, ``%sp``, ``%fp``).
+
+    Raises :class:`ValueError` for anything else, including FP registers.
+    """
+    num = _NAME_TO_NUM.get(text.strip().lower())
+    if num is None:
+        raise ValueError(f"not an integer register: {text!r}")
+    return num
+
+
+def parse_freg(text: str) -> int:
+    """Parse a floating-point register name ``%f0``..``%f31``."""
+    num = _FNAME_TO_NUM.get(text.strip().lower())
+    if num is None:
+        raise ValueError(f"not an FP register: {text!r}")
+    return num
+
+
+def is_reg(text: str) -> bool:
+    """True if ``text`` names an integer register (including aliases)."""
+    return text.strip().lower() in _NAME_TO_NUM
+
+
+def is_freg(text: str) -> bool:
+    """True if ``text`` names a floating-point register."""
+    return text.strip().lower() in _FNAME_TO_NUM

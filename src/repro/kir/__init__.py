@@ -1,0 +1,67 @@
+"""Kernel-IR: a small typed compiler targeting the SPARC V8 simulator.
+
+Stands in for the paper's cross-compiler toolchain.  Workloads are written
+once against the IR builder and compiled twice:
+
+* ``float_abi="hard"`` -- FP operations become FPU instructions
+  (``faddd``, ``fsqrtd``, ...);
+* ``float_abi="soft"`` -- FP operations lower to calls into the bit-exact
+  integer-only runtime of :mod:`repro.softfloat.kirlib`, exactly like
+  building with ``-msoft-float`` in the paper; program output is
+  bit-identical between the two builds.
+"""
+
+from repro.kir.builder import Function, GlobalData, Module, Signature
+from repro.kir.codegen import (
+    HARD,
+    SOFT,
+    compile_module,
+    generate_assembly,
+)
+from repro.kir.errors import CodegenError, KirError, KirTypeError
+from repro.kir.ir import (
+    F64,
+    I32,
+    MEM_F64,
+    MEM_S8,
+    MEM_S16,
+    MEM_U8,
+    MEM_U16,
+    MEM_W32,
+    U32,
+    Binop,
+    Const,
+    Expr,
+    LoadExpr,
+    LocalRef,
+    Unop,
+)
+
+__all__ = [
+    "Binop",
+    "CodegenError",
+    "Const",
+    "Expr",
+    "F64",
+    "Function",
+    "GlobalData",
+    "HARD",
+    "I32",
+    "KirError",
+    "KirTypeError",
+    "LoadExpr",
+    "LocalRef",
+    "MEM_F64",
+    "MEM_S8",
+    "MEM_S16",
+    "MEM_U8",
+    "MEM_U16",
+    "MEM_W32",
+    "Module",
+    "SOFT",
+    "Signature",
+    "U32",
+    "Unop",
+    "compile_module",
+    "generate_assembly",
+]

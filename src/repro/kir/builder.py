@@ -1,0 +1,435 @@
+"""Fluent construction of kernel-IR modules and functions.
+
+Typical use::
+
+    m = Module("demo")
+    f = m.function("main", ret=I32)
+    total = f.local(I32, "total", init=0)
+    with f.for_range("i", 0, 10) as i:
+        f.assign(total, total + i)
+    f.ret(total)
+    program = compile_module(m)          # -> repro.asm Program
+
+Control flow uses context managers (``if_``/``else_``, ``while_``,
+``for_range``); everything else is plain method calls appending statements
+to the innermost open block.
+"""
+
+from __future__ import annotations
+
+import struct
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.kir.errors import KirError, KirTypeError
+from repro.kir.ir import (
+    F64,
+    I32,
+    MEM_F64,
+    MEM_S8,
+    MEM_S16,
+    MEM_U8,
+    MEM_U16,
+    MEM_W32,
+    U32,
+    Assign,
+    Binop,
+    BreakStat,
+    CallExpr,
+    CallPair,
+    Const,
+    ContinueStat,
+    Expr,
+    ExprStat,
+    GlobalAddr,
+    IfStat,
+    LoadExpr,
+    LocalRef,
+    RawAsm,
+    ReturnPair,
+    ReturnStat,
+    Stat,
+    StoreStat,
+    UMulWide,
+    Unop,
+    WhileStat,
+    expr_of,
+    sequence_exprs,
+)
+
+_VALUE_TYPES = (I32, U32, F64)
+
+
+@dataclass(frozen=True)
+class GlobalData:
+    """One module-level data object."""
+
+    name: str
+    data: bytes | None  # None => zero-initialised (.bss)
+    size: int
+    align: int
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Declared interface of a function (used for call type checking)."""
+
+    name: str
+    param_types: tuple[str, ...]
+    ret: str | None
+    returns_pair: bool = False
+
+
+class Function:
+    """IR function under construction."""
+
+    def __init__(self, module: "Module", name: str,
+                 params: list[tuple[str, str]], ret: str | None):
+        self.module = module
+        self.name = name
+        self.ret_type = ret
+        self.params: list[LocalRef] = []
+        self.locals: list[LocalRef] = []
+        self.body: list[Stat] = []
+        self._blocks: list[list[Stat]] = [self.body]
+        self._names: set[str] = set()
+        self._loop_depth = 0
+        self.returns_pair = False
+        for pname, ptype in params:
+            ref = self._new_ref(pname, ptype)
+            self.params.append(ref)
+
+    # -- declarations ---------------------------------------------------------
+
+    def _new_ref(self, name: str, vtype: str) -> LocalRef:
+        if vtype not in _VALUE_TYPES:
+            raise KirTypeError(f"unknown value type {vtype!r}")
+        if name in self._names:
+            raise KirError(f"duplicate local {name!r} in {self.name}")
+        self._names.add(name)
+        ref = LocalRef(name=name, slot=len(self._names) - 1, type=vtype)
+        return ref
+
+    def local(self, vtype: str, name: str, init=None) -> LocalRef:
+        """Declare a local variable, optionally with an initial value."""
+        ref = self._new_ref(name, vtype)
+        self.locals.append(ref)
+        if init is not None:
+            self.assign(ref, init)
+        return ref
+
+    # -- statement emission ----------------------------------------------------
+
+    def _emit(self, stat: Stat) -> None:
+        self._blocks[-1].append(stat)
+
+    def assign(self, target: LocalRef, value) -> None:
+        """``target = value`` (integer widths coerce; f64 must match)."""
+        value = expr_of(value)
+        if (target.type == F64) != (value.type == F64):
+            raise KirTypeError(
+                f"cannot assign {value.type} to {target.type} "
+                f"({target.name}); use itod()/dtoi()")
+        self._emit(Assign(target, value))
+
+    def store(self, addr, value, mem: str = MEM_W32) -> None:
+        """Store ``value`` at byte address ``addr`` with width ``mem``."""
+        addr = expr_of(addr)
+        value = expr_of(value)
+        if (mem == MEM_F64) != (value.type == F64):
+            raise KirTypeError(f"store width {mem} vs value type {value.type}")
+        self._emit(StoreStat(addr, value, mem))
+
+    def store8(self, addr, value) -> None:
+        self.store(addr, value, MEM_U8)
+
+    def store16(self, addr, value) -> None:
+        self.store(addr, value, MEM_U16)
+
+    def storef(self, addr, value) -> None:
+        self.store(addr, value, MEM_F64)
+
+    def ret(self, value=None) -> None:
+        """Return from the function (value type must match signature)."""
+        if value is None:
+            if self.ret_type is not None:
+                raise KirTypeError(
+                    f"{self.name} must return a {self.ret_type}")
+            self._emit(ReturnStat(None))
+            return
+        value = expr_of(value)
+        if self.ret_type is None:
+            raise KirTypeError(f"{self.name} returns nothing")
+        if (self.ret_type == F64) != (value.type == F64):
+            raise KirTypeError(
+                f"{self.name} returns {self.ret_type}, got {value.type}")
+        self._emit(ReturnStat(value))
+
+    def ret_pair(self, hi, lo) -> None:
+        """Return a (hi, lo) 32-bit pair (soft-float runtime convention)."""
+        self.returns_pair = True
+        self._emit(ReturnPair(expr_of(hi), expr_of(lo)))
+
+    def call(self, func: str, *args, ret: str | None = "auto") -> Expr | None:
+        """Call ``func``; returns the value expression (or emits a statement
+        when the callee returns nothing)."""
+        sig = self.module.signature(func)
+        arg_exprs = sequence_exprs(args)
+        if sig is not None:
+            if len(arg_exprs) != len(sig.param_types):
+                raise KirTypeError(
+                    f"{func} takes {len(sig.param_types)} args, "
+                    f"got {len(arg_exprs)}")
+            for expr, expected in zip(arg_exprs, sig.param_types):
+                if (expr.type == F64) != (expected == F64):
+                    raise KirTypeError(
+                        f"{func}: arg type {expr.type} vs declared {expected}")
+            ret_type = sig.ret
+        elif ret == "auto":
+            raise KirError(
+                f"call to undeclared function {func!r}; declare it first or "
+                f"pass ret=")
+        else:
+            ret_type = ret
+        if ret_type is None:
+            self._emit(ExprStat(CallExpr(func, arg_exprs, ret=I32)))
+            return None
+        return CallExpr(func, arg_exprs, ret=ret_type)
+
+    def call_stat(self, func: str, *args) -> None:
+        """Call for side effects, discarding any return value."""
+        sig = self.module.signature(func)
+        arg_exprs = sequence_exprs(args)
+        if sig is not None and len(arg_exprs) != len(sig.param_types):
+            raise KirTypeError(
+                f"{func} takes {len(sig.param_types)} args, got {len(arg_exprs)}")
+        self._emit(ExprStat(CallExpr(func, arg_exprs, ret=I32)))
+
+    def call_pair(self, hi: LocalRef, lo: LocalRef, func: str, *args) -> None:
+        """``(hi, lo) = func(...)`` for pair-returning runtime routines."""
+        self._emit(CallPair(hi, lo, func, sequence_exprs(args)))
+
+    def umul_wide(self, hi: LocalRef, lo: LocalRef, a, b) -> None:
+        """``(hi, lo) = a * b`` unsigned 64-bit product."""
+        self._emit(UMulWide(hi, lo, expr_of(a), expr_of(b)))
+
+    def raw_asm(self, *lines: str) -> None:
+        """Append literal assembly (runtime shims only)."""
+        self._emit(RawAsm(tuple(lines)))
+
+    def break_(self) -> None:
+        if not self._loop_depth:
+            raise KirError("break outside loop")
+        self._emit(BreakStat())
+
+    def continue_(self) -> None:
+        if not self._loop_depth:
+            raise KirError("continue outside loop")
+        self._emit(ContinueStat())
+
+    # -- expression helpers -----------------------------------------------------
+
+    def load(self, addr, mem: str = MEM_W32) -> Expr:
+        return LoadExpr(expr_of(addr), mem)
+
+    def load_u8(self, addr) -> Expr:
+        return LoadExpr(expr_of(addr), MEM_U8)
+
+    def load_s8(self, addr) -> Expr:
+        return LoadExpr(expr_of(addr), MEM_S8)
+
+    def load_u16(self, addr) -> Expr:
+        return LoadExpr(expr_of(addr), MEM_U16)
+
+    def load_s16(self, addr) -> Expr:
+        return LoadExpr(expr_of(addr), MEM_S16)
+
+    def loadf(self, addr) -> Expr:
+        return LoadExpr(expr_of(addr), MEM_F64)
+
+    @staticmethod
+    def udiv(a, b) -> Expr:
+        return Binop("udiv", expr_of(a), expr_of(b))
+
+    @staticmethod
+    def urem(a, b) -> Expr:
+        return Binop("urem", expr_of(a), expr_of(b))
+
+    @staticmethod
+    def itod(a) -> Expr:
+        """Convert int -> double (exact)."""
+        return Unop("itod", expr_of(a))
+
+    @staticmethod
+    def dtoi(a) -> Expr:
+        """Convert double -> int (truncate toward zero, saturating)."""
+        return Unop("dtoi", expr_of(a))
+
+    @staticmethod
+    def fsqrt(a) -> Expr:
+        return Unop("fsqrt", expr_of(a))
+
+    @staticmethod
+    def f64const(value: float) -> Expr:
+        return Const(float(value), F64)
+
+    # -- control flow ------------------------------------------------------------
+
+    @contextmanager
+    def _block(self, target: list[Stat]):
+        self._blocks.append(target)
+        try:
+            yield
+        finally:
+            self._blocks.pop()
+
+    def if_(self, cond) -> "_IfContext":
+        stat = IfStat(expr_of(cond))
+        self._emit(stat)
+        return _IfContext(self, stat)
+
+    @contextmanager
+    def while_(self, cond):
+        stat = WhileStat(expr_of(cond))
+        self._emit(stat)
+        self._loop_depth += 1
+        try:
+            with self._block(stat.body):
+                yield
+        finally:
+            self._loop_depth -= 1
+
+    @contextmanager
+    def for_range(self, name: str, start, stop, step: int = 1):
+        """``for name in range(start, stop, step)`` over an i32 local.
+
+        ``continue_`` inside this loop would skip the increment; use
+        ``while_`` with a manual increment when you need ``continue``.
+        """
+        if step == 0:
+            raise KirError("for_range step must be non-zero")
+        var = self.local(I32, name, init=start)
+        cond = var < expr_of(stop) if step > 0 else var > expr_of(stop)
+        stat = WhileStat(cond)
+        self._emit(stat)
+        self._loop_depth += 1
+        try:
+            with self._block(stat.body):
+                yield var
+        finally:
+            self._loop_depth -= 1
+            stat.body.append(Assign(var, var + step))
+
+    # -- semihosting --------------------------------------------------------------
+
+    def sys_exit(self, code) -> None:
+        """Terminate the kernel with exit status ``code``."""
+        self._emit(ExprStat(CallExpr("__sys_exit", (expr_of(code),), ret=I32)))
+
+    def sys_write_u32(self, value) -> None:
+        """Print ``value`` as unsigned decimal + newline on the console."""
+        self._emit(ExprStat(CallExpr("__sys_write_u32", (expr_of(value),),
+                                     ret=I32)))
+
+    def sys_putc(self, ch) -> None:
+        self._emit(ExprStat(CallExpr("__sys_putc", (expr_of(ch),), ret=I32)))
+
+    def signature(self) -> Signature:
+        return Signature(
+            name=self.name,
+            param_types=tuple(p.type for p in self.params),
+            ret=self.ret_type,
+            returns_pair=self.returns_pair,
+        )
+
+
+class _IfContext:
+    """Handle returned by :meth:`Function.if_`, supports ``else_``."""
+
+    def __init__(self, fn: Function, stat: IfStat):
+        self._fn = fn
+        self._stat = stat
+        self._then_cm = fn._block(stat.then_body)
+
+    def __enter__(self):
+        self._then_cm.__enter__()
+        return self
+
+    def __exit__(self, *exc):
+        return self._then_cm.__exit__(*exc)
+
+    @contextmanager
+    def else_(self):
+        with self._fn._block(self._stat.else_body):
+            yield
+
+
+class Module:
+    """A compilation unit: functions + global data + an entry point."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.globals: dict[str, GlobalData] = {}
+        self._declarations: dict[str, Signature] = {}
+        self.entry = "main"
+
+    # -- functions -------------------------------------------------------------
+
+    def function(self, name: str, params: list[tuple[str, str]] | None = None,
+                 ret: str | None = I32) -> Function:
+        """Create (and register) a new function builder."""
+        if name in self.functions:
+            raise KirError(f"duplicate function {name!r}")
+        fn = Function(self, name, params or [], ret)
+        self.functions[name] = fn
+        return fn
+
+    def declare(self, name: str, param_types: tuple[str, ...],
+                ret: str | None, returns_pair: bool = False) -> None:
+        """Forward-declare a function signature for call type checking."""
+        self._declarations[name] = Signature(name, param_types, ret,
+                                             returns_pair)
+
+    def signature(self, name: str) -> Signature | None:
+        fn = self.functions.get(name)
+        if fn is not None:
+            return fn.signature()
+        return self._declarations.get(name)
+
+    # -- global data -------------------------------------------------------------
+
+    def _add_global(self, g: GlobalData) -> GlobalAddr:
+        if g.name in self.globals:
+            raise KirError(f"duplicate global {g.name!r}")
+        if g.align & (g.align - 1):
+            raise KirError(f"alignment must be a power of two: {g.align}")
+        self.globals[g.name] = g
+        return GlobalAddr(g.name)
+
+    def global_bytes(self, name: str, data: bytes, align: int = 4) -> GlobalAddr:
+        """Initialised byte array in ``.data``."""
+        return self._add_global(GlobalData(name, bytes(data), len(data), align))
+
+    def global_words(self, name: str, words: list[int],
+                     align: int = 4) -> GlobalAddr:
+        """Initialised 32-bit word array (big-endian in memory)."""
+        blob = b"".join(struct.pack(">I", w & 0xFFFFFFFF) for w in words)
+        return self._add_global(GlobalData(name, blob, len(blob), align))
+
+    def global_f64s(self, name: str, values: list[float],
+                    align: int = 8) -> GlobalAddr:
+        """Initialised array of doubles."""
+        blob = b"".join(struct.pack(">d", v) for v in values)
+        return self._add_global(GlobalData(name, blob, len(blob), align))
+
+    def global_zeros(self, name: str, size: int, align: int = 8) -> GlobalAddr:
+        """Zero-initialised buffer (linked into ``.bss``)."""
+        if size <= 0:
+            raise KirError(f"global {name!r} needs a positive size")
+        return self._add_global(GlobalData(name, None, size, align))
+
+    def addr_of(self, name: str, offset: int = 0) -> GlobalAddr:
+        if name not in self.globals:
+            raise KirError(f"unknown global {name!r}")
+        return GlobalAddr(name, offset)

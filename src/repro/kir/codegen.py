@@ -1,0 +1,879 @@
+"""Kernel-IR -> SPARC V8 assembly.
+
+A deliberately simple, correctness-first code generator:
+
+* every local/parameter lives in a stack slot (no global register
+  allocation); expression evaluation uses a LIFO pool of scratch
+  registers (``%l0-%l7``, ``%i0-%i5``), which are automatically preserved
+  across calls by the SPARC register windows;
+* ``f64`` values live in FP register pairs in the **hard-float** backend
+  and in pairs of integer registers in the **soft-float** backend, where
+  every FP operation lowers to a call into the integer-only runtime of
+  :mod:`repro.softfloat.kirlib` -- the exact effect of compiling with
+  ``-msoft-float`` in the paper;
+* calling convention (both backends): integer args/results in ``%o0-%o5``
+  / ``%o0``; ``f64`` args occupy two consecutive ``%o`` registers; ``f64``
+  results return in ``%f0:%f1`` (hard) or ``%o0:%o1`` (soft).
+
+Generated code is not clever -- it does not need to be: it runs on a
+simulator where *relative* instruction mix, not micro-optimisation,
+drives the reproduced experiments.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.asm import assemble
+from repro.asm.program import Program
+from repro.kir.builder import Function, Module
+from repro.kir.errors import CodegenError, KirError
+from repro.kir.ir import (
+    F64,
+    MEM_F64,
+    MEM_S8,
+    MEM_S16,
+    MEM_U8,
+    MEM_U16,
+    MEM_W32,
+    Assign,
+    Binop,
+    BreakStat,
+    CallExpr,
+    CallPair,
+    Const,
+    ContinueStat,
+    Expr,
+    ExprStat,
+    GlobalAddr,
+    IfStat,
+    LoadExpr,
+    LocalRef,
+    RawAsm,
+    ReturnPair,
+    ReturnStat,
+    Stat,
+    StoreStat,
+    UMulWide,
+    Unop,
+    WhileStat,
+)
+
+HARD = "hard"
+SOFT = "soft"
+
+_INT_TEMPS = ["%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7",
+              "%i0", "%i1", "%i2", "%i3", "%i4", "%i5"]
+_FP_TEMPS = [f"%f{n}" for n in range(4, 32, 2)]
+_ARG_REGS = ["%o0", "%o1", "%o2", "%o3", "%o4", "%o5"]
+
+_SIGNED_BRANCH = {"eq": "be", "ne": "bne", "slt": "bl", "sle": "ble",
+                  "sgt": "bg", "sge": "bge"}
+_UNSIGNED_BRANCH = {"ult": "bcs", "ule": "bleu", "ugt": "bgu", "uge": "bcc"}
+_FLOAT_BRANCH = {"feq": "fbe", "fne": "fbne", "flt": "fbl", "fle": "fble",
+                 "fgt": "fbg", "fge": "fbge"}
+_BRANCH_INVERSE = {
+    "be": "bne", "bne": "be", "bl": "bge", "ble": "bg", "bg": "ble",
+    "bge": "bl", "bcs": "bcc", "bleu": "bgu", "bgu": "bleu", "bcc": "bcs",
+    "fbe": "fbne", "fbne": "fbe", "fbl": "fbuge", "fble": "fbug",
+    "fbg": "fbule", "fbge": "fbul",
+}
+# NB: the FP inverses route NaN to the "false" side, i.e. `if (a < b)` takes
+# the else-branch on unordered operands -- matching C semantics.
+
+_SF_BINOP = {"fadd": "__sf_add", "fsub": "__sf_sub", "fmul": "__sf_mul",
+             "fdiv": "__sf_div"}
+
+#: soft-float compare result encoding (mirrors the SPARC fcc):
+#: 0 equal, 1 less, 2 greater, 3 unordered.
+_SF_CMP_TESTS = {
+    # op -> (branch after `cmp code, value`, compare value)
+    "feq": ("be", 0),
+    "fne": ("bne", 0),
+    "flt": ("be", 1),
+    "fgt": ("be", 2),
+    # fle: code <= 1 (equal or less);  fge: code in {0, 2} tested via lsb
+    "fle": ("bleu", 1),
+}
+
+
+class _Pool:
+    """LIFO scratch register pool."""
+
+    def __init__(self, regs: list[str], what: str):
+        self._free = list(reversed(regs))
+        self._what = what
+
+    def alloc(self) -> str:
+        if not self._free:
+            raise CodegenError(
+                f"expression too deep: out of {self._what} scratch registers")
+        return self._free.pop()
+
+    def release(self, reg: str) -> None:
+        self._free.append(reg)
+
+
+class _FnCodegen:
+    """Code generation context for one function."""
+
+    def __init__(self, mcg: "_ModuleCodegen", fn: Function):
+        self.mcg = mcg
+        self.fn = fn
+        self.abi = mcg.abi
+        self.lines: list[str] = []
+        self.ints = _Pool(_INT_TEMPS, "integer")
+        self.fps = _Pool(_FP_TEMPS, "floating-point")
+        self._loop_stack: list[tuple[str, str]] = []  # (continue, break)
+        self._slots: dict[str, int] = {}
+        self._slot_types: dict[str, str] = {}
+        offset = 8
+        for ref in list(fn.params) + fn.locals:
+            if ref.type == F64:
+                offset = (offset + 15) & ~7  # 8-aligned, past previous slot
+                self._slots[ref.name] = offset
+            else:
+                offset += 4
+                self._slots[ref.name] = offset
+            self._slot_types[ref.name] = ref.type
+        offset = (offset + 15) & ~7
+        self._scratch = offset          # 8-byte FP/int transfer slot
+        locals_bytes = offset
+        self.frame = 96 + ((locals_bytes + 7) & ~7)
+        if self.frame > 4000:
+            raise CodegenError(
+                f"{fn.name}: frame of {self.frame} bytes exceeds simm13 "
+                f"addressing; move large arrays to module globals")
+        self._epilogue = self._label("epilogue")
+
+    # -- helpers ------------------------------------------------------------
+
+    def _label(self, tag: str) -> str:
+        return self.mcg.new_label(self.fn.name, tag)
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " + line)
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def _slot_addr(self, name: str) -> str:
+        return f"[%fp - {self._slots[name]}]"
+
+    def _slot_addr_lo(self, name: str) -> str:
+        return f"[%fp - {self._slots[name] - 4}]"
+
+    def _scratch_addr(self, lo: bool = False) -> str:
+        return f"[%fp - {self._scratch - (4 if lo else 0)}]"
+
+    # -- function body -------------------------------------------------------
+
+    def generate(self) -> list[str]:
+        fn = self.fn
+        self.emit_label(fn.name)
+        self.emit(f"save %sp, -{self.frame}, %sp")
+        arg_word = 0
+        in_regs = [f"%i{n}" for n in range(6)]
+        for ref in fn.params:
+            if ref.type == F64:
+                if arg_word + 2 > 6:
+                    raise CodegenError(f"{fn.name}: more than 6 argument words")
+                self.emit(f"st {in_regs[arg_word]}, {self._slot_addr(ref.name)}")
+                self.emit(f"st {in_regs[arg_word + 1]}, "
+                          f"{self._slot_addr_lo(ref.name)}")
+                arg_word += 2
+            else:
+                if arg_word + 1 > 6:
+                    raise CodegenError(f"{fn.name}: more than 6 argument words")
+                self.emit(f"st {in_regs[arg_word]}, {self._slot_addr(ref.name)}")
+                arg_word += 1
+        for stat in fn.body:
+            self.stat(stat)
+        self.emit_label(self._epilogue)
+        self.emit("ret")
+        self.emit("restore")
+        return self.lines
+
+    # -- statements ------------------------------------------------------------
+
+    def stat(self, stat: Stat) -> None:
+        if isinstance(stat, Assign):
+            self._stat_assign(stat)
+        elif isinstance(stat, StoreStat):
+            self._stat_store(stat)
+        elif isinstance(stat, IfStat):
+            self._stat_if(stat)
+        elif isinstance(stat, WhileStat):
+            self._stat_while(stat)
+        elif isinstance(stat, BreakStat):
+            self.emit(f"ba {self._loop_stack[-1][1]}")
+            self.emit("nop")
+        elif isinstance(stat, ContinueStat):
+            self.emit(f"ba {self._loop_stack[-1][0]}")
+            self.emit("nop")
+        elif isinstance(stat, ReturnStat):
+            self._stat_return(stat)
+        elif isinstance(stat, ReturnPair):
+            hi = self.eval_int(stat.hi)
+            lo = self.eval_int(stat.lo)
+            self.emit(f"mov {hi}, %i0")
+            self.emit(f"mov {lo}, %i1")
+            self.ints.release(lo)
+            self.ints.release(hi)
+            self.emit(f"ba {self._epilogue}")
+            self.emit("nop")
+        elif isinstance(stat, ExprStat):
+            self._discard(self.eval(stat.value))
+        elif isinstance(stat, UMulWide):
+            a = self.eval_int(stat.a)
+            b = self.eval_int(stat.b)
+            self.emit(f"umul {a}, {b}, {a}")
+            self.emit(f"rd %y, {b}")
+            self.emit(f"st {b}, {self._slot_addr(stat.hi.name)}")
+            self.emit(f"st {a}, {self._slot_addr(stat.lo.name)}")
+            self.ints.release(b)
+            self.ints.release(a)
+        elif isinstance(stat, CallPair):
+            self._marshal_and_call(stat.func, stat.args)
+            self.emit(f"st %o0, {self._slot_addr(stat.hi.name)}")
+            self.emit(f"st %o1, {self._slot_addr(stat.lo.name)}")
+        elif isinstance(stat, RawAsm):
+            for line in stat.lines:
+                self.emit(line)
+        else:  # pragma: no cover - exhaustive
+            raise CodegenError(f"unhandled statement {type(stat).__name__}")
+
+    def _stat_assign(self, stat: Assign) -> None:
+        name = stat.target.name
+        if name not in self._slots:
+            raise CodegenError(
+                f"{self.fn.name}: assignment to unknown local {name!r}")
+        if stat.value.type == F64:
+            if self.abi == HARD:
+                freg = self.eval_f64(stat.value)
+                self.emit(f"stdf {freg}, {self._slot_addr(name)}")
+                self.fps.release(freg)
+            else:
+                hi, lo = self.eval_f64(stat.value)
+                self.emit(f"st {hi}, {self._slot_addr(name)}")
+                self.emit(f"st {lo}, {self._slot_addr_lo(name)}")
+                self.ints.release(lo)
+                self.ints.release(hi)
+        else:
+            reg = self.eval_int(stat.value)
+            self.emit(f"st {reg}, {self._slot_addr(name)}")
+            self.ints.release(reg)
+
+    def _stat_store(self, stat: StoreStat) -> None:
+        addr = self.eval_int(stat.addr)
+        if stat.mem == MEM_F64:
+            if self.abi == HARD:
+                freg = self.eval_f64(stat.value)
+                self.emit(f"stdf {freg}, [{addr}]")
+                self.fps.release(freg)
+            else:
+                hi, lo = self.eval_f64(stat.value)
+                self.emit(f"st {hi}, [{addr}]")
+                self.emit(f"add {addr}, 4, {addr}")
+                self.emit(f"st {lo}, [{addr}]")
+                self.ints.release(lo)
+                self.ints.release(hi)
+        else:
+            value = self.eval_int(stat.value)
+            op = {MEM_U8: "stb", MEM_S8: "stb", MEM_U16: "sth",
+                  MEM_S16: "sth", MEM_W32: "st"}[stat.mem]
+            self.emit(f"{op} {value}, [{addr}]")
+            self.ints.release(value)
+        self.ints.release(addr)
+
+    def _stat_if(self, stat: IfStat) -> None:
+        else_label = self._label("else")
+        end_label = self._label("endif")
+        self.branch_if_false(stat.cond,
+                             else_label if stat.else_body else end_label)
+        for s in stat.then_body:
+            self.stat(s)
+        if stat.else_body:
+            self.emit(f"ba {end_label}")
+            self.emit("nop")
+            self.emit_label(else_label)
+            for s in stat.else_body:
+                self.stat(s)
+        self.emit_label(end_label)
+
+    def _stat_while(self, stat: WhileStat) -> None:
+        cond_label = self._label("loop")
+        end_label = self._label("endloop")
+        self.emit_label(cond_label)
+        self.branch_if_false(stat.cond, end_label)
+        self._loop_stack.append((cond_label, end_label))
+        for s in stat.body:
+            self.stat(s)
+        self._loop_stack.pop()
+        self.emit(f"ba {cond_label}")
+        self.emit("nop")
+        self.emit_label(end_label)
+
+    def _stat_return(self, stat: ReturnStat) -> None:
+        if stat.value is not None:
+            if stat.value.type == F64:
+                if self.abi == HARD:
+                    freg = self.eval_f64(stat.value)
+                    if freg != "%f0":
+                        hi = int(freg[2:])
+                        self.emit(f"fmovs %f{hi}, %f0")
+                        self.emit(f"fmovs %f{hi + 1}, %f1")
+                    self.fps.release(freg)
+                else:
+                    hi, lo = self.eval_f64(stat.value)
+                    self.emit(f"mov {hi}, %i0")
+                    self.emit(f"mov {lo}, %i1")
+                    self.ints.release(lo)
+                    self.ints.release(hi)
+            else:
+                reg = self.eval_int(stat.value)
+                self.emit(f"mov {reg}, %i0")
+                self.ints.release(reg)
+        self.emit(f"ba {self._epilogue}")
+        self.emit("nop")
+
+    # -- conditional branching -----------------------------------------------
+
+    def branch_if_false(self, cond: Expr, target: str) -> None:
+        """Branch to ``target`` when ``cond`` evaluates false."""
+        if isinstance(cond, Binop) and (cond.op in _SIGNED_BRANCH
+                                        or cond.op in _UNSIGNED_BRANCH):
+            branch = (_SIGNED_BRANCH.get(cond.op) or
+                      _UNSIGNED_BRANCH[cond.op])
+            a = self.eval_int(cond.a)
+            b = self.eval_int(cond.b)
+            self.emit(f"cmp {a}, {b}")
+            self.ints.release(b)
+            self.ints.release(a)
+            self.emit(f"{_BRANCH_INVERSE[branch]} {target}")
+            self.emit("nop")
+            return
+        if isinstance(cond, Binop) and cond.op in _FLOAT_BRANCH:
+            if self.abi == HARD:
+                fa = self.eval_f64(cond.a)
+                fb = self.eval_f64(cond.b)
+                self.emit(f"fcmpd {fa}, {fb}")
+                self.emit("nop")  # fcmp/fbranch hazard slot
+                self.fps.release(fb)
+                self.fps.release(fa)
+                self.emit(f"{_BRANCH_INVERSE[_FLOAT_BRANCH[cond.op]]} {target}")
+                self.emit("nop")
+            else:
+                code = self._soft_fcmp_code(cond.a, cond.b)
+                self._branch_soft_cmp_false(cond.op, code, target)
+                self.ints.release(code)
+            return
+        reg = self.eval_int(cond)
+        self.emit(f"cmp {reg}, 0")
+        self.ints.release(reg)
+        self.emit(f"be {target}")
+        self.emit("nop")
+
+    def _soft_fcmp_code(self, a: Expr, b: Expr) -> str:
+        """Call ``__sf_cmp``; result code (0 eq, 1 lt, 2 gt, 3 unordered)."""
+        self._marshal_and_call("__sf_cmp", (a, b))
+        reg = self.ints.alloc()
+        self.emit(f"mov %o0, {reg}")
+        return reg
+
+    def _branch_soft_cmp_false(self, op: str, code: str, target: str) -> None:
+        if op == "fge":
+            # true for codes {0, 2}: branch false when lsb set (lt/unordered)
+            self.emit(f"andcc {code}, 1, %g0")
+            self.emit(f"bne {target}")
+            self.emit("nop")
+            return
+        branch, value = _SF_CMP_TESTS[op]
+        self.emit(f"cmp {code}, {value}")
+        self.emit(f"{_BRANCH_INVERSE[branch]} {target}")
+        self.emit("nop")
+
+    # -- expression evaluation --------------------------------------------------
+
+    def _discard(self, result) -> None:
+        if result is None:
+            return
+        if isinstance(result, tuple):
+            self.ints.release(result[1])
+            self.ints.release(result[0])
+        elif result.startswith("%f"):
+            self.fps.release(result)
+        else:
+            self.ints.release(result)
+
+    def eval(self, expr: Expr):
+        if expr.type == F64:
+            return self.eval_f64(expr)
+        return self.eval_int(expr)
+
+    def eval_int(self, expr: Expr) -> str:
+        """Evaluate an integer-typed expression into a scratch register."""
+        if isinstance(expr, Const):
+            reg = self.ints.alloc()
+            self.emit(f"set {expr.value & 0xFFFFFFFF}, {reg}")
+            return reg
+        if isinstance(expr, LocalRef):
+            if expr.name not in self._slots:
+                raise CodegenError(
+                    f"{self.fn.name}: unknown local {expr.name!r}")
+            reg = self.ints.alloc()
+            self.emit(f"ld {self._slot_addr(expr.name)}, {reg}")
+            return reg
+        if isinstance(expr, GlobalAddr):
+            self.mcg.require_global(expr.name)
+            reg = self.ints.alloc()
+            if expr.offset:
+                self.emit(f"set {expr.name} + {expr.offset}, {reg}")
+            else:
+                self.emit(f"set {expr.name}, {reg}")
+            return reg
+        if isinstance(expr, LoadExpr):
+            return self._eval_load_int(expr)
+        if isinstance(expr, Unop):
+            return self._eval_unop_int(expr)
+        if isinstance(expr, Binop):
+            return self._eval_binop_int(expr)
+        if isinstance(expr, CallExpr):
+            result = self._eval_call(expr)
+            if isinstance(result, str) and result.startswith("%f"):
+                raise CodegenError(f"{expr.func} returns f64, not int")
+            return result  # type: ignore[return-value]
+        raise CodegenError(f"unhandled int expression {type(expr).__name__}")
+
+    def _eval_load_int(self, expr: LoadExpr) -> str:
+        addr = self.eval_int(expr.addr)
+        op = {MEM_U8: "ldub", MEM_S8: "ldsb", MEM_U16: "lduh",
+              MEM_S16: "ldsh", MEM_W32: "ld"}[expr.mem]
+        self.emit(f"{op} [{addr}], {addr}")
+        return addr
+
+    def _eval_unop_int(self, expr: Unop) -> str:
+        if expr.op == "not":
+            reg = self.eval_int(expr.a)
+            self.emit(f"not {reg}, {reg}")
+            return reg
+        if expr.op in ("bitcast_i2u", "bitcast_u2i"):
+            return self.eval_int(expr.a)
+        if expr.op == "dtoi":
+            if self.abi == HARD:
+                freg = self.eval_f64(expr.a)
+                self.emit(f"fdtoi {freg}, %f0")
+                self.emit(f"stf %f0, {self._scratch_addr()}")
+                self.fps.release(freg)
+                reg = self.ints.alloc()
+                self.emit(f"ld {self._scratch_addr()}, {reg}")
+                return reg
+            self._marshal_and_call("__sf_dtoi", (expr.a,))
+            reg = self.ints.alloc()
+            self.emit(f"mov %o0, {reg}")
+            return reg
+        raise CodegenError(f"unhandled int unop {expr.op!r}")
+
+    def _eval_binop_int(self, expr: Binop) -> str:
+        op = expr.op
+        if op in _SIGNED_BRANCH or op in _UNSIGNED_BRANCH or op in _FLOAT_BRANCH:
+            return self._eval_cmp_value(expr)
+        a = self.eval_int(expr.a)
+        if op in ("add", "sub", "and", "or", "xor", "shl", "lshr", "ashr") \
+                and isinstance(expr.b, Const) and -4096 <= expr.b.value <= 4095:
+            mnem = {"add": "add", "sub": "sub", "and": "and", "or": "or",
+                    "xor": "xor", "shl": "sll", "lshr": "srl",
+                    "ashr": "sra"}[op]
+            operand = expr.b.value & 31 if op in ("shl", "lshr", "ashr") \
+                else expr.b.value
+            self.emit(f"{mnem} {a}, {operand}, {a}")
+            return a
+        b = self.eval_int(expr.b)
+        if op in ("add", "sub", "and", "or", "xor"):
+            self.emit(f"{op} {a}, {b}, {a}")
+        elif op == "mul":
+            self.emit(f"smul {a}, {b}, {a}")
+        elif op == "shl":
+            self.emit(f"sll {a}, {b}, {a}")
+        elif op == "lshr":
+            self.emit(f"srl {a}, {b}, {a}")
+        elif op == "ashr":
+            self.emit(f"sra {a}, {b}, {a}")
+        elif op == "udiv":
+            self.emit("wr %g0, 0, %y")
+            self.emit(f"udiv {a}, {b}, {a}")
+        elif op == "sdiv":
+            tmp = self.ints.alloc()
+            self.emit(f"sra {a}, 31, {tmp}")
+            self.emit(f"wr {tmp}, 0, %y")
+            self.ints.release(tmp)
+            self.emit(f"sdiv {a}, {b}, {a}")
+        elif op == "urem":
+            tmp = self.ints.alloc()
+            self.emit("wr %g0, 0, %y")
+            self.emit(f"udiv {a}, {b}, {tmp}")
+            self.emit(f"smul {tmp}, {b}, {tmp}")
+            self.emit(f"sub {a}, {tmp}, {a}")
+            self.ints.release(tmp)
+        elif op == "srem":
+            tmp = self.ints.alloc()
+            self.emit(f"sra {a}, 31, {tmp}")
+            self.emit(f"wr {tmp}, 0, %y")
+            self.emit(f"sdiv {a}, {b}, {tmp}")
+            self.emit(f"smul {tmp}, {b}, {tmp}")
+            self.emit(f"sub {a}, {tmp}, {a}")
+            self.ints.release(tmp)
+        else:  # pragma: no cover - exhaustive over _INT_BINOPS
+            raise CodegenError(f"unhandled int binop {op!r}")
+        self.ints.release(b)
+        return a
+
+    def _eval_cmp_value(self, expr: Binop) -> str:
+        """Materialise a comparison as 0/1."""
+        done = self._label("cmpdone")
+        if expr.op in _FLOAT_BRANCH:
+            if self.abi == HARD:
+                fa = self.eval_f64(expr.a)
+                fb = self.eval_f64(expr.b)
+                self.emit(f"fcmpd {fa}, {fb}")
+                self.emit("nop")
+                self.fps.release(fb)
+                self.fps.release(fa)
+                dest = self.ints.alloc()
+                self.emit(f"mov 1, {dest}")
+                self.emit(f"{_FLOAT_BRANCH[expr.op]} {done}")
+                self.emit("nop")
+                self.emit(f"mov 0, {dest}")
+                self.emit_label(done)
+                return dest
+            code = self._soft_fcmp_code(expr.a, expr.b)
+            dest = self.ints.alloc()
+            false_label = self._label("cmpfalse")
+            self.emit(f"mov 1, {dest}")
+            self._branch_soft_cmp_false(expr.op, code, false_label)
+            self.emit(f"ba {done}")
+            self.emit("nop")
+            self.emit_label(false_label)
+            self.emit(f"mov 0, {dest}")
+            self.emit_label(done)
+            self.ints.release(code)
+            return dest
+        branch = _SIGNED_BRANCH.get(expr.op) or _UNSIGNED_BRANCH[expr.op]
+        a = self.eval_int(expr.a)
+        b = self.eval_int(expr.b)
+        self.emit(f"cmp {a}, {b}")
+        self.ints.release(b)
+        self.emit(f"mov 1, {a}")
+        self.emit(f"{branch} {done}")
+        self.emit("nop")
+        self.emit(f"mov 0, {a}")
+        self.emit_label(done)
+        return a
+
+    # -- f64 evaluation ------------------------------------------------------------
+
+    def eval_f64(self, expr: Expr):
+        """Evaluate an f64 expression.
+
+        Returns an FP register name (hard) or an (hi, lo) int register
+        pair (soft).
+        """
+        if self.abi == HARD:
+            return self._eval_f64_hard(expr)
+        return self._eval_f64_soft(expr)
+
+    def _eval_f64_hard(self, expr: Expr) -> str:
+        if isinstance(expr, Const):
+            label = self.mcg.f64_constant(expr.value)
+            addr = self.ints.alloc()
+            self.emit(f"set {label}, {addr}")
+            freg = self.fps.alloc()
+            self.emit(f"lddf [{addr}], {freg}")
+            self.ints.release(addr)
+            return freg
+        if isinstance(expr, LocalRef):
+            freg = self.fps.alloc()
+            self.emit(f"lddf {self._slot_addr(expr.name)}, {freg}")
+            return freg
+        if isinstance(expr, LoadExpr):
+            addr = self.eval_int(expr.addr)
+            freg = self.fps.alloc()
+            self.emit(f"lddf [{addr}], {freg}")
+            self.ints.release(addr)
+            return freg
+        if isinstance(expr, Unop):
+            if expr.op == "fneg":
+                freg = self._eval_f64_hard(expr.a)
+                self.emit(f"fnegs {freg}, {freg}")  # sign lives in the hi word
+                return freg
+            if expr.op == "fsqrt":
+                freg = self._eval_f64_hard(expr.a)
+                self.emit(f"fsqrtd {freg}, {freg}")
+                return freg
+            if expr.op == "itod":
+                reg = self.eval_int(expr.a)
+                self.emit(f"st {reg}, {self._scratch_addr()}")
+                self.ints.release(reg)
+                freg = self.fps.alloc()
+                self.emit(f"ldf {self._scratch_addr()}, %f0")
+                self.emit(f"fitod %f0, {freg}")
+                return freg
+            raise CodegenError(f"unhandled f64 unop {expr.op!r}")
+        if isinstance(expr, Binop):
+            mnem = {"fadd": "faddd", "fsub": "fsubd", "fmul": "fmuld",
+                    "fdiv": "fdivd"}.get(expr.op)
+            if mnem is None:
+                raise CodegenError(f"unhandled f64 binop {expr.op!r}")
+            fa = self._eval_f64_hard(expr.a)
+            fb = self._eval_f64_hard(expr.b)
+            self.emit(f"{mnem} {fa}, {fb}, {fa}")
+            self.fps.release(fb)
+            return fa
+        if isinstance(expr, CallExpr):
+            result = self._eval_call(expr)
+            if not (isinstance(result, str) and result.startswith("%f")):
+                raise CodegenError(f"{expr.func} does not return f64")
+            return result
+        raise CodegenError(f"unhandled f64 expression {type(expr).__name__}")
+
+    def _eval_f64_soft(self, expr: Expr) -> tuple[str, str]:
+        if isinstance(expr, Const):
+            bits = struct.unpack(">Q", struct.pack(">d", expr.value))[0]
+            hi = self.ints.alloc()
+            lo = self.ints.alloc()
+            self.emit(f"set {bits >> 32}, {hi}")
+            self.emit(f"set {bits & 0xFFFFFFFF}, {lo}")
+            return hi, lo
+        if isinstance(expr, LocalRef):
+            hi = self.ints.alloc()
+            lo = self.ints.alloc()
+            self.emit(f"ld {self._slot_addr(expr.name)}, {hi}")
+            self.emit(f"ld {self._slot_addr_lo(expr.name)}, {lo}")
+            return hi, lo
+        if isinstance(expr, LoadExpr):
+            addr = self.eval_int(expr.addr)
+            lo = self.ints.alloc()
+            self.emit(f"ld [{addr} + 4], {lo}")
+            self.emit(f"ld [{addr}], {addr}")
+            return addr, lo
+        if isinstance(expr, Unop):
+            if expr.op == "fneg":
+                hi, lo = self._eval_f64_soft(expr.a)
+                tmp = self.ints.alloc()
+                self.emit(f"sethi %hi(0x80000000), {tmp}")
+                self.emit(f"xor {hi}, {tmp}, {hi}")
+                self.ints.release(tmp)
+                return hi, lo
+            if expr.op == "fsqrt":
+                return self._soft_pair_call("__sf_sqrt", (expr.a,))
+            if expr.op == "itod":
+                return self._soft_pair_call("__sf_itod", (expr.a,))
+            raise CodegenError(f"unhandled f64 unop {expr.op!r}")
+        if isinstance(expr, Binop):
+            runtime = _SF_BINOP.get(expr.op)
+            if runtime is None:
+                raise CodegenError(f"unhandled f64 binop {expr.op!r}")
+            return self._soft_pair_call(runtime, (expr.a, expr.b))
+        if isinstance(expr, CallExpr):
+            result = self._eval_call(expr)
+            if not isinstance(result, tuple):
+                raise CodegenError(f"{expr.func} does not return f64")
+            return result
+        raise CodegenError(f"unhandled f64 expression {type(expr).__name__}")
+
+    def _soft_pair_call(self, func: str, args: tuple[Expr, ...]) -> tuple[str, str]:
+        self._marshal_and_call(func, args)
+        hi = self.ints.alloc()
+        lo = self.ints.alloc()
+        self.emit(f"mov %o0, {hi}")
+        self.emit(f"mov %o1, {lo}")
+        return hi, lo
+
+    # -- calls ------------------------------------------------------------------
+
+    _BUILTINS = {"__sys_exit": 0, "__sys_putc": 1, "__sys_write_u32": 2}
+
+    def _eval_call(self, expr: CallExpr):
+        if expr.func in self._BUILTINS:
+            if len(expr.args) != 1:
+                raise CodegenError(f"{expr.func} takes one argument")
+            arg = self.eval_int(expr.args[0])
+            self.emit(f"mov {arg}, %o0")
+            self.ints.release(arg)
+            self.emit(f"mov {self._BUILTINS[expr.func]}, %g1")
+            self.emit("ta 5")
+            reg = self.ints.alloc()
+            self.emit(f"mov %o0, {reg}")
+            return reg
+        self._marshal_and_call(expr.func, expr.args)
+        self.mcg.require_function(expr.func)
+        if expr.type == F64:
+            if self.abi == HARD:
+                freg = self.fps.alloc()
+                hi = int(freg[2:])
+                self.emit(f"fmovs %f0, %f{hi}")
+                self.emit(f"fmovs %f1, %f{hi + 1}")
+                return freg
+            hi = self.ints.alloc()
+            lo = self.ints.alloc()
+            self.emit(f"mov %o0, {hi}")
+            self.emit(f"mov %o1, {lo}")
+            return hi, lo
+        reg = self.ints.alloc()
+        self.emit(f"mov %o0, {reg}")
+        return reg
+
+    def _marshal_and_call(self, func: str, args: tuple[Expr, ...]) -> None:
+        """Evaluate ``args``, move them to %o registers, emit the call."""
+        evaluated: list[tuple[str, object]] = []
+        words = 0
+        for arg in args:
+            if arg.type == F64:
+                if self.abi == HARD:
+                    freg = self.eval_f64(arg)
+                    # transfer through memory: FP regs are not directly
+                    # readable by the integer unit on SPARC V8
+                    self.emit(f"stdf {freg}, {self._scratch_addr()}")
+                    self.fps.release(freg)
+                    hi = self.ints.alloc()
+                    lo = self.ints.alloc()
+                    self.emit(f"ld {self._scratch_addr()}, {hi}")
+                    self.emit(f"ld {self._scratch_addr(lo=True)}, {lo}")
+                    evaluated.append(("pair", (hi, lo)))
+                else:
+                    evaluated.append(("pair", self.eval_f64(arg)))
+                words += 2
+            else:
+                evaluated.append(("int", self.eval_int(arg)))
+                words += 1
+        if words > len(_ARG_REGS):
+            raise CodegenError(f"call to {func}: more than 6 argument words")
+        slot = 0
+        for kind, payload in evaluated:
+            if kind == "pair":
+                hi, lo = payload  # type: ignore[misc]
+                self.emit(f"mov {hi}, {_ARG_REGS[slot]}")
+                self.emit(f"mov {lo}, {_ARG_REGS[slot + 1]}")
+                slot += 2
+            else:
+                self.emit(f"mov {payload}, {_ARG_REGS[slot]}")
+                slot += 1
+        for kind, payload in reversed(evaluated):
+            if kind == "pair":
+                hi, lo = payload  # type: ignore[misc]
+                self.ints.release(lo)
+                self.ints.release(hi)
+            else:
+                self.ints.release(payload)  # type: ignore[arg-type]
+        self.emit(f"call {func}")
+        self.emit("nop")
+        self.mcg.require_function(func)
+
+
+class _ModuleCodegen:
+    """Whole-module code generation state."""
+
+    def __init__(self, module: Module, abi: str):
+        if abi not in (HARD, SOFT):
+            raise KirError(f"float_abi must be 'hard' or 'soft', got {abi!r}")
+        self.module = module
+        self.abi = abi
+        self._label_count = 0
+        self._f64_pool: dict[int, str] = {}
+        self._called: set[str] = set()
+        self._used_globals: set[str] = set()
+
+    def new_label(self, fn_name: str, tag: str) -> str:
+        self._label_count += 1
+        return f".L_{fn_name}_{tag}_{self._label_count}"
+
+    def f64_constant(self, value: float) -> str:
+        bits = struct.unpack(">Q", struct.pack(">d", value))[0]
+        label = self._f64_pool.get(bits)
+        if label is None:
+            label = f".Lfc_{len(self._f64_pool)}"
+            self._f64_pool[bits] = label
+        return label
+
+    def require_function(self, name: str) -> None:
+        self._called.add(name)
+
+    def require_global(self, name: str) -> None:
+        self._used_globals.add(name)
+
+    def generate(self) -> str:
+        module = self.module
+        if module.entry not in module.functions:
+            raise KirError(
+                f"module {module.name!r} has no entry function "
+                f"{module.entry!r}")
+        lines: list[str] = [
+            f"! module {module.name} ({self.abi}-float) -- generated by "
+            f"repro.kir",
+            "    .text",
+            "_start:",
+            f"    call {module.entry}",
+            "    nop",
+            "    mov 0, %g1",
+            "    ta 5",
+        ]
+        for fn in module.functions.values():
+            lines.extend(_FnCodegen(self, fn).generate())
+        missing = self._called - set(module.functions)
+        if missing:
+            raise KirError(
+                f"calls to undefined functions: {sorted(missing)} "
+                f"(soft-float builds need the runtime from "
+                f"repro.softfloat.kirlib)")
+        unknown = self._used_globals - set(module.globals)
+        if unknown:
+            raise KirError(f"references to undefined globals: {sorted(unknown)}")
+
+        data_lines: list[str] = ["    .data"]
+        for bits, label in self._f64_pool.items():
+            data_lines.append("    .align 8")
+            data_lines.append(f"{label}:")
+            data_lines.append(
+                f"    .word 0x{bits >> 32:08X}, 0x{bits & 0xFFFFFFFF:08X}")
+        bss_lines: list[str] = ["    .bss"]
+        for g in module.globals.values():
+            target = data_lines if g.data is not None else bss_lines
+            target.append(f"    .align {max(g.align, 1)}")
+            target.append(f"{g.name}:")
+            if g.data is not None:
+                target.extend(_bytes_to_directives(g.data))
+            else:
+                target.append(f"    .skip {g.size}")
+        lines.extend(data_lines)
+        lines.extend(bss_lines)
+        return "\n".join(lines) + "\n"
+
+
+def _bytes_to_directives(blob: bytes) -> list[str]:
+    """Render raw bytes as .word/.byte directives (word-packed when possible)."""
+    out: list[str] = []
+    pos = 0
+    while pos + 4 <= len(blob):
+        chunk = []
+        while pos + 4 <= len(blob) and len(chunk) < 8:
+            chunk.append("0x" + blob[pos:pos + 4].hex())
+            pos += 4
+        out.append("    .word " + ", ".join(chunk))
+    if pos < len(blob):
+        tail = ", ".join(str(b) for b in blob[pos:])
+        out.append("    .byte " + tail)
+    return out
+
+
+def generate_assembly(module: Module, float_abi: str = HARD) -> str:
+    """Compile ``module`` to SPARC assembly text."""
+    if float_abi == SOFT:
+        from repro.softfloat.kirlib import ensure_softfloat
+        ensure_softfloat(module)
+    return _ModuleCodegen(module, float_abi).generate()
+
+
+def compile_module(module: Module, float_abi: str = HARD,
+                   origin: int = 0x40000000) -> Program:
+    """Compile ``module`` and assemble it into a loadable program."""
+    return assemble(generate_assembly(module, float_abi), origin=origin)

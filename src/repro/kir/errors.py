@@ -1,0 +1,15 @@
+"""Kernel-IR error types."""
+
+from __future__ import annotations
+
+
+class KirError(Exception):
+    """Base class for kernel-IR construction and compilation errors."""
+
+
+class KirTypeError(KirError):
+    """Operands have incompatible or unsupported types."""
+
+
+class CodegenError(KirError):
+    """The code generator cannot lower a construct (e.g. temp exhaustion)."""

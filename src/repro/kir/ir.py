@@ -1,0 +1,385 @@
+"""Typed kernel IR: expression trees and statements.
+
+The IR is deliberately small: three value types (``i32``, ``u32``,
+``f64``) plus byte-addressed memory with explicit access widths.  Python
+operator overloading on :class:`Expr` gives workload code a C-like feel::
+
+    acc = fn.local(i32, "acc")
+    fn.assign(acc, acc + px * coeff - (base >> 2))
+
+``f64`` expressions compile to FPU instructions in the hard-float backend
+and to calls into the integer-only soft-float runtime in the soft-float
+backend -- the IR itself is identical, mirroring how ``-msoft-float``
+changes code generation, not source code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.kir.errors import KirTypeError
+
+# -- value types -------------------------------------------------------------
+
+I32 = "i32"
+U32 = "u32"
+F64 = "f64"
+
+#: memory access widths for loads/stores (value type is i32/u32 except f64)
+MEM_U8 = "u8"
+MEM_S8 = "s8"
+MEM_U16 = "u16"
+MEM_S16 = "s16"
+MEM_W32 = "w32"
+MEM_F64 = "f64"
+
+_INT_TYPES = (I32, U32)
+
+_INT_BINOPS = {
+    "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+}
+_INT_CMPS = {"eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"}
+_F64_BINOPS = {"fadd", "fsub", "fmul", "fdiv"}
+_F64_CMPS = {"feq", "fne", "flt", "fle", "fgt", "fge"}
+
+
+class Expr:
+    """Base class of all IR expressions; carries a value type."""
+
+    type: str = I32
+
+    # -- integer arithmetic via operators ------------------------------------
+
+    def _coerce(self, other) -> "Expr":
+        if isinstance(other, Expr):
+            return other
+        if isinstance(other, int):
+            return Const(other, self.type if self.type in _INT_TYPES else I32)
+        if isinstance(other, float):
+            return Const(other, F64)
+        raise KirTypeError(f"cannot use {other!r} in an IR expression")
+
+    def _intop(self, op: str, other, swap: bool = False) -> "Expr":
+        rhs = self._coerce(other)
+        a, b = (rhs, self) if swap else (self, rhs)
+        if self.type == F64 or rhs.type == F64:
+            fop = {"add": "fadd", "sub": "fsub", "mul": "fmul"}.get(op)
+            if fop is None:
+                raise KirTypeError(f"operator {op} not defined for f64")
+            return Binop(fop, a, b)
+        return Binop(op, a, b)
+
+    def __add__(self, other):
+        return self._intop("add", other)
+
+    def __radd__(self, other):
+        return self._intop("add", other, swap=True)
+
+    def __sub__(self, other):
+        return self._intop("sub", other)
+
+    def __rsub__(self, other):
+        return self._intop("sub", other, swap=True)
+
+    def __mul__(self, other):
+        return self._intop("mul", other)
+
+    def __rmul__(self, other):
+        return self._intop("mul", other, swap=True)
+
+    def __truediv__(self, other):
+        rhs = self._coerce(other)
+        if self.type != F64 or rhs.type != F64:
+            raise KirTypeError("use // (signed) or udiv() for integers")
+        return Binop("fdiv", self, rhs)
+
+    def __rtruediv__(self, other):
+        lhs = self._coerce(other)
+        return lhs.__truediv__(self)
+
+    def __floordiv__(self, other):
+        return Binop("sdiv", self, self._coerce(other))
+
+    def __mod__(self, other):
+        return Binop("srem", self, self._coerce(other))
+
+    def __and__(self, other):
+        return Binop("and", self, self._coerce(other))
+
+    def __or__(self, other):
+        return Binop("or", self, self._coerce(other))
+
+    def __xor__(self, other):
+        return Binop("xor", self, self._coerce(other))
+
+    def __lshift__(self, other):
+        return Binop("shl", self, self._coerce(other))
+
+    def __rshift__(self, other):
+        op = "lshr" if self.type == U32 else "ashr"
+        return Binop(op, self, self._coerce(other))
+
+    def __neg__(self):
+        if self.type == F64:
+            return Unop("fneg", self)
+        return Binop("sub", Const(0, self.type), self)
+
+    def __invert__(self):
+        return Unop("not", self)
+
+    # -- comparisons ----------------------------------------------------------
+
+    def _cmp(self, signed_op: str, other) -> "Expr":
+        rhs = self._coerce(other)
+        if self.type == F64 or rhs.type == F64:
+            return Binop("f" + signed_op.lstrip("s"), self, rhs)
+        if signed_op in ("eq", "ne"):
+            return Binop(signed_op, self, rhs)
+        if self.type == U32 or rhs.type == U32:
+            return Binop("u" + signed_op.lstrip("s"), self, rhs)
+        return Binop(signed_op, self, rhs)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._cmp("eq", other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._cmp("ne", other)
+
+    def __lt__(self, other):
+        return self._cmp("slt", other)
+
+    def __le__(self, other):
+        return self._cmp("sle", other)
+
+    def __gt__(self, other):
+        return self._cmp("sgt", other)
+
+    def __ge__(self, other):
+        return self._cmp("sge", other)
+
+    __hash__ = None  # type: ignore[assignment]  # exprs are not hashable
+
+
+@dataclass(eq=False)
+class Const(Expr):
+    """Integer or floating-point literal."""
+
+    value: int | float
+    type: str = I32
+
+    def __post_init__(self) -> None:
+        if self.type == F64:
+            self.value = float(self.value)
+        elif not isinstance(self.value, int):
+            raise KirTypeError(f"integer constant expected, got {self.value!r}")
+
+
+@dataclass(eq=False)
+class LocalRef(Expr):
+    """Read of a local variable or parameter."""
+
+    name: str
+    slot: int = 0
+    type: str = I32
+
+
+@dataclass(eq=False)
+class GlobalAddr(Expr):
+    """Address of a module-level data object (+ constant byte offset)."""
+
+    name: str
+    offset: int = 0
+    type: str = U32
+
+
+@dataclass(eq=False)
+class Binop(Expr):
+    """Binary operation; comparisons yield ``i32`` 0/1."""
+
+    op: str
+    a: Expr
+    b: Expr
+
+    def __post_init__(self) -> None:
+        if self.op in _INT_BINOPS:
+            if self.a.type == F64 or self.b.type == F64:
+                raise KirTypeError(f"{self.op} needs integer operands")
+            self.type = U32 if U32 in (self.a.type, self.b.type) else I32
+            if self.op in ("lshr",):
+                self.type = U32
+        elif self.op in _F64_BINOPS:
+            if self.a.type != F64 or self.b.type != F64:
+                raise KirTypeError(f"{self.op} needs f64 operands")
+            self.type = F64
+        elif self.op in _INT_CMPS or self.op in _F64_CMPS:
+            self.type = I32
+        else:
+            raise KirTypeError(f"unknown binop {self.op!r}")
+
+
+@dataclass(eq=False)
+class Unop(Expr):
+    """Unary operation: ``not``, ``fneg``, ``fsqrt``, ``itod``, ``dtoi``,
+    ``bitcast_i2u``/``bitcast_u2i`` (free reinterpretation)."""
+
+    op: str
+    a: Expr
+
+    def __post_init__(self) -> None:
+        if self.op == "not":
+            if self.a.type == F64:
+                raise KirTypeError("bitwise not needs an integer")
+            self.type = self.a.type
+        elif self.op in ("fneg", "fsqrt"):
+            if self.a.type != F64:
+                raise KirTypeError(f"{self.op} needs f64")
+            self.type = F64
+        elif self.op == "itod":
+            if self.a.type == F64:
+                raise KirTypeError("itod takes an integer")
+            self.type = F64
+        elif self.op == "dtoi":
+            if self.a.type != F64:
+                raise KirTypeError("dtoi takes f64")
+            self.type = I32
+        elif self.op == "bitcast_i2u":
+            self.type = U32
+        elif self.op == "bitcast_u2i":
+            self.type = I32
+        else:
+            raise KirTypeError(f"unknown unop {self.op!r}")
+
+
+@dataclass(eq=False)
+class LoadExpr(Expr):
+    """Memory read of the given width at byte address ``addr``."""
+
+    addr: Expr
+    mem: str = MEM_W32
+
+    def __post_init__(self) -> None:
+        if self.addr.type == F64:
+            raise KirTypeError("addresses must be integers")
+        self.type = {MEM_U8: U32, MEM_S8: I32, MEM_U16: U32, MEM_S16: I32,
+                     MEM_W32: I32, MEM_F64: F64}[self.mem]
+
+
+@dataclass(eq=False)
+class CallExpr(Expr):
+    """Direct call; the callee's signature fixes arg/return types."""
+
+    func: str
+    args: tuple[Expr, ...]
+    ret: str = I32
+
+    def __post_init__(self) -> None:
+        self.type = self.ret
+
+
+# -- statements ---------------------------------------------------------------
+
+
+class Stat:
+    """Base class for IR statements."""
+
+
+@dataclass(eq=False)
+class Assign(Stat):
+    target: LocalRef
+    value: Expr
+
+
+@dataclass(eq=False)
+class StoreStat(Stat):
+    addr: Expr
+    value: Expr
+    mem: str = MEM_W32
+
+
+@dataclass(eq=False)
+class IfStat(Stat):
+    cond: Expr
+    then_body: list[Stat] = field(default_factory=list)
+    else_body: list[Stat] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class WhileStat(Stat):
+    cond: Expr
+    body: list[Stat] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class BreakStat(Stat):
+    pass
+
+
+@dataclass(eq=False)
+class ContinueStat(Stat):
+    pass
+
+
+@dataclass(eq=False)
+class ReturnStat(Stat):
+    value: Expr | None = None
+
+
+@dataclass(eq=False)
+class ExprStat(Stat):
+    """Evaluate an expression (usually a call) for its side effects."""
+
+    value: Expr
+
+
+@dataclass(eq=False)
+class UMulWide(Stat):
+    """``(hi, lo) = a * b`` unsigned 32x32->64 (the ``umul``/``rd %y`` pair)."""
+
+    hi: LocalRef
+    lo: LocalRef
+    a: Expr
+    b: Expr
+
+
+@dataclass(eq=False)
+class CallPair(Stat):
+    """Call a function that returns a 32-bit pair (soft-float convention)."""
+
+    hi: LocalRef
+    lo: LocalRef
+    func: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(eq=False)
+class ReturnPair(Stat):
+    """Return a 32-bit pair in ``%i0``/``%i1`` (soft-float convention)."""
+
+    hi: Expr
+    lo: Expr
+
+
+@dataclass(eq=False)
+class RawAsm(Stat):
+    """Escape hatch: literal assembly lines (used by runtime shims)."""
+
+    lines: tuple[str, ...]
+
+
+def expr_of(value) -> Expr:
+    """Coerce a Python literal (or pass through an Expr)."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value), I32)
+    if isinstance(value, int):
+        return Const(value, I32)
+    if isinstance(value, float):
+        return Const(value, F64)
+    raise KirTypeError(f"cannot convert {value!r} to an IR expression")
+
+
+def sequence_exprs(values: Sequence) -> tuple[Expr, ...]:
+    return tuple(expr_of(v) for v in values)

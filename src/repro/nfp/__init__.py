@@ -1,0 +1,69 @@
+"""Non-functional-property estimation: the paper's primary contribution.
+
+Workflow::
+
+    board  = Board(leon3_fpu())                        # the testbed
+    model  = Calibrator(board).calibrate().to_model()  # Table I via Eq. 2
+    nfp    = NFPEstimator(model)                       # Eq. 1
+    report = nfp.estimate_program(kernel)              # T_hat, E_hat
+"""
+
+from repro.isa.categories import (
+    CATEGORY_IDS,
+    CATEGORY_NAMES,
+    NUM_CATEGORIES,
+    category_index,
+    category_name,
+)
+from repro.nfp.calibration import (
+    CalibrationResult,
+    Calibrator,
+    CategoryCalibration,
+    KernelPair,
+    blend_with_mix,
+    make_kernel_pair,
+)
+from repro.nfp.dse import DseReport, DseRow, WorkloadPair, explore_fpu
+from repro.nfp.estimator import EstimationReport, NFPEstimator
+from repro.nfp.metrics import (
+    ErrorSummary,
+    KernelError,
+    relative_error,
+    summarize_errors,
+    table3,
+)
+from repro.nfp.model import (
+    PAPER_TABLE1,
+    Estimate,
+    MechanisticModel,
+    SpecificCosts,
+)
+
+__all__ = [
+    "CATEGORY_IDS",
+    "CATEGORY_NAMES",
+    "CalibrationResult",
+    "Calibrator",
+    "CategoryCalibration",
+    "DseReport",
+    "DseRow",
+    "ErrorSummary",
+    "Estimate",
+    "EstimationReport",
+    "KernelError",
+    "KernelPair",
+    "MechanisticModel",
+    "NFPEstimator",
+    "NUM_CATEGORIES",
+    "PAPER_TABLE1",
+    "SpecificCosts",
+    "WorkloadPair",
+    "blend_with_mix",
+    "category_index",
+    "category_name",
+    "explore_fpu",
+    "make_kernel_pair",
+    "relative_error",
+    "summarize_errors",
+    "table3",
+]

@@ -1,0 +1,298 @@
+"""Specific-cost calibration via reference/test kernel pairs (Section V).
+
+For every instruction category a *reference kernel* (an empty ``for``
+loop) and a *test kernel* (the same loop stuffed with ``unroll`` copies of
+a representative instruction of the category) are generated, assembled and
+measured on the testbed board.  Eq. 2 then yields the specific values::
+
+    e_c = (E_test - E_ref) / n_test      t_c = (T_test - T_ref) / n_test
+
+with ``n_test = iterations * unroll``.
+
+As the paper notes, the loop context is unrealistically regular, so the
+raw values are *checked for consistency and manually adapted, if
+necessary*; :meth:`Calibrator.calibrate` performs the automatic part of
+that step (clamping non-physical negatives, flagging suspicious values)
+and :func:`blend_with_mix` implements the mix-weighted refinement used
+when a category's members differ strongly (e.g. integer divide vs. add).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm import assemble
+from repro.hw.board import Board, Measurement
+from repro.isa.categories import (
+    CATEGORY_IDS,
+    NUM_CATEGORIES,
+    category_index,
+)
+from repro.nfp.model import MechanisticModel, SpecificCosts
+
+_DATA_SECTION = """
+    .data
+    .align 8
+cal_fpa:    .word 0x3FFD0000, 0          ! 1.8125
+cal_fpb:    .word 0x40020000, 0          ! 2.25
+cal_buf:
+    .word 0x00000000, 0xFFFFFFFF, 0xA5A5A5A5, 0x5A5A5A5A
+    .word 0x12345678, 0x9ABCDEF0, 0x0F0F0F0F, 0xF0F0F0F0
+    .word 0x00FF00FF, 0xFF00FF00, 0x31415926, 0x27182818
+    .word 0x55555555, 0xAAAAAAAA, 0x13579BDF, 0x2468ACE0
+"""
+
+_PREAMBLE = """
+    set cal_buf, %o1
+    set cal_fpa, %o2
+    lddf [%o2], %f0
+    set cal_fpb, %o2
+    lddf [%o2], %f2
+    mov 5, %g2
+    mov 9, %g3
+    mov 14, %g4
+"""
+
+
+def _body_lines(category_id: str, unroll: int, fpu: bool) -> list[str]:
+    """The ``unroll`` test instructions placed inside the loop."""
+    lines: list[str] = []
+    if category_id == "int_arith":
+        regs = ["%g2", "%g3", "%g4"]
+        for i in range(unroll):
+            a, b, d = (regs[i % 3], regs[(i + 1) % 3], regs[(i + 2) % 3])
+            lines.append(f"    add {a}, {b}, {d}")
+    elif category_id == "jump":
+        for i in range(unroll):
+            lines.append(f"    ba,a cal_j{i}")
+            lines.append("    nop            ! annulled, never retires")
+            lines.append(f"cal_j{i}:")
+    elif category_id == "mem_load":
+        for i in range(unroll):
+            lines.append(f"    ld [%o1 + {(i % 16) * 4}], %g2")
+    elif category_id == "mem_store":
+        srcs = ["%g2", "%g3", "%g4"]
+        for i in range(unroll):
+            lines.append(f"    st {srcs[i % 3]}, [%o1 + {(i % 16) * 4}]")
+    elif category_id == "nop":
+        lines.extend(["    nop"] * unroll)
+    elif category_id == "other":
+        for i in range(unroll):
+            lines.append("    rd %y, %g2" if i % 2 == 0 else "    wr %g3, 0, %y")
+    elif category_id == "fpu_arith":
+        for i in range(unroll):
+            lines.append("    faddd %f0, %f2, %f4" if i % 2 == 0
+                         else "    fsubd %f4, %f2, %f6")
+    elif category_id == "fpu_div":
+        lines.extend(["    fdivd %f0, %f2, %f4"] * unroll)
+    elif category_id == "fpu_sqrt":
+        lines.extend(["    fsqrtd %f0, %f4"] * unroll)
+    else:
+        raise ValueError(f"unknown category {category_id!r}")
+    if category_id.startswith("fpu") and not fpu:
+        raise ValueError(f"category {category_id!r} needs an FPU board")
+    return lines
+
+
+_INT_PREAMBLE = """
+    set cal_buf, %o1
+    mov 5, %g2
+    mov 9, %g3
+    mov 14, %g4
+"""
+
+
+def _kernel_source(iterations: int, body: list[str],
+                   needs_fpu_preamble: bool) -> str:
+    # FP register loads only appear when the category exercises the FPU, so
+    # the same pair also assembles for boards synthesised without one.
+    preamble = _PREAMBLE if needs_fpu_preamble else _INT_PREAMBLE
+    body_text = "\n".join(body)
+    return f"""
+    .text
+_start:
+{preamble}
+    set {iterations}, %o0
+cal_loop:
+{body_text}
+    subcc %o0, 1, %o0
+    bne cal_loop
+    nop
+    mov 0, %o0
+    mov 0, %g1
+    ta 5
+{_DATA_SECTION}
+"""
+
+
+@dataclass(frozen=True)
+class KernelPair:
+    """Table II: a reference kernel and a test kernel for one category."""
+
+    category_id: str
+    reference_source: str
+    test_source: str
+    n_test: int
+
+
+def make_kernel_pair(category_id: str, iterations: int = 20000,
+                     unroll: int = 32, fpu: bool = True) -> KernelPair:
+    """Generate the Table-II kernel pair for ``category_id``."""
+    if iterations <= 0 or unroll <= 0:
+        raise ValueError("iterations and unroll must be positive")
+    body = _body_lines(category_id, unroll, fpu)
+    uses_fpu = category_id.startswith("fpu")
+    return KernelPair(
+        category_id=category_id,
+        reference_source=_kernel_source(iterations, [], uses_fpu),
+        test_source=_kernel_source(iterations, body, uses_fpu),
+        n_test=iterations * unroll,
+    )
+
+
+@dataclass
+class CategoryCalibration:
+    """Raw calibration record for one category."""
+
+    category_id: str
+    time_ns: float
+    energy_nj: float
+    n_test: int
+    reference: Measurement
+    test: Measurement
+    adapted: bool = False
+
+
+@dataclass
+class CalibrationResult:
+    """Full calibration outcome: Table I plus provenance."""
+
+    board_name: str
+    iterations: int
+    unroll: int
+    records: dict[str, CategoryCalibration]
+    warnings: list[str] = field(default_factory=list)
+
+    def specific_costs(self) -> SpecificCosts:
+        time_ns = {}
+        energy_nj = {}
+        for cid in CATEGORY_IDS:
+            record = self.records.get(cid)
+            time_ns[cid] = record.time_ns if record else 0.0
+            energy_nj[cid] = record.energy_nj if record else 0.0
+        return SpecificCosts.from_mappings(time_ns, energy_nj)
+
+    def to_model(self, name: str | None = None) -> MechanisticModel:
+        return MechanisticModel(
+            self.specific_costs(),
+            name=name or f"calibrated@{self.board_name}")
+
+    def table1_rows(self) -> list[tuple[str, float, float]]:
+        """(category, t_c ns, e_c nJ) rows for rendering Table I."""
+        return [(cid, rec.time_ns, rec.energy_nj)
+                for cid, rec in self.records.items()]
+
+
+class Calibrator:
+    """Runs the Section-V measurement procedure on a board.
+
+    Parameters
+    ----------
+    board:
+        The testbed to measure on.  FP categories are skipped (with a
+        warning) when the board's core has no FPU.
+    iterations, unroll:
+        Loop trip count and in-loop copies of the test instruction;
+        ``n_test = iterations * unroll`` instructions are averaged.
+    """
+
+    def __init__(self, board: Board, iterations: int = 20000,
+                 unroll: int = 32, max_instructions: int = 400_000_000):
+        self.board = board
+        self.iterations = iterations
+        self.unroll = unroll
+        self.max_instructions = max_instructions
+
+    def calibrate_category(self, category_id: str) -> CategoryCalibration:
+        """Measure one category's kernel pair and apply Eq. 2."""
+        pair = make_kernel_pair(category_id, self.iterations, self.unroll,
+                                fpu=self.board.config.core.has_fpu)
+        ref = self.board.measure(assemble(pair.reference_source),
+                                 max_instructions=self.max_instructions)
+        test = self.board.measure(assemble(pair.test_source),
+                                  max_instructions=self.max_instructions)
+        time_ns = (test.time_s - ref.time_s) / pair.n_test * 1e9
+        energy_nj = (test.energy_j - ref.energy_j) / pair.n_test * 1e9
+        return CategoryCalibration(
+            category_id=category_id,
+            time_ns=time_ns,
+            energy_nj=energy_nj,
+            n_test=pair.n_test,
+            reference=ref,
+            test=test,
+        )
+
+    def calibrate(self, categories: list[str] | None = None) -> CalibrationResult:
+        """Calibrate all (or the given) categories; see module docstring."""
+        selected = categories or list(CATEGORY_IDS)
+        records: dict[str, CategoryCalibration] = {}
+        warnings: list[str] = []
+        has_fpu = self.board.config.core.has_fpu
+        for cid in selected:
+            category_index(cid)  # validates the id
+            if cid.startswith("fpu") and not has_fpu:
+                warnings.append(
+                    f"{cid}: skipped (board {self.board.config.name!r} "
+                    f"has no FPU)")
+                continue
+            record = self.calibrate_category(cid)
+            self._consistency_adapt(record, warnings)
+            records[cid] = record
+        return CalibrationResult(
+            board_name=self.board.config.name,
+            iterations=self.iterations,
+            unroll=self.unroll,
+            records=records,
+            warnings=warnings,
+        )
+
+    @staticmethod
+    def _consistency_adapt(record: CategoryCalibration,
+                           warnings: list[str]) -> None:
+        """The paper's "checked for consistency and manually adapted"."""
+        if record.time_ns <= 0:
+            warnings.append(
+                f"{record.category_id}: non-physical specific time "
+                f"{record.time_ns:.2f} ns clamped")
+            record.time_ns = 1.0
+            record.adapted = True
+        if record.energy_nj <= 0:
+            warnings.append(
+                f"{record.category_id}: non-physical specific energy "
+                f"{record.energy_nj:.2f} nJ clamped")
+            record.energy_nj = 0.5
+            record.adapted = True
+
+
+def blend_with_mix(base: SpecificCosts, category_id: str,
+                   member_costs: dict[str, tuple[float, float]],
+                   mix: dict[str, float]) -> SpecificCosts:
+    """Mix-weighted refinement of one category's constants.
+
+    ``member_costs`` maps member mnemonics to their individually calibrated
+    ``(time_ns, energy_nj)``; ``mix`` gives the expected relative frequency
+    of each member in real workloads.  The category constant becomes the
+    mix-weighted mean -- this is the systematic version of the paper's
+    manual adaptation and is exercised by the ablation benchmarks.
+    """
+    total = sum(mix.values())
+    if total <= 0:
+        raise ValueError("mix weights must sum to a positive value")
+    t = sum(member_costs[m][0] * w for m, w in mix.items()) / total
+    e = sum(member_costs[m][1] * w for m, w in mix.items()) / total
+    idx = category_index(category_id)
+    time_ns = list(base.time_ns)
+    energy_nj = list(base.energy_nj)
+    time_ns[idx] = t
+    energy_nj[idx] = e
+    return SpecificCosts(tuple(time_ns), tuple(energy_nj))

@@ -1,0 +1,98 @@
+"""Design-space exploration: is the FPU worth its chip area? (Section VI.D)
+
+The model's first application in the paper: simulate a workload compiled
+*with* FP instructions on a core with FPU and compiled *soft-float* on a
+core without, compare estimated time/energy, and weigh the savings against
+the synthesis area increase (Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.asm.program import Program
+from repro.hw.area import fpu_area_increase
+from repro.nfp.estimator import NFPEstimator
+from repro.vm.config import CoreConfig
+from repro.vm.cpu import DEFAULT_BUDGET
+
+
+@dataclass(frozen=True)
+class WorkloadPair:
+    """One workload in its two builds (hard-float and soft-float)."""
+
+    name: str
+    float_program: Program
+    fixed_program: Program
+
+
+@dataclass(frozen=True)
+class DseRow:
+    """Table IV row for one workload: relative change when adding an FPU."""
+
+    workload: str
+    energy_change: float
+    time_change: float
+    float_energy_j: float
+    fixed_energy_j: float
+    float_time_s: float
+    fixed_time_s: float
+
+    @property
+    def energy_change_percent(self) -> float:
+        return 100.0 * self.energy_change
+
+    @property
+    def time_change_percent(self) -> float:
+        return 100.0 * self.time_change
+
+
+@dataclass(frozen=True)
+class DseReport:
+    """Full Table IV: per-workload changes plus the area cost."""
+
+    rows: tuple[DseRow, ...]
+    area_increase: float
+
+    @property
+    def area_increase_percent(self) -> float:
+        return 100.0 * self.area_increase
+
+    def row(self, workload: str) -> DseRow:
+        for r in self.rows:
+            if r.workload == workload:
+                return r
+        raise KeyError(workload)
+
+
+def explore_fpu(estimator_fpu: NFPEstimator, estimator_nofpu: NFPEstimator,
+                workloads: Sequence[WorkloadPair],
+                max_instructions: int = DEFAULT_BUDGET) -> DseReport:
+    """Run the Table-IV experiment over ``workloads``.
+
+    Each workload's ``float`` build is estimated on the FPU platform and
+    its ``fixed`` build on the FPU-less platform; the reported change is
+    ``(float - fixed) / fixed``, i.e. what introducing an FPU changes.
+    """
+    rows = []
+    for pair in workloads:
+        with_fpu = estimator_fpu.estimate_program(
+            pair.float_program, kernel_name=f"{pair.name}-float",
+            max_instructions=max_instructions)
+        without_fpu = estimator_nofpu.estimate_program(
+            pair.fixed_program, kernel_name=f"{pair.name}-fixed",
+            max_instructions=max_instructions)
+        rows.append(DseRow(
+            workload=pair.name,
+            energy_change=(with_fpu.energy_j - without_fpu.energy_j)
+            / without_fpu.energy_j,
+            time_change=(with_fpu.time_s - without_fpu.time_s)
+            / without_fpu.time_s,
+            float_energy_j=with_fpu.energy_j,
+            fixed_energy_j=without_fpu.energy_j,
+            float_time_s=with_fpu.time_s,
+            fixed_time_s=without_fpu.time_s,
+        ))
+    return DseReport(rows=tuple(rows),
+                     area_increase=fpu_area_increase(CoreConfig()))

@@ -1,0 +1,71 @@
+"""High-level estimation API: kernel in, time/energy estimate out.
+
+This is the workflow of the paper's Fig. 1 "Our Work" box: run the kernel
+on the fast instruction-accurate simulator (which costs barely more than a
+purely functional run), read the per-category counters, and apply the
+mechanistic model.  No cycle-accurate simulation is involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.program import Program
+from repro.nfp.model import Estimate, MechanisticModel
+from repro.vm.config import CoreConfig
+from repro.vm.cpu import DEFAULT_BUDGET
+from repro.vm.simulator import SimulationResult, Simulator
+
+
+@dataclass
+class EstimationReport:
+    """Result of estimating one kernel."""
+
+    kernel: str
+    estimate: Estimate
+    sim: SimulationResult
+
+    @property
+    def time_s(self) -> float:
+        return self.estimate.time_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.estimate.energy_j
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return self.sim.category_counts
+
+
+class NFPEstimator:
+    """Estimates non-functional properties of kernels with Eq. 1.
+
+    Parameters
+    ----------
+    model:
+        The mechanistic model (usually from
+        :meth:`repro.nfp.calibration.CalibrationResult.to_model`).
+    core:
+        Functional core configuration for the virtual platform; must match
+        the hardware the model was calibrated for (in particular FPU
+        presence, or FP kernels will trap).
+    """
+
+    def __init__(self, model: MechanisticModel, core: CoreConfig | None = None):
+        self.model = model
+        self.core = core or CoreConfig()
+
+    def estimate_program(self, program: Program, kernel_name: str = "kernel",
+                         max_instructions: int = DEFAULT_BUDGET
+                         ) -> EstimationReport:
+        """Simulate ``program`` on the ISS and apply the model."""
+        sim_result = Simulator(program, self.core).run(
+            max_instructions=max_instructions)
+        estimate = self.model.estimate(sim_result.counts_vector)
+        return EstimationReport(kernel=kernel_name, estimate=estimate,
+                                sim=sim_result)
+
+    def estimate_counts(self, counts: dict[str, int]) -> Estimate:
+        """Apply the model to externally obtained category counts."""
+        return self.model.estimate_from_mapping(counts)

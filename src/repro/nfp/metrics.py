@@ -1,0 +1,69 @@
+"""Estimation-error metrics (Section VI.C, Eq. 3 and Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def relative_error(estimated: float, measured: float) -> float:
+    """Eq. 3: signed relative estimation error ``(x_hat - x) / x``."""
+    if measured == 0:
+        raise ValueError("measured value is zero; relative error undefined")
+    return (estimated - measured) / measured
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Mean and maximum absolute relative error over a kernel set."""
+
+    mean_abs: float
+    max_abs: float
+    count: int
+
+    @property
+    def mean_abs_percent(self) -> float:
+        return 100.0 * self.mean_abs
+
+    @property
+    def max_abs_percent(self) -> float:
+        return 100.0 * self.max_abs
+
+
+def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
+    """Table-III aggregation of per-kernel signed errors."""
+    if not errors:
+        raise ValueError("no errors to summarise")
+    magnitudes = [abs(e) for e in errors]
+    return ErrorSummary(
+        mean_abs=sum(magnitudes) / len(magnitudes),
+        max_abs=max(magnitudes),
+        count=len(magnitudes),
+    )
+
+
+@dataclass(frozen=True)
+class KernelError:
+    """Per-kernel estimation record feeding Table III."""
+
+    kernel: str
+    estimated_time_s: float
+    measured_time_s: float
+    estimated_energy_j: float
+    measured_energy_j: float
+
+    @property
+    def time_error(self) -> float:
+        return relative_error(self.estimated_time_s, self.measured_time_s)
+
+    @property
+    def energy_error(self) -> float:
+        return relative_error(self.estimated_energy_j, self.measured_energy_j)
+
+
+def table3(records: Sequence[KernelError]) -> dict[str, ErrorSummary]:
+    """Aggregate per-kernel records into the two Table-III columns."""
+    return {
+        "energy": summarize_errors([r.energy_error for r in records]),
+        "time": summarize_errors([r.time_error for r in records]),
+    }

@@ -1,0 +1,119 @@
+"""The mechanistic estimation model (Section IV, Eq. 1).
+
+Given per-category instruction counts ``n_c`` from the ISS and specific
+costs ``(t_c, e_c)`` from calibration, the model estimates::
+
+    T_hat = sum_c t_c * n_c        E_hat = sum_c e_c * n_c
+
+:data:`PAPER_TABLE1` reproduces the constants the paper reports for its
+50 MHz cacheless LEON3; calibrated models for this reproduction's testbed
+come from :mod:`repro.nfp.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.isa.categories import CATEGORY_IDS, CATEGORY_NAMES, NUM_CATEGORIES
+
+
+@dataclass(frozen=True)
+class SpecificCosts:
+    """Per-category specific time (ns) and energy (nJ), Table-I order."""
+
+    time_ns: tuple[float, ...]
+    energy_nj: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.time_ns) != NUM_CATEGORIES:
+            raise ValueError(
+                f"need {NUM_CATEGORIES} specific times, got {len(self.time_ns)}")
+        if len(self.energy_nj) != NUM_CATEGORIES:
+            raise ValueError(
+                f"need {NUM_CATEGORIES} specific energies, "
+                f"got {len(self.energy_nj)}")
+
+    @classmethod
+    def from_mappings(cls, time_ns: Mapping[str, float],
+                      energy_nj: Mapping[str, float]) -> "SpecificCosts":
+        """Build from ``category_id -> value`` mappings."""
+        return cls(
+            time_ns=tuple(float(time_ns[cid]) for cid in CATEGORY_IDS),
+            energy_nj=tuple(float(energy_nj[cid]) for cid in CATEGORY_IDS),
+        )
+
+    def as_rows(self) -> list[tuple[str, float, float]]:
+        """Table-I rows: (category name, t_c ns, e_c nJ)."""
+        return [(CATEGORY_NAMES[i], self.time_ns[i], self.energy_nj[i])
+                for i in range(NUM_CATEGORIES)]
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """One model output: estimated totals plus per-category breakdown."""
+
+    time_s: float
+    energy_j: float
+    time_breakdown_s: tuple[float, ...]
+    energy_breakdown_j: tuple[float, ...]
+
+    def breakdown_by_category(self) -> list[tuple[str, float, float]]:
+        """(category name, seconds, joules) rows, Table-I order."""
+        return [(CATEGORY_NAMES[i], self.time_breakdown_s[i],
+                 self.energy_breakdown_j[i]) for i in range(NUM_CATEGORIES)]
+
+
+class MechanisticModel:
+    """Eq. 1 evaluator bound to one set of specific costs.
+
+    Parameters
+    ----------
+    costs:
+        Specific per-category times/energies.
+    name:
+        Identifier used in reports (e.g. ``"calibrated@leon3-fpu"``).
+    """
+
+    def __init__(self, costs: SpecificCosts, name: str = "mechanistic"):
+        self.costs = costs
+        self.name = name
+
+    def estimate(self, counts: Sequence[int]) -> Estimate:
+        """Apply Eq. 1 to a count vector in Table-I category order."""
+        if len(counts) != NUM_CATEGORIES:
+            raise ValueError(
+                f"need {NUM_CATEGORIES} counts, got {len(counts)}")
+        t = self.costs.time_ns
+        e = self.costs.energy_nj
+        time_parts = tuple(t[i] * counts[i] * 1e-9
+                           for i in range(NUM_CATEGORIES))
+        energy_parts = tuple(e[i] * counts[i] * 1e-9
+                             for i in range(NUM_CATEGORIES))
+        return Estimate(
+            time_s=sum(time_parts),
+            energy_j=sum(energy_parts),
+            time_breakdown_s=time_parts,
+            energy_breakdown_j=energy_parts,
+        )
+
+    def estimate_from_mapping(self, counts: Mapping[str, int]) -> Estimate:
+        """Apply Eq. 1 to a ``category_id -> count`` mapping."""
+        return self.estimate([counts.get(cid, 0) for cid in CATEGORY_IDS])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MechanisticModel({self.name!r})"
+
+
+def _costs(values: Iterable[float]) -> tuple[float, ...]:
+    return tuple(float(v) for v in values)
+
+
+#: The specific costs the paper reports (Table I) for its LEON3 testbed.
+PAPER_TABLE1 = MechanisticModel(
+    SpecificCosts(
+        time_ns=_costs((45, 238, 700, 376, 46, 41, 46, 431, 612)),
+        energy_nj=_costs((15, 76, 229, 166, 13, 13, 14, 431, 88)),
+    ),
+    name="paper-table1",
+)

@@ -1,0 +1,44 @@
+"""Bit-exact IEEE-754 binary64 software floating point.
+
+Two implementations of the same arithmetic:
+
+* :mod:`repro.softfloat.pyref` -- pure-Python integer-only reference,
+  hypothesis-tested against the host FPU (CPython floats are IEEE-754
+  binary64 with round-to-nearest-even);
+* :mod:`repro.softfloat.kirlib` -- the same algorithms as integer-only
+  kernel-IR functions (``__sf_add`` ...), linked into soft-float builds;
+  this is the reproduction's ``-msoft-float`` libgcc.
+
+NaN handling: results are canonicalised to the quiet NaN
+``0x7FF8000000000000``; tests compare NaNs as a class, matching the
+paper's observation that float and fixed builds produce identical outputs
+(their workloads, like ours, never produce NaNs).
+"""
+
+from repro.softfloat.pyref import (
+    QNAN,
+    f64_add,
+    f64_cmp,
+    f64_div,
+    f64_from_bits,
+    f64_mul,
+    f64_sqrt,
+    f64_sub,
+    f64_to_bits,
+    f64_to_i32,
+    i32_to_f64,
+)
+
+__all__ = [
+    "QNAN",
+    "f64_add",
+    "f64_cmp",
+    "f64_div",
+    "f64_from_bits",
+    "f64_mul",
+    "f64_sqrt",
+    "f64_sub",
+    "f64_to_bits",
+    "f64_to_i32",
+    "i32_to_f64",
+]

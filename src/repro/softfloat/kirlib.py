@@ -1,0 +1,678 @@
+"""The soft-float runtime as integer-only kernel-IR functions.
+
+:func:`ensure_softfloat` installs ``__sf_add``/``__sf_sub``/``__sf_mul``/
+``__sf_div``/``__sf_sqrt``/``__sf_cmp``/``__sf_itod``/``__sf_dtoi`` (plus
+the internal ``__sf_roundpack``) into a module.  The soft-float code
+generator of :mod:`repro.kir.codegen` lowers every f64 operation to calls
+into these routines -- the reproduction of building with ``-msoft-float``.
+
+Doubles travel as ``(hi, lo)`` unsigned 32-bit pairs; results are
+bit-identical to :mod:`repro.softfloat.pyref` (and hence to the hardware
+FPU path), which the test suite verifies with batch kernels over random
+bit patterns.  Algorithms:
+
+* add/sub: align-add/subtract with guard/round/sticky bits;
+* mul: 2x2-limb schoolbook product via ``umul``;
+* div: bit-serial restoring division (58 iterations);
+* sqrt: digit-by-digit restoring square root (56 iterations);
+* all round-to-nearest-even through the shared ``__sf_roundpack``.
+"""
+
+from __future__ import annotations
+
+from repro.kir.builder import Function, Module
+from repro.kir.ir import I32, U32, Expr, LocalRef
+
+_MARKER = "__sf_roundpack"
+
+QNAN_HI = 0x7FF80000
+INF_HI = 0x7FF00000
+SIGN_HI = 0x80000000
+HIDDEN_HI = 0x00100000  # hidden bit (2**52) in the high word
+FRAC_HI_MASK = 0x000FFFFF
+
+
+class _F:
+    """Function wrapper adding unique temporaries and 64-bit idioms."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self._n = 0
+
+    def tmp(self, vtype: str = U32, init=None) -> LocalRef:
+        self._n += 1
+        return self.fn.local(vtype, f"t{self._n}", init=init)
+
+    def __getattr__(self, name):
+        return getattr(self.fn, name)
+
+    # -- 64-bit helpers on (hi, lo) u32 locals --------------------------------
+
+    def add64(self, rh: LocalRef, rl: LocalRef, ah, al, bh, bl) -> None:
+        """(rh, rl) = a + b; result registers may alias inputs."""
+        f = self.fn
+        s = self.tmp()
+        f.assign(s, al + bl)
+        carry = self.tmp()
+        f.assign(carry, _ult(s, al))
+        f.assign(rh, ah + bh + carry)
+        f.assign(rl, s)
+
+    def sub64(self, rh: LocalRef, rl: LocalRef, ah, al, bh, bl) -> None:
+        """(rh, rl) = a - b (a >= b assumed for magnitude paths)."""
+        f = self.fn
+        borrow = self.tmp()
+        f.assign(borrow, _ult(al, bl))
+        f.assign(rl, al - bl)
+        f.assign(rh, ah - bh - borrow)
+
+    def shl64_const(self, hi: LocalRef, lo: LocalRef, n: int) -> None:
+        f = self.fn
+        if n == 0:
+            return
+        if n >= 32:
+            f.assign(hi, lo << (n - 32) if n > 32 else lo + 0)
+            f.assign(lo, 0)
+        else:
+            f.assign(hi, (hi << n) | (lo >> (32 - n)))
+            f.assign(lo, lo << n)
+
+    def shr64_const(self, hi: LocalRef, lo: LocalRef, n: int) -> None:
+        f = self.fn
+        if n == 0:
+            return
+        if n >= 32:
+            f.assign(lo, hi >> (n - 32) if n > 32 else hi + 0)
+            f.assign(hi, 0)
+        else:
+            f.assign(lo, (lo >> n) | (hi << (32 - n)))
+            f.assign(hi, hi >> n)
+
+    def shl64_var(self, hi: LocalRef, lo: LocalRef, n) -> None:
+        """Shift left by a runtime amount in [0, 63]."""
+        f = self.fn
+        with f.if_(n >= 32) as c:
+            f.assign(hi, lo << (n - 32))
+            f.assign(lo, 0)
+        with c.else_():
+            with f.if_(n != 0):
+                f.assign(hi, (hi << n) | (lo >> (32 - n)))
+                f.assign(lo, lo << n)
+
+    def shr64_sticky_var(self, hi: LocalRef, lo: LocalRef, n) -> None:
+        """Shift right by a runtime amount, ORing lost bits into bit 0."""
+        f = self.fn
+        sticky = self.tmp()
+        with f.if_(n >= 64) as c64:
+            f.assign(sticky, (hi | lo) != 0)
+            f.assign(hi, 0)
+            f.assign(lo, sticky)
+        with c64.else_():
+            with f.if_(n >= 32) as c32:
+                k = self.tmp(I32)
+                f.assign(k, n - 32)
+                f.assign(sticky, lo != 0)
+                with f.if_(k != 0) as ck:
+                    mask = self.tmp()
+                    f.assign(mask, (Expr._coerce(lo, 1) << k) - 1)
+                    f.assign(sticky, sticky | ((hi & mask) != 0))
+                    f.assign(lo, (hi >> k) | sticky)
+                with ck.else_():
+                    f.assign(lo, hi | sticky)
+                f.assign(hi, 0)
+            with c32.else_():
+                with f.if_(n != 0):
+                    mask = self.tmp()
+                    f.assign(mask, (Expr._coerce(lo, 1) << n) - 1)
+                    f.assign(sticky, (lo & mask) != 0)
+                    f.assign(lo, (lo >> n) | (hi << (32 - n)) | sticky)
+                    f.assign(hi, hi >> n)
+
+    def bitlen32(self, x, out: LocalRef) -> None:
+        """out = bit length of u32 ``x`` (0..32), branch-free binary search."""
+        f = self.fn
+        v = self.tmp()
+        f.assign(v, x + 0)
+        f.assign(out, 0)
+        for step in (16, 8, 4, 2, 1):
+            with f.if_((v >> step) != 0):
+                f.assign(out, out + step)
+                f.assign(v, v >> step)
+        f.assign(out, out + v)
+
+    def bitlen64(self, hi, lo, out: LocalRef) -> None:
+        f = self.fn
+        with f.if_(hi != 0) as c:
+            self.bitlen32(hi, out)
+            f.assign(out, out + 32)
+        with c.else_():
+            self.bitlen32(lo, out)
+
+
+def _ult(a, b) -> Expr:
+    """Unsigned a < b as a 0/1 expression."""
+    return Expr._cmp(_as_u32(a), "slt", _as_u32(b))
+
+
+def _as_u32(x) -> Expr:
+    from repro.kir.ir import Unop, expr_of
+    e = expr_of(x)
+    if e.type == U32:
+        return e
+    return Unop("bitcast_i2u", e)
+
+
+def _u64_ge(ah, al, bh, bl) -> Expr:
+    """(ah:al) >= (bh:bl) unsigned, as a 0/1 expression."""
+    gt = _as_u32(ah) > _as_u32(bh)
+    eq = ah == bh
+    ge_lo = _as_u32(al) >= _as_u32(bl)
+    return gt | (eq & ge_lo)
+
+
+# ---------------------------------------------------------------------------
+# the runtime functions
+# ---------------------------------------------------------------------------
+
+
+def ensure_softfloat(module: Module) -> None:
+    """Install the soft-float runtime into ``module`` (idempotent)."""
+    if _MARKER in module.functions:
+        return
+    _build_roundpack(module)
+    _build_add(module)
+    _build_sub(module)
+    _build_mul(module)
+    _build_div(module)
+    _build_sqrt(module)
+    _build_cmp(module)
+    _build_itod(module)
+    _build_dtoi(module)
+
+
+def _ret_qnan(f: Function) -> None:
+    f.ret_pair(QNAN_HI, 0)
+
+
+def _build_roundpack(module: Module) -> None:
+    """``__sf_roundpack(s, e, mh, ml)``: round RNE and pack.
+
+    ``(mh, ml)`` is the 56-bit significand with 3 guard/round/sticky bits;
+    either zero or normalised to ``2**55 <= m < 2**56``.
+    """
+    fn = module.function(_MARKER,
+                         [("s", U32), ("e", I32), ("mh", U32), ("ml", U32)],
+                         ret=None)
+    f = _F(fn)
+    s, e, mh, ml = fn.params
+    with f.if_((mh | ml) == 0):
+        f.ret_pair(s << 31, 0)
+    with f.if_(e < 1):
+        n = f.tmp(I32)
+        f.assign(n, 1 - e)
+        f.shr64_sticky_var(mh, ml, n)
+        f.assign(e, 1)
+    rbits = f.tmp()
+    f.assign(rbits, ml & 7)
+    f.shr64_const(mh, ml, 3)
+    round_up = f.tmp(I32, init=0)
+    with f.if_(rbits > 4):
+        f.assign(round_up, 1)
+    with f.if_(rbits == 4):
+        with f.if_((ml & 1) != 0):
+            f.assign(round_up, 1)
+    with f.if_(round_up != 0):
+        f.add64(mh, ml, mh, ml, 0, 1)
+    with f.if_((mh >> 21) != 0):       # significand reached 2**53: renormalise
+        f.shr64_const(mh, ml, 1)
+        f.assign(e, e + 1)
+    with f.if_((mh >> 20) == 0) as c:  # still below the hidden bit: subnormal
+        f.assign(e, 0)
+    with c.else_():
+        f.assign(mh, mh & FRAC_HI_MASK)
+    with f.if_(e >= 0x7FF):
+        f.ret_pair((s << 31) | INF_HI, 0)
+    f.ret_pair((s << 31) | (_as_u32(e) << 20) | mh, ml)
+
+
+def _emit_unpack(f: _F, hi, lo, prefix: str):
+    """Extract (sign, exponent-field, normalised mantissa pair, e_eff)."""
+    fn = f.fn
+    s = fn.local(U32, f"{prefix}_s", init=hi >> 31)
+    e = fn.local(I32, f"{prefix}_e")
+    fn.assign(e, (hi >> 20) & 0x7FF)
+    mh = fn.local(U32, f"{prefix}_mh", init=hi & FRAC_HI_MASK)
+    ml = fn.local(U32, f"{prefix}_ml", init=lo + 0)
+    return s, e, mh, ml
+
+
+def _emit_norm_input(f: _F, e: LocalRef, mh: LocalRef, ml: LocalRef) -> None:
+    """Normalise a nonzero finite input: hidden bit set, e -> effective."""
+    fn = f.fn
+    with fn.if_(e == 0) as c:
+        blen = f.tmp(I32)
+        f.bitlen64(mh, ml, blen)
+        shift = f.tmp(I32)
+        fn.assign(shift, 53 - blen)
+        f.shl64_var(mh, ml, shift)
+        fn.assign(e, 1 - shift)
+    with c.else_():
+        fn.assign(mh, mh | HIDDEN_HI)
+
+
+def _build_add(module: Module) -> None:
+    fn = module.function("__sf_add",
+                         [("ah", U32), ("al", U32), ("bh", U32), ("bl", U32)],
+                         ret=None)
+    f = _F(fn)
+    ah, al, bh, bl = fn.params
+    sa, ea, mah, mal = _emit_unpack(f, ah, al, "a")
+    sb, eb, mbh, mbl = _emit_unpack(f, bh, bl, "b")
+
+    with fn.if_(ea == 0x7FF):
+        with fn.if_((mah | mal) != 0):
+            _ret_qnan(fn)
+        with fn.if_(eb == 0x7FF):
+            with fn.if_((mbh | mbl) != 0):
+                _ret_qnan(fn)
+            with fn.if_(sa != sb):
+                _ret_qnan(fn)
+        fn.ret_pair(ah, al)
+    with fn.if_(eb == 0x7FF):
+        with fn.if_((mbh | mbl) != 0):
+            _ret_qnan(fn)
+        fn.ret_pair(bh, bl)
+
+    a_zero = f.tmp(I32, init=(ea == 0) & ((mah | mal) == 0))
+    b_zero = f.tmp(I32, init=(eb == 0) & ((mbh | mbl) == 0))
+    with fn.if_(a_zero & b_zero):
+        fn.ret_pair((sa & sb) << 31, 0)
+    with fn.if_(a_zero):
+        fn.ret_pair(bh, bl)
+    with fn.if_(b_zero):
+        fn.ret_pair(ah, al)
+
+    _emit_norm_input(f, ea, mah, mal)
+    _emit_norm_input(f, eb, mbh, mbl)
+    f.shl64_const(mah, mal, 3)
+    f.shl64_const(mbh, mbl, 3)
+
+    # order by magnitude: (exponent, significand) of a must dominate
+    swap = f.tmp(I32, init=0)
+    with fn.if_(ea < eb):
+        fn.assign(swap, 1)
+    with fn.if_(ea == eb):
+        with fn.if_(_u64_ge(mah, mal, mbh, mbl) == 0):
+            fn.assign(swap, 1)
+    with fn.if_(swap != 0):
+        t = f.tmp()
+        for x, y in ((sa, sb), (mah, mbh), (mal, mbl)):
+            fn.assign(t, x + 0)
+            fn.assign(x, y + 0)
+            fn.assign(y, t + 0)
+        ti = f.tmp(I32)
+        fn.assign(ti, ea + 0)
+        fn.assign(ea, eb + 0)
+        fn.assign(eb, ti + 0)
+
+    d = f.tmp(I32)
+    fn.assign(d, ea - eb)
+    f.shr64_sticky_var(mbh, mbl, d)
+
+    with fn.if_(sa == sb) as csign:
+        f.add64(mah, mal, mah, mal, mbh, mbl)
+        with fn.if_((mah >> 24) != 0):
+            sticky = f.tmp()
+            fn.assign(sticky, mal & 1)
+            f.shr64_const(mah, mal, 1)
+            fn.assign(mal, mal | sticky)
+            fn.assign(ea, ea + 1)
+    with csign.else_():
+        f.sub64(mah, mal, mah, mal, mbh, mbl)
+        with fn.if_((mah | mal) == 0):
+            fn.ret_pair(0, 0)  # exact cancellation: +0 under RNE
+        blen = f.tmp(I32)
+        f.bitlen64(mah, mal, blen)
+        shift = f.tmp(I32)
+        fn.assign(shift, 56 - blen)
+        f.shl64_var(mah, mal, shift)
+        fn.assign(ea, ea - shift)
+
+    fn.call_pair(mah, mal, _MARKER, sa, ea, mah, mal)
+    fn.ret_pair(mah, mal)
+
+
+def _build_sub(module: Module) -> None:
+    fn = module.function("__sf_sub",
+                         [("ah", U32), ("al", U32), ("bh", U32), ("bl", U32)],
+                         ret=None)
+    f = _F(fn)
+    ah, al, bh, bl = fn.params
+    # NaN - anything stays NaN even after the sign flip, so plain negate-add
+    # is IEEE-correct (the sign of a NaN is irrelevant).
+    rh = f.tmp()
+    rl = f.tmp()
+    fn.call_pair(rh, rl, "__sf_add", ah, al, bh ^ SIGN_HI, bl)
+    fn.ret_pair(rh, rl)
+
+
+def _build_mul(module: Module) -> None:
+    fn = module.function("__sf_mul",
+                         [("ah", U32), ("al", U32), ("bh", U32), ("bl", U32)],
+                         ret=None)
+    f = _F(fn)
+    ah, al, bh, bl = fn.params
+    sa, ea, mah, mal = _emit_unpack(f, ah, al, "a")
+    sb, eb, mbh, mbl = _emit_unpack(f, bh, bl, "b")
+    s = f.tmp(init=sa ^ sb)
+
+    a_zero = f.tmp(I32, init=(ea == 0) & ((mah | mal) == 0))
+    b_zero = f.tmp(I32, init=(eb == 0) & ((mbh | mbl) == 0))
+    with fn.if_(ea == 0x7FF):
+        with fn.if_((mah | mal) != 0):
+            _ret_qnan(fn)
+        with fn.if_(eb == 0x7FF):
+            with fn.if_((mbh | mbl) != 0):
+                _ret_qnan(fn)
+        with fn.if_(b_zero):
+            _ret_qnan(fn)  # inf * 0
+        fn.ret_pair((s << 31) | INF_HI, 0)
+    with fn.if_(eb == 0x7FF):
+        with fn.if_((mbh | mbl) != 0):
+            _ret_qnan(fn)
+        with fn.if_(a_zero):
+            _ret_qnan(fn)  # 0 * inf
+        fn.ret_pair((s << 31) | INF_HI, 0)
+    with fn.if_(a_zero | b_zero):
+        fn.ret_pair(s << 31, 0)
+
+    _emit_norm_input(f, ea, mah, mal)
+    _emit_norm_input(f, eb, mbh, mbl)
+
+    # 2x2-limb product: (mah:mal) * (mbh:mbl), 106 bits in p3:p2:p1:p0
+    h0, l0 = f.tmp(), f.tmp()
+    h1, l1 = f.tmp(), f.tmp()
+    h2, l2 = f.tmp(), f.tmp()
+    h3, l3 = f.tmp(), f.tmp()
+    fn.umul_wide(h0, l0, mal, mbl)
+    fn.umul_wide(h1, l1, mal, mbh)
+    fn.umul_wide(h2, l2, mah, mbl)
+    fn.umul_wide(h3, l3, mah, mbh)
+    p0 = l0
+    p1 = f.tmp()
+    carry1 = f.tmp(I32, init=0)
+    t = f.tmp()
+    fn.assign(t, h0 + l1)
+    with fn.if_(_ult(t, h0)):
+        fn.assign(carry1, carry1 + 1)
+    fn.assign(p1, t + l2)
+    with fn.if_(_ult(p1, t)):
+        fn.assign(carry1, carry1 + 1)
+    p2 = f.tmp()
+    carry2 = f.tmp(I32, init=0)
+    fn.assign(t, h1 + h2)
+    with fn.if_(_ult(t, h1)):
+        fn.assign(carry2, carry2 + 1)
+    u = f.tmp()
+    fn.assign(u, t + l3)
+    with fn.if_(_ult(u, t)):
+        fn.assign(carry2, carry2 + 1)
+    fn.assign(p2, u + carry1)
+    with fn.if_(_ult(p2, u)):
+        fn.assign(carry2, carry2 + 1)
+    p3 = f.tmp()
+    fn.assign(p3, h3 + carry2)
+
+    # normalise the 105/106-bit product to 56 bits + sticky
+    e = f.tmp(I32)
+    mh = f.tmp()
+    ml = f.tmp()
+    sticky = f.tmp()
+    with fn.if_((p3 >> 9) != 0) as c106:  # bit 105 set: shift right 50
+        fn.assign(mh, (p2 >> 18) | (p3 << 14))
+        fn.assign(ml, (p1 >> 18) | (p2 << 14))
+        fn.assign(sticky, (p0 | (p1 & 0x3FFFF)) != 0)
+        fn.assign(e, ea + eb - 1128 + 106)
+    with c106.else_():                     # 105 bits: shift right 49
+        fn.assign(mh, (p2 >> 17) | (p3 << 15))
+        fn.assign(ml, (p1 >> 17) | (p2 << 15))
+        fn.assign(sticky, (p0 | (p1 & 0x1FFFF)) != 0)
+        fn.assign(e, ea + eb - 1128 + 105)
+    fn.assign(ml, ml | sticky)
+    fn.call_pair(mh, ml, _MARKER, s, e, mh, ml)
+    fn.ret_pair(mh, ml)
+
+
+def _build_div(module: Module) -> None:
+    fn = module.function("__sf_div",
+                         [("ah", U32), ("al", U32), ("bh", U32), ("bl", U32)],
+                         ret=None)
+    f = _F(fn)
+    ah, al, bh, bl = fn.params
+    sa, ea, mah, mal = _emit_unpack(f, ah, al, "a")
+    sb, eb, mbh, mbl = _emit_unpack(f, bh, bl, "b")
+    s = f.tmp(init=sa ^ sb)
+    a_zero = f.tmp(I32, init=(ea == 0) & ((mah | mal) == 0))
+    b_zero = f.tmp(I32, init=(eb == 0) & ((mbh | mbl) == 0))
+
+    with fn.if_(ea == 0x7FF):
+        with fn.if_((mah | mal) != 0):
+            _ret_qnan(fn)
+        with fn.if_(eb == 0x7FF):
+            _ret_qnan(fn)  # inf/inf (or inf/NaN)
+        fn.ret_pair((s << 31) | INF_HI, 0)
+    with fn.if_(eb == 0x7FF):
+        with fn.if_((mbh | mbl) != 0):
+            _ret_qnan(fn)
+        fn.ret_pair(s << 31, 0)  # finite / inf
+    with fn.if_(b_zero):
+        with fn.if_(a_zero):
+            _ret_qnan(fn)  # 0/0
+        fn.ret_pair((s << 31) | INF_HI, 0)
+    with fn.if_(a_zero):
+        fn.ret_pair(s << 31, 0)
+
+    _emit_norm_input(f, ea, mah, mal)
+    _emit_norm_input(f, eb, mbh, mbl)
+
+    # bit-serial restoring division: q = (ma << 57) / mb.  The remainder
+    # must start below the divisor, so the leading quotient bit (set when
+    # ma >= mb) is extracted before the 57 per-bit iterations.
+    qh = f.tmp(init=0)
+    ql = f.tmp(init=0)
+    with fn.if_(_u64_ge(mah, mal, mbh, mbl)):
+        f.sub64(mah, mal, mah, mal, mbh, mbl)
+        fn.assign(ql, 1)
+    with fn.for_range("i", 0, 57):
+        f.shl64_const(mah, mal, 1)
+        f.shl64_const(qh, ql, 1)
+        with fn.if_(_u64_ge(mah, mal, mbh, mbl)):
+            f.sub64(mah, mal, mah, mal, mbh, mbl)
+            fn.assign(ql, ql | 1)
+
+    e = f.tmp(I32)
+    sticky = f.tmp(init=(mah | mal) != 0)
+    with fn.if_((qh >> 25) != 0) as c58:      # 58-bit quotient: shift 2
+        fn.assign(sticky, sticky | (ql & 3) != 0)
+        f.shr64_const(qh, ql, 2)
+        fn.assign(e, ea - eb + 965 + 58)
+    with c58.else_():                          # 57-bit quotient: shift 1
+        fn.assign(sticky, sticky | (ql & 1))
+        f.shr64_const(qh, ql, 1)
+        fn.assign(e, ea - eb + 965 + 57)
+    fn.assign(ql, ql | sticky)
+    fn.call_pair(qh, ql, _MARKER, s, e, qh, ql)
+    fn.ret_pair(qh, ql)
+
+
+def _build_sqrt(module: Module) -> None:
+    fn = module.function("__sf_sqrt", [("ah", U32), ("al", U32)], ret=None)
+    f = _F(fn)
+    ah, al = fn.params
+    sa, ea, mah, mal = _emit_unpack(f, ah, al, "a")
+    with fn.if_(ea == 0x7FF):
+        with fn.if_((mah | mal) != 0):
+            _ret_qnan(fn)
+        with fn.if_(sa != 0):
+            _ret_qnan(fn)  # sqrt(-inf)
+        fn.ret_pair(ah, al)
+    with fn.if_((ea == 0) & ((mah | mal) == 0)):
+        fn.ret_pair(ah, al)  # +/-0
+    with fn.if_(sa != 0):
+        _ret_qnan(fn)
+
+    _emit_norm_input(f, ea, mah, mal)
+    ex = f.tmp(I32)
+    fn.assign(ex, ea - 1075)
+    with fn.if_((ex & 1) != 0):
+        f.shl64_const(mah, mal, 1)
+        fn.assign(ex, ex - 1)
+
+    # radicand X = m << 58, preshifted by 16 so the first bit pair sits at
+    # the top of x3; 56 digit-by-digit iterations produce a 56-bit root
+    x3 = f.tmp(init=(mah << 10) | (mal >> 22))
+    x2 = f.tmp(init=mal << 10)
+    x1 = f.tmp(init=0)
+    x0 = f.tmp(init=0)
+    rooth = f.tmp(init=0)
+    rootl = f.tmp(init=0)
+    remh = f.tmp(init=0)
+    reml = f.tmp(init=0)
+    top2 = f.tmp()
+    trialh = f.tmp()
+    triall = f.tmp()
+    with fn.for_range("i", 0, 56):
+        fn.assign(top2, x3 >> 30)
+        # X <<= 2 across four limbs
+        fn.assign(x3, (x3 << 2) | (x2 >> 30))
+        fn.assign(x2, (x2 << 2) | (x1 >> 30))
+        fn.assign(x1, (x1 << 2) | (x0 >> 30))
+        fn.assign(x0, x0 << 2)
+        # rem = (rem << 2) | top2
+        fn.assign(remh, (remh << 2) | (reml >> 30))
+        fn.assign(reml, (reml << 2) | top2)
+        # trial = (root << 2) | 1
+        fn.assign(trialh, (rooth << 2) | (rootl >> 30))
+        fn.assign(triall, (rootl << 2) | 1)
+        # root <<= 1
+        fn.assign(rooth, (rooth << 1) | (rootl >> 31))
+        fn.assign(rootl, rootl << 1)
+        with fn.if_(_u64_ge(remh, reml, trialh, triall)):
+            f.sub64(remh, reml, remh, reml, trialh, triall)
+            fn.assign(rootl, rootl | 1)
+    with fn.if_((remh | reml) != 0):
+        fn.assign(rootl, rootl | 1)  # sticky
+    e = f.tmp(I32)
+    fn.assign(e, (ex >> 1) + 1049)
+    fn.call_pair(rooth, rootl, _MARKER, 0, e, rooth, rootl)
+    fn.ret_pair(rooth, rootl)
+
+
+def _build_cmp(module: Module) -> None:
+    """``__sf_cmp`` returns the fcc encoding: 0 eq, 1 lt, 2 gt, 3 unordered."""
+    fn = module.function("__sf_cmp",
+                         [("ah", U32), ("al", U32), ("bh", U32), ("bl", U32)],
+                         ret=I32)
+    f = _F(fn)
+    ah, al, bh, bl = fn.params
+    ea = f.tmp(init=(ah >> 20) & 0x7FF)
+    eb = f.tmp(init=(bh >> 20) & 0x7FF)
+    with fn.if_((ea == 0x7FF) & (((ah & FRAC_HI_MASK) | al) != 0)):
+        fn.ret(3)
+    with fn.if_((eb == 0x7FF) & (((bh & FRAC_HI_MASK) | bl) != 0)):
+        fn.ret(3)
+    a_zero = f.tmp(I32, init=(((ah << 1) | al) == 0))
+    b_zero = f.tmp(I32, init=(((bh << 1) | bl) == 0))
+    sa = f.tmp(init=ah >> 31)
+    sb = f.tmp(init=bh >> 31)
+    with fn.if_(a_zero & b_zero):
+        fn.ret(0)
+    with fn.if_(a_zero):
+        with fn.if_(sb != 0) as c:
+            fn.ret(2)
+        with c.else_():
+            fn.ret(1)
+    with fn.if_(b_zero):
+        with fn.if_(sa != 0) as c:
+            fn.ret(1)
+        with c.else_():
+            fn.ret(2)
+    with fn.if_(sa != sb):
+        with fn.if_(sa != 0) as c:
+            fn.ret(1)
+        with c.else_():
+            fn.ret(2)
+    magh_a = f.tmp(init=ah & 0x7FFFFFFF)
+    magh_b = f.tmp(init=bh & 0x7FFFFFFF)
+    with fn.if_((magh_a == magh_b) & (al == bl)):
+        fn.ret(0)
+    less = f.tmp(I32)
+    fn.assign(less, _ult(magh_a, magh_b) |
+              ((magh_a == magh_b) & _ult(al, bl)))
+    with fn.if_(sa != 0):
+        fn.assign(less, less == 0)
+    with fn.if_(less != 0) as c:
+        fn.ret(1)
+    with c.else_():
+        fn.ret(2)
+
+
+def _build_itod(module: Module) -> None:
+    fn = module.function("__sf_itod", [("x", I32)], ret=None)
+    f = _F(fn)
+    x = fn.params[0]
+    with fn.if_(x == 0):
+        fn.ret_pair(0, 0)
+    s = f.tmp(I32, init=0)
+    mag = f.tmp()
+    fn.assign(mag, _as_u32(x) + 0)
+    with fn.if_(x < 0):
+        fn.assign(s, 1)
+        fn.assign(mag, 0 - mag)
+    blen = f.tmp(I32)
+    f.bitlen32(mag, blen)
+    # sig = mag << (53 - blen), exponent field = 1075 - (53 - blen)
+    shift = f.tmp(I32)
+    fn.assign(shift, 53 - blen)
+    hi = f.tmp(init=0)
+    lo = f.tmp()
+    fn.assign(lo, mag + 0)
+    f.shl64_var(hi, lo, shift)
+    e = f.tmp(I32)
+    fn.assign(e, 1075 - shift)
+    fn.ret_pair((_as_u32(s) << 31) | (_as_u32(e) << 20) | (hi & FRAC_HI_MASK),
+                lo)
+
+
+def _build_dtoi(module: Module) -> None:
+    fn = module.function("__sf_dtoi", [("ah", U32), ("al", U32)], ret=I32)
+    f = _F(fn)
+    ah, al = fn.params
+    s = f.tmp(init=ah >> 31)
+    e = f.tmp(I32, init=(ah >> 20) & 0x7FF)
+    frac_h = f.tmp(init=ah & FRAC_HI_MASK)
+    with fn.if_((e == 0x7FF) & ((frac_h | al) != 0)):
+        fn.ret(0)  # NaN
+    with fn.if_(e < 1023):
+        fn.ret(0)  # |x| < 1
+    with fn.if_(e >= 1023 + 31):
+        # overflow except exactly -2**31
+        with fn.if_((s != 0) & (e == 1023 + 31) & ((frac_h | al) == 0)):
+            fn.ret(Expr._coerce(al, -0x80000000))
+        with fn.if_(s != 0) as c:
+            fn.ret(Expr._coerce(al, -0x80000000))
+        with c.else_():
+            fn.ret(0x7FFFFFFF)
+    sig_h = f.tmp(init=frac_h | HIDDEN_HI)
+    sig_l = f.tmp(init=al + 0)
+    shift = f.tmp(I32)
+    fn.assign(shift, 1075 - e)  # in [22, 52] here
+    with fn.if_(shift >= 32) as c:
+        fn.assign(sig_l, sig_h >> (shift - 32))
+    with c.else_():
+        fn.assign(sig_l, (sig_l >> shift) | (sig_h << (32 - shift)))
+    value = f.tmp(I32)
+    fn.assign(value, sig_l)
+    with fn.if_(s != 0):
+        fn.assign(value, 0 - value)
+    fn.ret(value)

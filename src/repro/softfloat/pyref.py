@@ -1,0 +1,303 @@
+"""Reference soft-float: IEEE-754 binary64 on integer bit patterns.
+
+All functions take and return 64-bit integer bit patterns; rounding is
+round-to-nearest-even, the only mode the paper's kernels use.  The
+algorithms are written to mirror the structure of the kernel-IR runtime in
+:mod:`repro.softfloat.kirlib` (unpack -> operate with guard/round/sticky
+bits -> round -> pack), so a divergence between the two is a bug in
+exactly one identifiable stage.
+"""
+
+from __future__ import annotations
+
+import struct
+
+BIAS = 1023
+EMAX = 0x7FF
+SIGN = 1 << 63
+MASK52 = (1 << 52) - 1
+HIDDEN = 1 << 52
+#: canonical quiet NaN (all NaN results are canonicalised to this pattern)
+QNAN = 0x7FF8000000000000
+INF = 0x7FF << 52
+
+_MASK64 = (1 << 64) - 1
+
+
+def f64_to_bits(x: float) -> int:
+    """Host float -> 64-bit pattern."""
+    return struct.unpack(">Q", struct.pack(">d", x))[0]
+
+
+def f64_from_bits(bits: int) -> float:
+    """64-bit pattern -> host float."""
+    return struct.unpack(">d", struct.pack(">Q", bits & _MASK64))[0]
+
+
+def _unpack(bits: int) -> tuple[int, int, int]:
+    return (bits >> 63) & 1, (bits >> 52) & 0x7FF, bits & MASK52
+
+
+def _is_nan(e: int, f: int) -> bool:
+    return e == EMAX and f != 0
+
+
+def _rshift_sticky(x: int, n: int) -> int:
+    """Right shift keeping a sticky OR of all shifted-out bits in the LSB."""
+    if n <= 0:
+        return x << -n
+    if n >= x.bit_length() + 1:
+        return 1 if x else 0
+    sticky = 1 if x & ((1 << n) - 1) else 0
+    return (x >> n) | sticky
+
+
+def _norm_input(e: int, f: int) -> tuple[int, int]:
+    """Normalise a possibly-subnormal input to (exponent, 53-bit mantissa)."""
+    if e:
+        return e, f | HIDDEN
+    # subnormal: shift the fraction up until the hidden position is set
+    shift = 53 - f.bit_length()
+    return 1 - shift, f << shift
+
+
+def _round_pack(s: int, e: int, m: int) -> int:
+    """Round a normalised (or zero) significand and pack the result.
+
+    ``m`` carries 3 extra low bits (guard/round/sticky) and, when nonzero,
+    satisfies ``2**55 <= m < 2**56``; the represented value is
+    ``(-1)**s * m * 2**(e - BIAS - 55)``.
+    """
+    if m == 0:
+        return s << 63
+    if e < 1:  # subnormal or underflow-to-zero range
+        m = _rshift_sticky(m, 1 - e)
+        e = 1
+    rbits = m & 7
+    sig = m >> 3
+    if rbits > 4 or (rbits == 4 and (sig & 1)):
+        sig += 1
+    if sig >= (1 << 53):
+        sig >>= 1
+        e += 1
+    if sig < HIDDEN:
+        e = 0  # stayed subnormal (or rounded to zero)
+    else:
+        sig -= HIDDEN
+    if e >= EMAX:
+        return (s << 63) | INF
+    return (s << 63) | (e << 52) | sig
+
+
+def f64_add(a: int, b: int) -> int:
+    """IEEE-754 addition, round-to-nearest-even."""
+    sa, ea, fa = _unpack(a)
+    sb, eb, fb = _unpack(b)
+    if ea == EMAX:
+        if fa:
+            return QNAN
+        if eb == EMAX:
+            if fb or sa != sb:
+                return QNAN  # NaN operand or inf - inf
+            return a
+        return a
+    if eb == EMAX:
+        return QNAN if fb else b
+    if (ea | fa) == 0 and (eb | fb) == 0:
+        # +/-0 + +/-0: result is -0 only when both are -0 (RNE)
+        return (sa & sb) << 63
+    ea_eff, ma = _norm_input(ea, fa)
+    eb_eff, mb = _norm_input(eb, fb)
+    ma <<= 3  # guard/round/sticky
+    mb <<= 3
+    if (ea_eff, ma) < (eb_eff, mb):
+        sa, sb = sb, sa
+        ea_eff, eb_eff = eb_eff, ea_eff
+        ma, mb = mb, ma
+    mb = _rshift_sticky(mb, ea_eff - eb_eff)
+    if sa == sb:
+        m = ma + mb
+        if m >> 56:
+            m = _rshift_sticky(m, 1)
+            ea_eff += 1
+    else:
+        m = ma - mb
+        if m == 0:
+            return 0  # exact cancellation: +0 under RNE
+        shift = 56 - m.bit_length()
+        m <<= shift
+        ea_eff -= shift
+    return _round_pack(sa, ea_eff, m)
+
+
+def f64_sub(a: int, b: int) -> int:
+    """IEEE-754 subtraction (addition of the negated operand)."""
+    sb, eb, fb = _unpack(b)
+    if _is_nan(eb, fb):
+        return QNAN
+    return f64_add(a, b ^ SIGN)
+
+
+def f64_mul(a: int, b: int) -> int:
+    """IEEE-754 multiplication, round-to-nearest-even."""
+    sa, ea, fa = _unpack(a)
+    sb, eb, fb = _unpack(b)
+    s = sa ^ sb
+    if ea == EMAX:
+        if fa or (eb == EMAX and fb):
+            return QNAN
+        if (eb | fb) == 0:
+            return QNAN  # inf * 0
+        return (s << 63) | INF
+    if eb == EMAX:
+        if fb:
+            return QNAN
+        if (ea | fa) == 0:
+            return QNAN  # 0 * inf
+        return (s << 63) | INF
+    if (ea | fa) == 0 or (eb | fb) == 0:
+        return s << 63
+    ea_eff, ma = _norm_input(ea, fa)
+    eb_eff, mb = _norm_input(eb, fb)
+    prod = ma * mb  # in [2**104, 2**106)
+    length = prod.bit_length()
+    m = _rshift_sticky(prod, length - 56)
+    e = ea_eff + eb_eff - 1128 + length
+    return _round_pack(s, e, m)
+
+
+def f64_div(a: int, b: int) -> int:
+    """IEEE-754 division, round-to-nearest-even."""
+    sa, ea, fa = _unpack(a)
+    sb, eb, fb = _unpack(b)
+    s = sa ^ sb
+    if ea == EMAX:
+        if fa or eb == EMAX:
+            return QNAN  # NaN operand or inf/inf
+        return (s << 63) | INF
+    if eb == EMAX:
+        return QNAN if fb else (s << 63)
+    if (eb | fb) == 0:
+        if (ea | fa) == 0:
+            return QNAN  # 0/0
+        return (s << 63) | INF  # x/0
+    if (ea | fa) == 0:
+        return s << 63
+    ea_eff, ma = _norm_input(ea, fa)
+    eb_eff, mb = _norm_input(eb, fb)
+    num = ma << 57
+    q = num // mb  # in (2**56, 2**58)
+    rem = num - q * mb
+    length = q.bit_length()
+    m = _rshift_sticky(q, length - 56)
+    if rem:
+        m |= 1
+    e = ea_eff - eb_eff + 965 + length
+    return _round_pack(s, e, m)
+
+
+def f64_sqrt(a: int) -> int:
+    """IEEE-754 square root, round-to-nearest-even."""
+    s, e, f = _unpack(a)
+    if _is_nan(e, f):
+        return QNAN
+    if (e | f) == 0:
+        return a  # +/-0
+    if s:
+        return QNAN
+    if e == EMAX:
+        return a  # +inf
+    e_eff, m = _norm_input(e, f)
+    ex = e_eff - 1075
+    if ex & 1:
+        m <<= 1
+        ex -= 1
+    radicand = m << 58
+    root = _isqrt(radicand)  # 56 bits
+    if root * root != radicand:
+        root |= 1  # sticky
+    return _round_pack(0, (ex >> 1) + 1049, root)
+
+
+def _isqrt(x: int) -> int:
+    """Integer square root (restoring, digit-by-digit).
+
+    Deliberately the same bit-serial algorithm the kernel-IR runtime uses,
+    rather than :func:`math.isqrt`, so the two implementations can be
+    compared stage by stage.
+    """
+    bits = x.bit_length()
+    if bits & 1:
+        bits += 1
+    root = 0
+    rem = 0
+    for i in range(bits - 2, -2, -2):
+        rem = (rem << 2) | ((x >> i) & 3)
+        trial = (root << 2) | 1
+        root <<= 1
+        if rem >= trial:
+            rem -= trial
+            root |= 1
+    return root
+
+
+def f64_cmp(a: int, b: int) -> int:
+    """Compare: 0 equal, 1 less, 2 greater, 3 unordered (the fcc encoding)."""
+    sa, ea, fa = _unpack(a)
+    sb, eb, fb = _unpack(b)
+    if _is_nan(ea, fa) or _is_nan(eb, fb):
+        return 3
+    a_zero = (ea | fa) == 0
+    b_zero = (eb | fb) == 0
+    if a_zero and b_zero:
+        return 0  # +0 == -0
+    if a_zero:
+        return 2 if sb else 1
+    if b_zero:
+        return 1 if sa else 2
+    if sa != sb:
+        return 1 if sa else 2
+    mag_a = a & ~SIGN
+    mag_b = b & ~SIGN
+    if mag_a == mag_b:
+        return 0
+    less = mag_a < mag_b
+    if sa:
+        less = not less
+    return 1 if less else 2
+
+
+def i32_to_f64(x: int) -> int:
+    """Exact conversion of a signed 32-bit integer to binary64."""
+    x &= 0xFFFFFFFF
+    if x == 0:
+        return 0
+    s = (x >> 31) & 1
+    mag = (0x100000000 - x) if s else x
+    shift = 53 - mag.bit_length()
+    sig = mag << shift
+    return (s << 63) | ((1075 - shift) << 52) | (sig & MASK52)
+
+
+def f64_to_i32(a: int) -> int:
+    """Truncating, saturating conversion (matches the FPU's ``fdtoi``).
+
+    NaN converts to 0; overflow saturates.  Returned as an unsigned 32-bit
+    pattern, like the morpher's :func:`repro.vm.morpher.f64_to_i32_trunc`.
+    """
+    s, e, f = _unpack(a)
+    if _is_nan(e, f):
+        return 0
+    if e == EMAX or e >= BIAS + 31:
+        if s and e <= BIAS + 31:
+            # could still be exactly -2**31
+            if e == BIAS + 31 and f == 0:
+                return 0x80000000
+        return 0x80000000 if s else 0x7FFFFFFF
+    if e < BIAS:
+        return 0
+    sig = f | HIDDEN
+    value = sig >> (BIAS + 52 - e)
+    if s:
+        value = -value
+    return value & 0xFFFFFFFF

@@ -1,0 +1,60 @@
+"""Instruction-set simulator (the OVP analogue).
+
+The functional simulation environment of the paper: instruction-accurate,
+not cycle-accurate; the user can inspect registers and memory at any point
+but there is no pipeline state.  Per-category instruction counters are
+maintained inline by the morphed code (Section III of the paper), making
+the extended ISS barely slower than the purely functional one.
+"""
+
+from repro.vm.config import CoreConfig
+from repro.vm.cpu import DEFAULT_BUDGET, Cpu, RetireObserver
+from repro.vm.errors import (
+    DivisionByZero,
+    FpuDisabled,
+    IllegalInstruction,
+    MemoryFault,
+    SimError,
+    UnhandledTrap,
+    WatchdogTimeout,
+    WindowUnderflow,
+)
+from repro.vm.memory import Memory
+from repro.vm.morpher import Morpher
+from repro.vm.simulator import SimulationResult, Simulator, simulate
+from repro.vm.state import CpuState
+from repro.vm.syscalls import (
+    SYS_CLOCK,
+    SYS_EXIT,
+    SYS_PUTC,
+    SYS_WRITE_BUF,
+    SYS_WRITE_U32,
+    semihost_dispatch,
+)
+
+__all__ = [
+    "Cpu",
+    "CoreConfig",
+    "CpuState",
+    "DEFAULT_BUDGET",
+    "DivisionByZero",
+    "FpuDisabled",
+    "IllegalInstruction",
+    "Memory",
+    "MemoryFault",
+    "Morpher",
+    "RetireObserver",
+    "SYS_CLOCK",
+    "SYS_EXIT",
+    "SYS_PUTC",
+    "SYS_WRITE_BUF",
+    "SYS_WRITE_U32",
+    "SimError",
+    "SimulationResult",
+    "Simulator",
+    "UnhandledTrap",
+    "WatchdogTimeout",
+    "WindowUnderflow",
+    "semihost_dispatch",
+    "simulate",
+]

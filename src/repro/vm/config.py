@@ -1,0 +1,58 @@
+"""Functional configuration of the simulated core.
+
+:class:`CoreConfig` holds everything the *functional* simulation needs to
+know; timing/energy/area parameters (the non-functional side) live in
+:mod:`repro.hw.config`, which embeds a ``CoreConfig``.  This mirrors the
+paper's split between the OVP processor model (functional) and the
+measurement-derived cost model (non-functional).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.memory import DEFAULT_BASE, DEFAULT_SIZE
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Functional parameters of a LEON3-class SPARC V8 core.
+
+    Attributes
+    ----------
+    has_fpu:
+        Whether the GRFPU is present.  Without it, executing any FP opcode
+        raises the ``fp_disabled`` trap (kernels must be built soft-float).
+    nwindows:
+        Number of register windows (LEON3 default is 8); deeper call
+        chains incur window overflow/underflow trap costs in the hardware
+        model.
+    ram_size, ram_base:
+        Geometry of the single RAM bank.
+    stack_reserve:
+        Bytes reserved at the top of RAM for the initial stack.
+    """
+
+    has_fpu: bool = True
+    nwindows: int = 8
+    ram_size: int = DEFAULT_SIZE
+    ram_base: int = DEFAULT_BASE
+    stack_reserve: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.nwindows < 2 or self.nwindows > 32:
+            raise ValueError("SPARC V8 allows 2..32 register windows")
+        if self.stack_reserve <= 0 or self.stack_reserve >= self.ram_size:
+            raise ValueError("stack_reserve must be within RAM")
+
+    def without_fpu(self) -> "CoreConfig":
+        """A copy of this configuration with the FPU removed."""
+        return CoreConfig(has_fpu=False, nwindows=self.nwindows,
+                          ram_size=self.ram_size, ram_base=self.ram_base,
+                          stack_reserve=self.stack_reserve)
+
+    def with_fpu(self) -> "CoreConfig":
+        """A copy of this configuration with the FPU present."""
+        return CoreConfig(has_fpu=True, nwindows=self.nwindows,
+                          ram_size=self.ram_size, ram_base=self.ram_base,
+                          stack_reserve=self.stack_reserve)

@@ -1,0 +1,123 @@
+"""Fetch/decode/morph/execute core with a per-PC native-code cache.
+
+OVP achieves speed by *morphing* each instruction into native code once
+and re-executing the cached translation; this module does the same with
+Python closures: the first visit to a PC decodes the word and asks the
+morpher for a closure, subsequent visits hit :attr:`Cpu._cache` directly.
+
+Two run loops exist:
+
+* :meth:`Cpu.run` -- the fast functional loop used by the ISS (only the
+  inline category counters are updated: this is the paper's extended OVP);
+* :meth:`Cpu.run_metered` -- the instrumented loop used by the hardware
+  testbed model, which invokes a cost observer after every retired
+  instruction (this is the slow, accurate path of Fig. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.isa.decoder import decode
+from repro.isa.errors import DecodeError
+from repro.vm.errors import IllegalInstruction, MemoryFault, WatchdogTimeout
+from repro.vm.morpher import Morpher, OpClosure
+from repro.vm.state import CpuState
+
+DEFAULT_BUDGET = 200_000_000
+
+
+class RetireObserver(Protocol):
+    """Receives every retired instruction in :meth:`Cpu.run_metered`."""
+
+    def on_retire(self, pc: int, mnemonic: str, state: CpuState) -> None:
+        """Called after the instruction at ``pc`` retired."""
+        ...  # pragma: no cover - protocol
+
+
+class Cpu:
+    """One SPARC V8 core bound to a state and a morpher."""
+
+    def __init__(self, state: CpuState, morpher: Morpher):
+        self.state = state
+        self.morpher = morpher
+        self._cache: dict[int, OpClosure] = {}
+        self._mnemonics: dict[int, str] = {}
+
+    def _translate(self, pc: int) -> OpClosure:
+        """Decode and morph the instruction at ``pc``, filling the caches."""
+        state = self.state
+        try:
+            word = state.mem.read_u32(pc)
+        except MemoryFault as exc:
+            raise IllegalInstruction(pc, 0, f"fetch failed: {exc}") from exc
+        try:
+            instr = decode(word)
+        except DecodeError as exc:
+            raise IllegalInstruction(pc, word, exc.reason) from exc
+        closure = self.morpher.morph(instr, pc)
+        self._cache[pc] = closure
+        self._mnemonics[pc] = instr.mnemonic
+        return closure
+
+    def step(self) -> str:
+        """Execute exactly one instruction; returns its mnemonic."""
+        state = self.state
+        pc = state.pc
+        closure = self._cache.get(pc)
+        if closure is None:
+            closure = self._translate(pc)
+        closure(state)
+        return self._mnemonics[pc]
+
+    def run(self, max_instructions: int = DEFAULT_BUDGET) -> int:
+        """Run until the kernel exits; returns retired instruction count.
+
+        Raises :class:`WatchdogTimeout` when ``max_instructions`` retire
+        without the kernel calling the exit service.
+        """
+        state = self.state
+        cache = self._cache
+        translate = self._translate
+        executed = 0
+        budget = max_instructions
+        cache_get = cache.get
+        while state.running:
+            f = cache_get(state.pc)
+            if f is None:
+                f = translate(state.pc)
+            f(state)
+            executed += 1
+            if executed >= budget:
+                if state.running:
+                    raise WatchdogTimeout(budget, state.pc)
+                break
+        return executed
+
+    def run_metered(self, observer: RetireObserver,
+                    max_instructions: int = DEFAULT_BUDGET) -> int:
+        """Run with per-instruction cost observation (hardware-model path)."""
+        state = self.state
+        cache = self._cache
+        mnemonics = self._mnemonics
+        on_retire = observer.on_retire
+        executed = 0
+        budget = max_instructions
+        cache_get = cache.get
+        while state.running:
+            pc = state.pc
+            f = cache_get(pc)
+            if f is None:
+                f = self._translate(pc)
+            f(state)
+            on_retire(pc, mnemonics[pc], state)
+            executed += 1
+            if executed >= budget:
+                if state.running:
+                    raise WatchdogTimeout(budget, state.pc)
+                break
+        return executed
+
+    def translated_pcs(self) -> int:
+        """Number of distinct PCs morphed so far (code-cache footprint)."""
+        return len(self._cache)

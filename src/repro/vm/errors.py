@@ -1,0 +1,84 @@
+"""Simulator error types (guest faults and harness failures)."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulation errors."""
+
+
+class MemoryFault(SimError):
+    """Access outside RAM or with insufficient alignment."""
+
+    def __init__(self, addr: int, size: int, reason: str, pc: int | None = None):
+        self.addr = addr & 0xFFFFFFFF
+        self.size = size
+        self.pc = pc
+        where = f" at pc=0x{pc:08x}" if pc is not None else ""
+        super().__init__(
+            f"memory fault{where}: {reason} "
+            f"(addr=0x{self.addr:08x}, size={size})")
+
+
+class IllegalInstruction(SimError):
+    """Fetched word does not decode to an implemented instruction."""
+
+    def __init__(self, pc: int, word: int, reason: str):
+        self.pc = pc
+        self.word = word
+        super().__init__(
+            f"illegal instruction at pc=0x{pc:08x}: "
+            f"word=0x{word:08x} ({reason})")
+
+
+class FpuDisabled(SimError):
+    """An FP instruction executed on a core configured without an FPU.
+
+    The real LEON3 raises the ``fp_disabled`` trap; bare-metal kernels in
+    this reproduction treat it as fatal (the paper's fixed-point kernels are
+    compiled with ``-msoft-float`` precisely to avoid FP opcodes).
+    """
+
+    def __init__(self, pc: int, mnemonic: str):
+        self.pc = pc
+        self.mnemonic = mnemonic
+        super().__init__(
+            f"fp_disabled trap at pc=0x{pc:08x}: {mnemonic} executed "
+            f"but the core has no FPU")
+
+
+class DivisionByZero(SimError):
+    """Integer division by zero (SPARC ``division_by_zero`` trap)."""
+
+    def __init__(self, pc: int):
+        self.pc = pc
+        super().__init__(f"integer division by zero at pc=0x{pc:08x}")
+
+
+class WindowUnderflow(SimError):
+    """``restore`` executed with an empty window stack."""
+
+    def __init__(self, pc: int):
+        self.pc = pc
+        super().__init__(f"register window underflow at pc=0x{pc:08x}")
+
+
+class UnhandledTrap(SimError):
+    """A ``ta`` trap with no registered handler/service."""
+
+    def __init__(self, pc: int, trap_number: int):
+        self.pc = pc
+        self.trap_number = trap_number
+        super().__init__(
+            f"unhandled trap {trap_number} at pc=0x{pc:08x}")
+
+
+class WatchdogTimeout(SimError):
+    """The instruction budget was exhausted before the kernel exited."""
+
+    def __init__(self, budget: int, pc: int):
+        self.budget = budget
+        self.pc = pc
+        super().__init__(
+            f"watchdog: kernel exceeded {budget} instructions "
+            f"(pc=0x{pc:08x}); raise max_instructions if intentional")

@@ -1,0 +1,833 @@
+"""Decoded instructions -> *native code* (Python closures): Fig. 2's morpher.
+
+As in the paper's OVP processor model, instructions are grouped and one
+morph function per group generates the code the simulator executes
+(Fig. 3): ``doArithmetic`` covers ``add``/``sub``/``and``/... with separate
+register and immediate variants, ``doBranch`` covers all Bicc conditions,
+and so on.  Each generated closure also increments an internal counter for
+the instruction's Table-I category *inline, without callback functions, to
+ensure a high simulation speed* (Section III) -- the counters are plain
+list cells captured by the closure.
+
+Each closure fully retires one instruction: it reads/writes architectural
+state, bumps its category and per-mnemonic counters, records the result
+value in ``st.last_value`` (the data-dependent energy model's switching
+surrogate) and advances ``pc``/``npc`` (delay-slot semantics included).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Callable
+
+from repro.isa.categories import (
+    CAT_FPU_ARITH,
+    CAT_FPU_DIV,
+    CAT_FPU_SQRT,
+    CAT_INT_ARITH,
+    CAT_JUMP,
+    CAT_MEM_LOAD,
+    CAT_MEM_STORE,
+    CAT_NOP,
+    CAT_OTHER,
+)
+from repro.isa.decoder import DecodedInstr
+from repro.vm.errors import (
+    DivisionByZero,
+    FpuDisabled,
+    MemoryFault,
+    UnhandledTrap,
+    WindowUnderflow,
+)
+from repro.vm.state import CpuState
+
+M32 = 0xFFFFFFFF
+_S_D = struct.Struct(">d")
+_S_2I = struct.Struct(">II")
+_S_F = struct.Struct(">f")
+_S_I = struct.Struct(">I")
+
+OpClosure = Callable[[CpuState], None]
+
+#: Software trap number used as the semihosting gateway (``ta 5``).
+SEMIHOST_TRAP = 5
+
+
+# -- FP register pack/unpack helpers ----------------------------------------
+
+def get_d(fregs: list[int], idx: int) -> float:
+    """Read the double held in FP register pair ``idx``/``idx+1``."""
+    return _S_D.unpack(_S_2I.pack(fregs[idx], fregs[idx + 1]))[0]
+
+
+def put_d(fregs: list[int], idx: int, value: float) -> None:
+    """Write ``value`` into FP register pair ``idx``/``idx+1``."""
+    fregs[idx], fregs[idx + 1] = _S_2I.unpack(_S_D.pack(value))
+
+
+def get_f(fregs: list[int], idx: int) -> float:
+    """Read the single held in FP register ``idx`` (widened to Python float)."""
+    return _S_F.unpack(_S_I.pack(fregs[idx]))[0]
+
+
+def put_f(fregs: list[int], idx: int, value: float) -> None:
+    """Round ``value`` to binary32 and store its pattern in register ``idx``."""
+    try:
+        fregs[idx] = _S_I.unpack(_S_F.pack(value))[0]
+    except OverflowError:
+        # struct refuses values beyond binary32 range; IEEE says round to inf.
+        fregs[idx] = 0x7F800000 if value > 0 else 0xFF800000
+
+
+def ieee_div(a: float, b: float) -> float:
+    """IEEE-754 division on Python floats (which trap on /0 natively)."""
+    if b == 0.0 and not math.isnan(b):
+        if math.isnan(a):
+            return a
+        if a == 0.0:
+            return math.nan
+        return math.copysign(math.inf, math.copysign(1.0, a) * math.copysign(1.0, b))
+    return a / b
+
+
+def ieee_sqrt(a: float) -> float:
+    """IEEE-754 square root (NaN for negative, -0.0 preserved)."""
+    if math.isnan(a):
+        return a
+    if a < 0.0:
+        return math.nan
+    return math.sqrt(a)
+
+
+def f64_to_i32_trunc(a: float) -> int:
+    """SPARC ``fdtoi`` semantics used consistently across hard and soft FP.
+
+    Truncate toward zero; NaN converts to 0; out-of-range saturates to the
+    nearest representable ``int32``.  Returned as an unsigned 32-bit pattern.
+    """
+    if math.isnan(a):
+        return 0
+    if a >= 2147483648.0:
+        return 0x7FFFFFFF
+    if a < -2147483648.0:
+        return 0x80000000
+    return int(a) & M32
+
+
+def _s32(x: int) -> int:
+    x &= M32
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+# -- ALU semantics (operands and results are unsigned 32-bit ints) ----------
+
+def _udiv(st: CpuState, a: int, b: int) -> int:
+    if b == 0:
+        raise DivisionByZero(st.pc)
+    q = ((st.y << 32) | a) // b
+    return M32 if q > M32 else q
+
+
+def _sdiv(st: CpuState, a: int, b: int) -> int:
+    sb = _s32(b)
+    if sb == 0:
+        raise DivisionByZero(st.pc)
+    dividend = (st.y << 32) | a
+    if dividend & 0x8000000000000000:
+        dividend -= 0x10000000000000000
+    q = abs(dividend) // abs(sb)
+    if (dividend < 0) != (sb < 0):
+        q = -q
+    if q > 0x7FFFFFFF:
+        q = 0x7FFFFFFF
+    elif q < -0x80000000:
+        q = -0x80000000
+    return q & M32
+
+
+def _umul(st: CpuState, a: int, b: int) -> int:
+    p = a * b
+    st.y = (p >> 32) & M32
+    return p & M32
+
+
+def _smul(st: CpuState, a: int, b: int) -> int:
+    p = _s32(a) * _s32(b)
+    st.y = (p >> 32) & M32
+    return p & M32
+
+
+#: mnemonic -> (st, a, b) -> u32 result, for ops without flag updates.
+ALU_FUNCS: dict[str, Callable[[CpuState, int, int], int]] = {
+    "add": lambda st, a, b: (a + b) & M32,
+    "sub": lambda st, a, b: (a - b) & M32,
+    "and": lambda st, a, b: a & b & M32,
+    "andn": lambda st, a, b: a & ~b & M32,
+    "or": lambda st, a, b: (a | b) & M32,
+    "orn": lambda st, a, b: (a | ~b) & M32,
+    "xor": lambda st, a, b: (a ^ b) & M32,
+    "xnor": lambda st, a, b: ~(a ^ b) & M32,
+    "addx": lambda st, a, b: (a + b + st.c) & M32,
+    "subx": lambda st, a, b: (a - b - st.c) & M32,
+    "sll": lambda st, a, b: (a << (b & 31)) & M32,
+    "srl": lambda st, a, b: (a & M32) >> (b & 31),
+    "sra": lambda st, a, b: (_s32(a) >> (b & 31)) & M32,
+    "umul": _umul,
+    "smul": _smul,
+    "udiv": _udiv,
+    "sdiv": _sdiv,
+}
+
+#: cc-setting mnemonic -> base mnemonic and flag family.
+CC_FAMILY: dict[str, tuple[str, str]] = {
+    "addcc": ("add", "add"),
+    "addxcc": ("addx", "add"),
+    "subcc": ("sub", "sub"),
+    "subxcc": ("subx", "sub"),
+    "andcc": ("and", "logic"),
+    "andncc": ("andn", "logic"),
+    "orcc": ("or", "logic"),
+    "orncc": ("orn", "logic"),
+    "xorcc": ("xor", "logic"),
+    "xnorcc": ("xnor", "logic"),
+    "umulcc": ("umul", "logic"),
+    "smulcc": ("smul", "logic"),
+    "udivcc": ("udiv", "div"),
+    "sdivcc": ("sdiv", "div"),
+}
+
+#: branch mnemonic -> (st) -> truthy when taken.
+COND_FUNCS: dict[str, Callable[[CpuState], int]] = {
+    "ba": lambda st: 1,
+    "bn": lambda st: 0,
+    "be": lambda st: st.z,
+    "bne": lambda st: not st.z,
+    "bg": lambda st: not (st.z or (st.n ^ st.v)),
+    "ble": lambda st: st.z or (st.n ^ st.v),
+    "bge": lambda st: not (st.n ^ st.v),
+    "bl": lambda st: st.n ^ st.v,
+    "bgu": lambda st: not (st.c or st.z),
+    "bleu": lambda st: st.c or st.z,
+    "bcc": lambda st: not st.c,
+    "bcs": lambda st: st.c,
+    "bpos": lambda st: not st.n,
+    "bneg": lambda st: st.n,
+    "bvc": lambda st: not st.v,
+    "bvs": lambda st: st.v,
+}
+
+#: FP branch mnemonic -> bitmask over fcc values {0:E, 1:L, 2:G, 3:U}.
+FCC_MASKS: dict[str, int] = {
+    "fba": 0b1111,
+    "fbn": 0b0000,
+    "fbu": 0b1000,
+    "fbg": 0b0100,
+    "fbug": 0b1100,
+    "fbl": 0b0010,
+    "fbul": 0b1010,
+    "fblg": 0b0110,
+    "fbne": 0b1110,
+    "fbe": 0b0001,
+    "fbue": 0b1001,
+    "fbge": 0b0101,
+    "fbuge": 0b1101,
+    "fble": 0b0011,
+    "fbule": 0b1011,
+    "fbo": 0b0111,
+}
+
+#: trap mnemonic -> same condition logic as branches.
+TRAP_COND_FUNCS: dict[str, Callable[[CpuState], int]] = {
+    "t" + name[1:]: fn for name, fn in COND_FUNCS.items()
+}
+TRAP_COND_FUNCS["ta"] = COND_FUNCS["ba"]
+TRAP_COND_FUNCS["tn"] = COND_FUNCS["bn"]
+
+_LOAD_PARAMS = {
+    # mnemonic -> (size, signed, fp, pair)
+    "ld": (4, False, False, False),
+    "ldub": (1, False, False, False),
+    "ldsb": (1, True, False, False),
+    "lduh": (2, False, False, False),
+    "ldsh": (2, True, False, False),
+    "ldd": (8, False, False, True),
+    "ldf": (4, False, True, False),
+    "lddf": (8, False, True, True),
+}
+
+_STORE_PARAMS = {
+    # mnemonic -> (size, fp, pair)
+    "st": (4, False, False),
+    "stb": (1, False, False),
+    "sth": (2, False, False),
+    "std": (8, False, True),
+    "stf": (4, True, False),
+    "stdf": (8, True, True),
+}
+
+
+class Morpher:
+    """Generates and caches execution closures for one simulation.
+
+    Parameters
+    ----------
+    state:
+        The CPU state the closures will mutate.
+    has_fpu:
+        When ``False``, FP instructions morph into closures that raise the
+        ``fp_disabled`` trap at execution time, like a LEON3 synthesised
+        without its FPU.
+    semihost:
+        Callable invoked for the semihosting trap (``ta 5``); receives the
+        CPU state and implements the syscall protocol of
+        :mod:`repro.vm.syscalls`.
+    """
+
+    def __init__(self, state: CpuState, has_fpu: bool = True,
+                 semihost: Callable[[CpuState], None] | None = None):
+        self.state = state
+        self.has_fpu = has_fpu
+        self.semihost = semihost
+        #: per-mnemonic retire counters (list cells captured by closures).
+        self.mn_cells: dict[str, list[int]] = {}
+        self._dispatch: dict[str, Callable[[DecodedInstr, int], OpClosure]] = {
+            "arith": self._do_arithmetic,
+            "sethi": self._do_sethi,
+            "nop": self._do_nop,
+            "branch": self._do_branch,
+            "fbranch": self._do_fbranch,
+            "call": self._do_call,
+            "jmpl": self._do_jmpl,
+            "save": self._do_save,
+            "restore": self._do_restore,
+            "load": self._do_load,
+            "store": self._do_store,
+            "rdy": self._do_state_register,
+            "wry": self._do_state_register,
+            "trap": self._do_trap,
+            "fpop": self._do_fpop,
+            "fcmp": self._do_fpop,
+        }
+
+    def mnemonic_counts(self) -> dict[str, int]:
+        """Snapshot of per-mnemonic retire counts."""
+        return {m: cell[0] for m, cell in self.mn_cells.items() if cell[0]}
+
+    def morph(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        """Generate native code for ``instr`` located at ``pc``."""
+        return self._dispatch[instr.kind](instr, pc)
+
+    # -- shared pieces -------------------------------------------------------
+
+    def _bookkeeping(self, mnemonic: str, category: int):
+        counts = self.state.cat_counts
+        cell = self.mn_cells.setdefault(mnemonic, [0])
+        return counts, cell, category
+
+    # -- morph functions (Fig. 3 groups) --------------------------------------
+
+    def _do_arithmetic(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        """doArithmetic / doShift / doMulDiv: register and constant variants."""
+        m = instr.mnemonic
+        counts, cell, cat = self._bookkeeping(m, CAT_INT_ARITH)
+        rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
+        imm = instr.imm & M32 if instr.i else None
+
+        if m in CC_FAMILY:
+            base, family = CC_FAMILY[m]
+            return self._make_cc_closure(base, family, rd, rs1, rs2, imm,
+                                         counts, cell, cat)
+
+        fn = ALU_FUNCS[m]
+        if imm is not None:
+            def run_const(st: CpuState) -> None:
+                regs = st.regs
+                v = fn(st, regs[rs1], imm)
+                if rd:
+                    regs[rd] = v
+                st.last_value = v
+                counts[cat] += 1
+                cell[0] += 1
+                st.pc = st.npc
+                st.npc += 4
+            return run_const
+
+        def run_reg(st: CpuState) -> None:
+            regs = st.regs
+            v = fn(st, regs[rs1], regs[rs2])
+            if rd:
+                regs[rd] = v
+            st.last_value = v
+            counts[cat] += 1
+            cell[0] += 1
+            st.pc = st.npc
+            st.npc += 4
+        return run_reg
+
+    def _make_cc_closure(self, base: str, family: str, rd: int, rs1: int,
+                         rs2: int, imm: int | None, counts, cell,
+                         cat: int) -> OpClosure:
+        fn = ALU_FUNCS[base]
+        with_carry = base in ("addx", "subx")
+
+        def run(st: CpuState) -> None:
+            regs = st.regs
+            a = regs[rs1]
+            b = imm if imm is not None else regs[rs2]
+            if family == "add":
+                total = a + b + (st.c if with_carry else 0)
+                v = total & M32
+                st.c = total >> 32
+                st.v = (~(a ^ b) & (a ^ v)) >> 31 & 1
+            elif family == "sub":
+                diff = a - b - (st.c if with_carry else 0)
+                v = diff & M32
+                st.c = 1 if diff < 0 else 0
+                st.v = ((a ^ b) & (a ^ v)) >> 31 & 1
+            elif family == "div":
+                v = fn(st, a, b)
+                st.c = 0
+                st.v = 0
+            else:  # logic / mul: V and C cleared
+                v = fn(st, a, b)
+                st.c = 0
+                st.v = 0
+            st.n = v >> 31
+            st.z = 1 if v == 0 else 0
+            if rd:
+                regs[rd] = v
+            st.last_value = v
+            counts[cat] += 1
+            cell[0] += 1
+            st.pc = st.npc
+            st.npc += 4
+        return run
+
+    def _do_sethi(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        counts, cell, cat = self._bookkeeping("sethi", CAT_INT_ARITH)
+        rd = instr.rd
+        value = (instr.imm << 10) & M32
+
+        def run(st: CpuState) -> None:
+            if rd:
+                st.regs[rd] = value
+            st.last_value = value
+            counts[cat] += 1
+            cell[0] += 1
+            st.pc = st.npc
+            st.npc += 4
+        return run
+
+    def _do_nop(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        counts, cell, cat = self._bookkeeping("nop", CAT_NOP)
+
+        def run(st: CpuState) -> None:
+            counts[cat] += 1
+            cell[0] += 1
+            st.pc = st.npc
+            st.npc += 4
+        return run
+
+    def _do_branch(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        """doBranch: all Bicc conditions, annulled and plain variants."""
+        m = instr.mnemonic
+        counts, cell, cat = self._bookkeeping(m, CAT_JUMP)
+        target = (pc + instr.imm) & M32
+        annul = instr.annul
+        cond = COND_FUNCS[m]
+
+        if m == "ba" and annul:
+            def run_ba_a(st: CpuState) -> None:
+                st.taken = 1
+                counts[cat] += 1
+                cell[0] += 1
+                st.pc = target
+                st.npc = target + 4
+            return run_ba_a
+
+        def run(st: CpuState) -> None:
+            counts[cat] += 1
+            cell[0] += 1
+            if cond(st):
+                st.taken = 1
+                st.pc = st.npc
+                st.npc = target
+            else:
+                st.taken = 0
+                if annul:
+                    st.pc = st.npc + 4
+                    st.npc = st.pc + 4
+                else:
+                    st.pc = st.npc
+                    st.npc += 4
+        return run
+
+    def _do_fbranch(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        m = instr.mnemonic
+        counts, cell, cat = self._bookkeeping(m, CAT_JUMP)
+        target = (pc + instr.imm) & M32
+        annul = instr.annul
+        mask = FCC_MASKS[m]
+
+        def run(st: CpuState) -> None:
+            counts[cat] += 1
+            cell[0] += 1
+            if (mask >> st.fcc) & 1:
+                st.taken = 1
+                st.pc = st.npc
+                st.npc = target
+                if annul and mask == 0b1111:  # fba,a annuls even when taken
+                    st.pc = target
+                    st.npc = target + 4
+            else:
+                st.taken = 0
+                if annul:
+                    st.pc = st.npc + 4
+                    st.npc = st.pc + 4
+                else:
+                    st.pc = st.npc
+                    st.npc += 4
+        return run
+
+    def _do_call(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        counts, cell, cat = self._bookkeeping("call", CAT_JUMP)
+        target = (pc + instr.imm) & M32
+
+        def run(st: CpuState) -> None:
+            st.regs[15] = pc  # %o7 <- address of the call itself
+            st.taken = 1
+            counts[cat] += 1
+            cell[0] += 1
+            st.pc = st.npc
+            st.npc = target
+        return run
+
+    def _do_jmpl(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        counts, cell, cat = self._bookkeeping("jmpl", CAT_JUMP)
+        rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
+        imm = instr.imm if instr.i else None
+
+        def run(st: CpuState) -> None:
+            regs = st.regs
+            target = (regs[rs1] + (imm if imm is not None else regs[rs2])) & M32
+            if target & 3:
+                raise MemoryFault(target, 4, "jump target not word aligned",
+                                  pc=st.pc)
+            if rd:
+                regs[rd] = pc
+            st.taken = 1
+            counts[cat] += 1
+            cell[0] += 1
+            st.pc = st.npc
+            st.npc = target
+        return run
+
+    def _do_save(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        counts, cell, cat = self._bookkeeping("save", CAT_OTHER)
+        rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
+        imm = instr.imm & M32 if instr.i else None
+        nwindows = self.state.nwindows
+
+        def run(st: CpuState) -> None:
+            regs = st.regs
+            v = (regs[rs1] + (imm if imm is not None else regs[rs2])) & M32
+            st.wstack.append((regs[16:24], regs[24:32]))
+            regs[24:32] = regs[8:16]  # callee ins alias caller outs
+            regs[8:16] = [0] * 8
+            regs[16:24] = [0] * 8
+            st.wdepth += 1
+            if st.wdepth > st.max_wdepth:
+                st.max_wdepth = st.wdepth
+            if st.wdepth >= nwindows - 1:
+                st.spill_count += 1
+            if rd:
+                regs[rd] = v
+            st.last_value = v
+            counts[cat] += 1
+            cell[0] += 1
+            st.pc = st.npc
+            st.npc += 4
+        return run
+
+    def _do_restore(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        counts, cell, cat = self._bookkeeping("restore", CAT_OTHER)
+        rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
+        imm = instr.imm & M32 if instr.i else None
+        nwindows = self.state.nwindows
+
+        def run(st: CpuState) -> None:
+            regs = st.regs
+            v = (regs[rs1] + (imm if imm is not None else regs[rs2])) & M32
+            if not st.wstack:
+                raise WindowUnderflow(st.pc)
+            if st.wdepth >= nwindows - 1:
+                st.fill_count += 1
+            locals_, ins = st.wstack.pop()
+            regs[8:16] = regs[24:32]  # caller outs get callee ins back
+            regs[16:24] = locals_
+            regs[24:32] = ins
+            st.wdepth -= 1
+            if rd:
+                regs[rd] = v
+            st.last_value = v
+            counts[cat] += 1
+            cell[0] += 1
+            st.pc = st.npc
+            st.npc += 4
+        return run
+
+    def _do_load(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        m = instr.mnemonic
+        counts, cell, cat = self._bookkeeping(m, CAT_MEM_LOAD)
+        size, signed, fp, pair = _LOAD_PARAMS[m]
+        rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
+        imm = instr.imm if instr.i else None
+        mem = self.state.mem
+        ram, mbase, msize = mem.ram, mem.base, mem.size
+        align_mask = size - 1
+
+        def run(st: CpuState) -> None:
+            regs = st.regs
+            addr = (regs[rs1] + (imm if imm is not None else regs[rs2])) & M32
+            off = addr - mbase
+            if addr & align_mask or off < 0 or off + size > msize:
+                raise MemoryFault(addr, size, "load outside RAM or misaligned",
+                                  pc=st.pc)
+            v = int.from_bytes(ram[off:off + size], "big")
+            if signed and v >> (size * 8 - 1):
+                v -= 1 << (size * 8)
+                v &= M32
+            if fp:
+                if pair:
+                    st.fregs[rd] = v >> 32
+                    st.fregs[rd + 1] = v & M32
+                else:
+                    st.fregs[rd] = v
+            elif pair:
+                if rd:
+                    regs[rd] = v >> 32
+                regs[rd | 1] = v & M32
+            elif rd:
+                regs[rd] = v
+            st.last_value = v & M32
+            counts[cat] += 1
+            cell[0] += 1
+            st.pc = st.npc
+            st.npc += 4
+        return run
+
+    def _do_store(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        m = instr.mnemonic
+        counts, cell, cat = self._bookkeeping(m, CAT_MEM_STORE)
+        size, fp, pair = _STORE_PARAMS[m]
+        rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
+        imm = instr.imm if instr.i else None
+        mem = self.state.mem
+        ram, mbase, msize = mem.ram, mem.base, mem.size
+        align_mask = size - 1
+
+        def run(st: CpuState) -> None:
+            regs = st.regs
+            addr = (regs[rs1] + (imm if imm is not None else regs[rs2])) & M32
+            off = addr - mbase
+            if addr & align_mask or off < 0 or off + size > msize:
+                raise MemoryFault(addr, size, "store outside RAM or misaligned",
+                                  pc=st.pc)
+            if fp:
+                v = st.fregs[rd]
+                if pair:
+                    v = (v << 32) | st.fregs[rd + 1]
+            elif pair:
+                v = (regs[rd] << 32) | regs[rd | 1]
+            else:
+                v = regs[rd] & ((1 << (size * 8)) - 1)
+            ram[off:off + size] = v.to_bytes(size, "big")
+            st.last_value = v & M32
+            counts[cat] += 1
+            cell[0] += 1
+            st.pc = st.npc
+            st.npc += 4
+        return run
+
+    def _do_state_register(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        m = instr.mnemonic
+        counts, cell, cat = self._bookkeeping(m, CAT_OTHER)
+        if m == "rdy":
+            rd = instr.rd
+
+            def run_rd(st: CpuState) -> None:
+                if rd:
+                    st.regs[rd] = st.y
+                st.last_value = st.y
+                counts[cat] += 1
+                cell[0] += 1
+                st.pc = st.npc
+                st.npc += 4
+            return run_rd
+
+        rs1, rs2 = instr.rs1, instr.rs2
+        imm = instr.imm & M32 if instr.i else None
+
+        def run_wr(st: CpuState) -> None:
+            regs = st.regs
+            st.y = (regs[rs1] ^ (imm if imm is not None else regs[rs2])) & M32
+            st.last_value = st.y
+            counts[cat] += 1
+            cell[0] += 1
+            st.pc = st.npc
+            st.npc += 4
+        return run_wr
+
+    def _do_trap(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        m = instr.mnemonic
+        counts, cell, cat = self._bookkeeping(m, CAT_OTHER)
+        rs1, rs2 = instr.rs1, instr.rs2
+        imm = instr.imm if instr.i else None
+        cond = TRAP_COND_FUNCS[m]
+        semihost = self.semihost
+
+        def run(st: CpuState) -> None:
+            counts[cat] += 1
+            cell[0] += 1
+            if cond(st):
+                regs = st.regs
+                number = (regs[rs1] +
+                          (imm if imm is not None else regs[rs2])) & 0x7F
+                if number == SEMIHOST_TRAP and semihost is not None:
+                    semihost(st)
+                else:
+                    raise UnhandledTrap(st.pc, number)
+            st.pc = st.npc
+            st.npc += 4
+        return run
+
+    def _do_fpop(self, instr: DecodedInstr, pc: int) -> OpClosure:
+        m = instr.mnemonic
+        if not self.has_fpu:
+            def run_disabled(st: CpuState) -> None:
+                raise FpuDisabled(st.pc, m)
+            return run_disabled
+        cat = {
+            "fdivs": CAT_FPU_DIV, "fdivd": CAT_FPU_DIV,
+            "fsqrts": CAT_FPU_SQRT, "fsqrtd": CAT_FPU_SQRT,
+        }.get(m, CAT_FPU_ARITH)
+        counts, cell, cat = self._bookkeeping(m, cat)
+        rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
+
+        def finish(st: CpuState) -> None:
+            counts[cat] += 1
+            cell[0] += 1
+            st.pc = st.npc
+            st.npc += 4
+
+        if m in ("fmovs", "fnegs", "fabss"):
+            op = {"fmovs": lambda x: x,
+                  "fnegs": lambda x: x ^ 0x80000000,
+                  "fabss": lambda x: x & 0x7FFFFFFF}[m]
+
+            def run_move(st: CpuState) -> None:
+                v = op(st.fregs[rs2])
+                st.fregs[rd] = v
+                st.last_value = v
+                finish(st)
+            return run_move
+
+        if m in ("fcmps", "fcmpd"):
+            double = m.endswith("d")
+
+            def run_cmp(st: CpuState) -> None:
+                f = st.fregs
+                a = get_d(f, rs1) if double else get_f(f, rs1)
+                b = get_d(f, rs2) if double else get_f(f, rs2)
+                if a != a or b != b:
+                    st.fcc = 3
+                elif a < b:
+                    st.fcc = 1
+                elif a > b:
+                    st.fcc = 2
+                else:
+                    st.fcc = 0
+                st.last_value = st.fcc
+                finish(st)
+            return run_cmp
+
+        if m in ("fitos", "fitod"):
+            to_double = m == "fitod"
+
+            def run_fromint(st: CpuState) -> None:
+                f = st.fregs
+                value = float(_s32(f[rs2]))
+                if to_double:
+                    put_d(f, rd, value)
+                    st.last_value = f[rd + 1]
+                else:
+                    put_f(f, rd, value)
+                    st.last_value = f[rd]
+                finish(st)
+            return run_fromint
+
+        if m in ("fstoi", "fdtoi"):
+            from_double = m == "fdtoi"
+
+            def run_toint(st: CpuState) -> None:
+                f = st.fregs
+                a = get_d(f, rs2) if from_double else get_f(f, rs2)
+                f[rd] = f64_to_i32_trunc(a)
+                st.last_value = f[rd]
+                finish(st)
+            return run_toint
+
+        if m in ("fstod", "fdtos"):
+            widen = m == "fstod"
+
+            def run_convert(st: CpuState) -> None:
+                f = st.fregs
+                if widen:
+                    put_d(f, rd, get_f(f, rs2))
+                    st.last_value = f[rd + 1]
+                else:
+                    put_f(f, rd, get_d(f, rs2))
+                    st.last_value = f[rd]
+                finish(st)
+            return run_convert
+
+        double = m.endswith("d")
+        base = m[:-1]
+        if base in ("fadd", "fsub", "fmul", "fdiv"):
+            op = {
+                "fadd": lambda a, b: a + b,
+                "fsub": lambda a, b: a - b,
+                "fmul": lambda a, b: a * b,
+                "fdiv": ieee_div,
+            }[base]
+            if double:
+                def run_arith_d(st: CpuState) -> None:
+                    f = st.fregs
+                    put_d(f, rd, op(get_d(f, rs1), get_d(f, rs2)))
+                    st.last_value = f[rd + 1]
+                    finish(st)
+                return run_arith_d
+
+            def run_arith_s(st: CpuState) -> None:
+                f = st.fregs
+                put_f(f, rd, op(get_f(f, rs1), get_f(f, rs2)))
+                st.last_value = f[rd]
+                finish(st)
+            return run_arith_s
+
+        assert base == "fsqrt", m
+        if double:
+            def run_sqrt_d(st: CpuState) -> None:
+                f = st.fregs
+                put_d(f, rd, ieee_sqrt(get_d(f, rs2)))
+                st.last_value = f[rd + 1]
+                finish(st)
+            return run_sqrt_d
+
+        def run_sqrt_s(st: CpuState) -> None:
+            f = st.fregs
+            put_f(f, rd, ieee_sqrt(get_f(f, rs2)))
+            st.last_value = f[rd]
+            finish(st)
+        return run_sqrt_s

@@ -1,0 +1,92 @@
+"""Architectural state of the simulated SPARC V8 core.
+
+Register windows are modelled with a *copy-on-save* scheme: the flat
+``regs`` list always holds the registers visible to the current window
+(globals, outs, locals, ins); ``save`` pushes copies of the caller's locals
+and ins onto :attr:`wstack` and aliases the callee's ins to the caller's
+outs, exactly preserving the SPARC sharing semantics.  Depth beyond
+``nwindows - 1`` corresponds to window overflow on real hardware -- the
+simulator tracks :attr:`spill_count`/:attr:`fill_count` so the hardware
+cost model can charge the overflow/underflow trap handlers that a real
+LEON3 would execute (the architectural effect of those handlers, spilling
+to the ABI save area, is performed implicitly by the copy scheme).
+"""
+
+from __future__ import annotations
+
+from repro.isa.categories import NUM_CATEGORIES
+from repro.vm.memory import Memory
+
+
+class CpuState:
+    """Mutable register and control state; one instance per simulation."""
+
+    __slots__ = (
+        "regs", "wstack", "fregs", "y", "n", "z", "v", "c", "fcc",
+        "pc", "npc", "running", "exit_code", "mem", "output",
+        "cat_counts", "last_value", "taken", "wdepth", "max_wdepth",
+        "spill_count", "fill_count", "nwindows",
+    )
+
+    def __init__(self, mem: Memory, nwindows: int = 8):
+        if nwindows < 2:
+            raise ValueError(f"SPARC requires at least 2 windows: {nwindows}")
+        #: current window: [0:8] globals, [8:16] outs, [16:24] locals,
+        #: [24:32] ins.  regs[0] (%g0) is pinned to zero by the morpher.
+        self.regs: list[int] = [0] * 32
+        #: saved (locals, ins) of outer windows, innermost last.
+        self.wstack: list[tuple[list[int], list[int]]] = []
+        #: FP register file as 32 single-word bit patterns.
+        self.fregs: list[int] = [0] * 32
+        self.y = 0
+        # integer condition codes (each 0 or 1)
+        self.n = 0
+        self.z = 0
+        self.v = 0
+        self.c = 0
+        #: FP condition code: 0 equal, 1 less, 2 greater, 3 unordered.
+        self.fcc = 0
+        self.pc = 0
+        self.npc = 4
+        self.running = True
+        self.exit_code: int | None = None
+        self.mem = mem
+        #: bytes written through the semihosting console.
+        self.output = bytearray()
+        #: retired-instruction counters per Table-I category.
+        self.cat_counts: list[int] = [0] * NUM_CATEGORIES
+        #: result value of the most recent instruction (switching-activity
+        #: surrogate for the data-dependent energy model).
+        self.last_value = 0
+        #: 1 if the most recent branch was taken.
+        self.taken = 0
+        self.wdepth = 0
+        self.max_wdepth = 0
+        self.spill_count = 0
+        self.fill_count = 0
+        self.nwindows = nwindows
+
+    # -- conveniences used by tests and the semihosting layer ---------------
+
+    def reg(self, index: int) -> int:
+        """Read integer register ``index`` in the current window."""
+        return self.regs[index]
+
+    def set_reg(self, index: int, value: int) -> None:
+        """Write integer register ``index`` (writes to %g0 are discarded)."""
+        if index:
+            self.regs[index] = value & 0xFFFFFFFF
+
+    @property
+    def retired(self) -> int:
+        """Total retired instructions (sum over all categories)."""
+        return sum(self.cat_counts)
+
+    @property
+    def icc(self) -> tuple[int, int, int, int]:
+        """Condition codes as ``(N, Z, V, C)``."""
+        return (self.n, self.z, self.v, self.c)
+
+    def console_text(self) -> str:
+        """Semihosting console output decoded as latin-1 text."""
+        return self.output.decode("latin-1")

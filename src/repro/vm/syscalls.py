@@ -1,0 +1,61 @@
+"""Semihosting services for bare-metal kernels.
+
+The paper's kernels run bare-metal on the LEON3 and communicate through
+GRMON; our kernels use a single software trap (``ta 5``) as the service
+gateway.  Protocol:
+
+* ``%g1``: service number (see ``SYS_*`` constants);
+* ``%o0``/``%o1``: arguments;
+* ``%o0``: return value.
+
+Services
+--------
+``SYS_EXIT``
+    Stop simulation; ``%o0`` is the exit code.
+``SYS_PUTC``
+    Write ``%o0 & 0xFF`` to the console.
+``SYS_WRITE_U32``
+    Write ``%o0`` as unsigned decimal plus newline to the console.
+``SYS_CLOCK``
+    Return the number of retired instructions (the bare-metal ``clock()``;
+    the board-level harness measures wall time/energy outside the guest,
+    exactly as the power meter in the paper's setup).
+``SYS_WRITE_BUF``
+    Write ``%o1`` bytes starting at guest address ``%o0`` to the console.
+"""
+
+from __future__ import annotations
+
+from repro.vm.errors import UnhandledTrap
+from repro.vm.state import CpuState
+
+SYS_EXIT = 0
+SYS_PUTC = 1
+SYS_WRITE_U32 = 2
+SYS_CLOCK = 3
+SYS_WRITE_BUF = 4
+
+
+def semihost_dispatch(st: CpuState) -> None:
+    """Execute one semihosting service call against ``st``."""
+    service = st.regs[1]
+    arg0 = st.regs[8]
+    arg1 = st.regs[9]
+    if service == SYS_EXIT:
+        st.running = False
+        st.exit_code = arg0
+        return
+    if service == SYS_PUTC:
+        st.output.append(arg0 & 0xFF)
+        return
+    if service == SYS_WRITE_U32:
+        st.output.extend(str(arg0).encode("ascii"))
+        st.output.append(0x0A)
+        return
+    if service == SYS_CLOCK:
+        st.regs[8] = sum(st.cat_counts) & 0xFFFFFFFF
+        return
+    if service == SYS_WRITE_BUF:
+        st.output.extend(st.mem.read_bytes(arg0, arg1))
+        return
+    raise UnhandledTrap(st.pc, trap_number=service)

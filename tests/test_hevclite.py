@@ -1,0 +1,262 @@
+"""HEVC-lite codec: unit pieces, codec roundtrip, kernel parity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codecs.hevclite import (
+    CONFIGS,
+    QPS,
+    build_decoder_module,
+    decode,
+    encode,
+    encode_spec,
+    frame_types_for,
+    make_sequence,
+    stream_specs,
+)
+from repro.codecs.hevclite.bitstream import BitReader, BitWriter
+from repro.codecs.hevclite.predict import (
+    MODE_AVG,
+    MODE_DC,
+    MODE_HOR,
+    MODE_VER,
+    average_blocks,
+    intra_predict,
+    motion_compensate,
+)
+from repro.codecs.hevclite.tables import T8, ZIGZAG8, qp_per_rem, rd_lambda
+from repro.codecs.hevclite.transform import (
+    dequantize,
+    forward_transform,
+    inverse_transform,
+    quantize,
+)
+from tests.helpers import run_kir
+
+
+class TestBitstream:
+    @given(st.lists(st.integers(min_value=0, max_value=100000), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_ue_roundtrip(self, values):
+        writer = BitWriter()
+        for v in values:
+            writer.put_ue(v)
+        reader = BitReader(writer.flush())
+        assert [reader.get_ue() for _ in values] == values
+
+    @given(st.lists(st.integers(min_value=-50000, max_value=50000),
+                    max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_se_roundtrip(self, values):
+        writer = BitWriter()
+        for v in values:
+            writer.put_se(v)
+        reader = BitReader(writer.flush())
+        assert [reader.get_se() for _ in values] == values
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=255),
+                              st.integers(min_value=1, max_value=8)),
+                    max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_fixed_bits_roundtrip(self, fields):
+        writer = BitWriter()
+        for value, width in fields:
+            writer.put_bits(value & ((1 << width) - 1), width)
+        reader = BitReader(writer.flush())
+        for value, width in fields:
+            assert reader.get_bits(width) == value & ((1 << width) - 1)
+
+    def test_negative_ue_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().put_ue(-1)
+
+    def test_malformed_golomb_detected(self):
+        reader = BitReader(b"\x00" * 8)
+        with pytest.raises(ValueError):
+            reader.get_ue()
+
+
+class TestTransform:
+    def test_t8_rows_are_nearly_orthogonal(self):
+        # HEVC's integer core transform only approximates an orthogonal
+        # DCT: row norms match within ~0.1 % and cross products are tiny
+        # relative to the norm (this is true of the real H.265 matrix).
+        for i in range(8):
+            for j in range(8):
+                dot = sum(T8[i][k] * T8[j][k] for k in range(8))
+                if i == j:
+                    assert dot == pytest.approx(64 * 64 * 8, rel=0.002)
+                else:
+                    assert abs(dot) <= 128
+
+    def test_zigzag_is_permutation(self):
+        assert sorted(ZIGZAG8) == list(range(64))
+        assert ZIGZAG8[0] == 0  # DC first
+
+    @given(st.lists(st.integers(min_value=-255, max_value=255),
+                    min_size=64, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_transform_roundtrip_unquantised(self, flat):
+        block = [flat[i * 8:(i + 1) * 8] for i in range(8)]
+        recon = inverse_transform(forward_transform(block))
+        for y in range(8):
+            for x in range(8):
+                assert abs(recon[y][x] - block[y][x]) <= 2
+
+    @pytest.mark.parametrize("qp", QPS)
+    def test_quant_roundtrip_error_scales_with_qp(self, qp):
+        block = [[((x * 13 + y * 7) % 100) - 50 for x in range(8)]
+                 for y in range(8)]
+        coeffs = forward_transform(block)
+        recon = inverse_transform(dequantize(quantize(coeffs, qp), qp))
+        err = sum(abs(recon[y][x] - block[y][x])
+                  for y in range(8) for x in range(8))
+        if qp == 10:
+            assert err < 120
+        assert err >= 0
+
+    def test_qp_helpers(self):
+        assert qp_per_rem(32) == (5, 2)
+        with pytest.raises(ValueError):
+            qp_per_rem(60)
+        assert rd_lambda(12) == pytest.approx(0.85)
+
+
+class TestPrediction:
+    def test_dc_with_both_neighbours(self):
+        top = [10] * 8
+        left = [30] * 8
+        pred = intra_predict(MODE_DC, top, left)
+        assert pred[0][0] == (80 + 240 + 8) >> 4
+
+    def test_dc_unavailable_defaults_128(self):
+        assert intra_predict(MODE_DC, None, None)[3][3] == 128
+
+    def test_directional_modes(self):
+        top = list(range(8))
+        left = [10 * i for i in range(8)]
+        assert intra_predict(MODE_VER, top, left)[5] == top
+        assert [row[2] for row in intra_predict(MODE_HOR, top, left)] == left
+        avg = intra_predict(MODE_AVG, top, left)
+        assert avg[2][3] == (top[3] + left[2] + 1) >> 1
+
+    def test_motion_compensation_clamps_edges(self):
+        frame = [[x + 10 * y for x in range(16)] for y in range(16)]
+        pred = motion_compensate(frame, 0, 0, -5, -5, 16, 16)
+        assert pred[0][0] == frame[0][0]
+        pred = motion_compensate(frame, 8, 8, 20, 20, 16, 16)
+        assert pred[7][7] == frame[15][15]
+
+    def test_average_rounds_up(self):
+        a = [[1] * 8 for _ in range(8)]
+        b = [[2] * 8 for _ in range(8)]
+        assert average_blocks(a, b)[0][0] == 2
+
+
+class TestSequencesAndConfigs:
+    def test_sequences_deterministic(self):
+        for name in ("gradient_pan", "blocks_bounce", "texture_noise"):
+            s1 = make_sequence(name, 16, 16, 3)
+            s2 = make_sequence(name, 16, 16, 3)
+            assert s1 == s2
+            assert len(s1) == 3
+            assert all(0 <= p <= 255 for f in s1 for row in f for p in row)
+
+    def test_frames_actually_move(self):
+        frames = make_sequence("blocks_bounce", 16, 16, 3)
+        assert frames[0] != frames[1]
+
+    def test_unknown_sequence(self):
+        with pytest.raises(ValueError):
+            make_sequence("nope")
+
+    def test_frame_type_schedules(self):
+        assert frame_types_for("intra", 3) == [0, 0, 0]
+        assert frame_types_for("lowdelay_p", 3) == [0, 1, 1]
+        assert frame_types_for("lowdelay", 3) == [0, 1, 2]
+        assert frame_types_for("randomaccess", 4) == [0, 1, 0, 1]
+        with pytest.raises(ValueError):
+            frame_types_for("cbr", 3)
+
+    def test_36_stream_specs(self):
+        specs = stream_specs()
+        assert len(specs) == 36
+        assert len({s.name for s in specs}) == 36
+        assert {s.config for s in specs} == set(CONFIGS)
+        assert {s.qp for s in specs} == set(QPS)
+
+
+class TestCodecRoundtrip:
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_decoder_matches_encoder_recon(self, config):
+        frames = make_sequence("blocks_bounce", 16, 16, 3)
+        enc = encode(frames, qp=32, config=config)
+        dec = decode(enc.bitstream)
+        assert dec.frames == enc.recon
+
+    @pytest.mark.parametrize("qp", QPS)
+    def test_quality_ordering(self, qp):
+        """Lower QP must reconstruct closer to the original."""
+        frames = make_sequence("gradient_pan", 16, 16, 2)
+        enc = encode(frames, qp=qp, config="intra")
+        sse = sum((enc.recon[t][y][x] - frames[t][y][x]) ** 2
+                  for t in range(2) for y in range(16) for x in range(16))
+        if qp == 10:
+            assert sse < 1500
+        else:
+            assert sse > 0
+
+    def test_inter_beats_intra_on_static_content(self):
+        frames = [make_sequence("gradient_pan", 16, 16, 1)[0]] * 3
+        intra = encode(frames, qp=32, config="intra")
+        inter = encode(frames, qp=32, config="lowdelay_p")
+        assert len(inter.bitstream) < len(intra.bitstream)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode(b"\x00" * 32)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            encode([[[0] * 12] * 12], qp=32, config="intra")
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("stream_index", [0, 16, 29])
+    def test_kernel_matches_reference(self, stream_index):
+        spec = stream_specs()[stream_index]
+        enc = encode_spec(spec)
+        ref = decode(enc.bitstream)
+        res_hard = run_kir(build_decoder_module(enc.bitstream),
+                           float_abi="hard")
+        res_soft = run_kir(build_decoder_module(enc.bitstream),
+                           float_abi="soft", has_fpu=False)
+        assert res_hard.console == ref.console
+        assert res_soft.console == ref.console
+        assert res_hard.exit_code == 0
+
+    def test_corrupt_stream_is_detected(self):
+        spec = stream_specs()[0]
+        enc = encode_spec(spec)
+        ref = decode(enc.bitstream)
+        corrupted = bytearray(enc.bitstream)
+        corrupted[40] ^= 0xFF  # flip payload bits past the header
+        from repro.vm import SimError
+        try:
+            result = run_kir(build_decoder_module(bytes(corrupted)),
+                             float_abi="hard")
+        except SimError:
+            return  # faulted on garbage: acceptable detection
+        # either the kernel's syntax checks fired (exit 2..5) or the
+        # reconstruction diverged from the intact stream
+        assert result.exit_code != 0 or result.console != ref.console
+
+    def test_fixed_build_avoids_fpu(self):
+        spec = stream_specs()[3]
+        enc = encode_spec(spec)
+        result = run_kir(build_decoder_module(enc.bitstream),
+                         float_abi="soft", has_fpu=False)
+        assert result.category_counts["fpu_arith"] == 0
+        assert result.category_counts["fpu_sqrt"] == 0

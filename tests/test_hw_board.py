@@ -1,0 +1,211 @@
+"""Hardware testbed model: cycle/energy accounting, instruments, area."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import assemble
+from repro.hw import (
+    Board,
+    HwConfig,
+    InstrumentModel,
+    InstrumentSpec,
+    PerfectInstruments,
+    default_cycle_table,
+    default_energy_table,
+    fpu_area_increase,
+    jitter_factor,
+    leon3_fpu,
+    leon3_nofpu,
+    synthesize,
+)
+from repro.vm.config import CoreConfig
+
+_SMALL = """
+    .text
+_start:
+    set 500, %o1
+loop:
+    add %o0, 1, %o0
+    subcc %o1, 1, %o1
+    bne loop
+    nop
+    mov 0, %g1
+    ta 5
+"""
+
+
+def _board(**kwargs) -> Board:
+    return Board(leon3_fpu(), PerfectInstruments(), **kwargs)
+
+
+class TestCostTables:
+    def test_every_mnemonic_priced(self):
+        cycles = default_cycle_table()
+        energy = default_energy_table()
+        from repro.isa.opcodes import INSTR_SPECS
+        assert set(cycles) == set(INSTR_SPECS)
+        assert set(energy) == set(INSTR_SPECS)
+        assert all(c > 0 for c in cycles.values())
+        assert all(e > 0 for e in energy.values())
+
+    def test_memory_ops_cost_more_than_alu(self):
+        cycles = default_cycle_table()
+        assert cycles["ld"] > 10 * cycles["add"]
+        assert cycles["st"] > 5 * cycles["add"]
+        assert cycles["fdivd"] > cycles["faddd"]
+
+    def test_jitter_factor_bounded_and_deterministic(self):
+        for pc in (0x40000000, 0x40000abc):
+            for value in (0, 1, 0xFFFFFFFF, 123456):
+                factor = jitter_factor(pc, value, 0.05)
+                assert 0.95 <= factor <= 1.05
+                assert factor == jitter_factor(pc, value, 0.05)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HwConfig(clock_hz=0)
+        with pytest.raises(ValueError):
+            HwConfig(jitter_amplitude=0.9)
+
+
+class TestBoardMeasurement:
+    def test_deterministic_with_perfect_instruments(self):
+        prog = assemble(_SMALL)
+        m1 = _board().measure(prog)
+        m2 = _board().measure(assemble(_SMALL))
+        assert m1.time_s == m2.time_s
+        assert m1.energy_j == m2.energy_j
+        assert m1.cycles == m2.cycles
+
+    def test_time_is_cycles_over_clock(self):
+        measurement = _board().measure(assemble(_SMALL))
+        config = leon3_fpu()
+        assert measurement.true_time_s == pytest.approx(
+            measurement.cycles / config.clock_hz)
+
+    def test_energy_includes_static_power(self):
+        measurement = _board().measure(assemble(_SMALL))
+        config = leon3_fpu()
+        static = config.static_power_w * measurement.true_time_s
+        assert measurement.true_energy_j > static
+        assert measurement.mean_power_w > config.static_power_w
+
+    def test_branch_taken_costs_more(self):
+        taken = _board().measure(assemble("""
+    .text
+_start:
+    cmp %g0, 0
+    be target
+    nop
+target:
+    mov 0, %g1
+    ta 5
+"""))
+        untaken = _board().measure(assemble("""
+    .text
+_start:
+    cmp %g0, 1
+    be target
+    nop
+target:
+    mov 0, %g1
+    ta 5
+"""))
+        assert taken.cycles > untaken.cycles
+
+    def test_divide_latency_is_operand_dependent(self):
+        def divide(value):
+            return _board().measure(assemble(f"""
+    .text
+_start:
+    wr %g0, 0, %y
+    set {value}, %o1
+    mov 3, %o2
+    udiv %o1, %o2, %o0
+    mov 0, %g1
+    ta 5
+"""))
+        small = divide(9)        # quotient 3 -> early exit
+        large = divide(0xF0000000)  # quotient ~2^30
+        assert large.cycles > small.cycles
+
+    def test_window_trap_costs_charged(self):
+        deep = """
+    .text
+_start:
+    mov 10, %o0
+    call rec
+    nop
+    mov 0, %g1
+    ta 5
+rec:
+    save %sp, -96, %sp
+    cmp %i0, 0
+    ble done
+    nop
+    sub %i0, 1, %o0
+    call rec
+    nop
+done:
+    ret
+    restore
+"""
+        config_few = HwConfig(core=CoreConfig(nwindows=3))
+        config_many = HwConfig(core=CoreConfig(nwindows=16))
+        cycles_few = Board(config_few, PerfectInstruments()).measure(
+            assemble(deep)).cycles
+        cycles_many = Board(config_many, PerfectInstruments()).measure(
+            assemble(deep)).cycles
+        assert cycles_few > cycles_many
+
+    def test_fixed_kernel_runs_on_nofpu_board(self):
+        board = Board(leon3_nofpu(), PerfectInstruments())
+        measurement = board.measure(assemble(_SMALL))
+        assert measurement.sim.exit_code == 500  # the loop counter in %o0
+
+
+class TestInstruments:
+    def test_gain_is_systematic(self):
+        instruments = InstrumentModel(seed=7)
+        t1 = instruments.read_time(1.0)
+        # same instrument keeps its calibration; separate reads vary only
+        # by the small additive noise
+        t2 = instruments.read_time(1.0)
+        assert abs(t1 - t2) < 0.01
+
+    def test_seed_reproducibility(self):
+        a = InstrumentModel(seed=42)
+        b = InstrumentModel(seed=42)
+        assert a.read_energy(0.5) == b.read_energy(0.5)
+        assert a.read_time(0.25) == b.read_time(0.25)
+
+    def test_timer_quantisation(self):
+        spec = InstrumentSpec(timer_resolution_s=1e-3,
+                              timer_gain_sigma=0.0, timer_noise_sigma=0.0)
+        instruments = InstrumentModel(spec, seed=1)
+        reading = instruments.read_time(0.0123456)
+        assert reading == pytest.approx(0.012, abs=1e-9)
+
+    def test_perfect_instruments_are_identity(self):
+        perfect = PerfectInstruments()
+        assert perfect.read_time(0.123) == 0.123
+        assert perfect.read_energy(0.456) == 0.456
+
+
+class TestAreaModel:
+    def test_fpu_roughly_doubles_les(self):
+        increase = fpu_area_increase(CoreConfig())
+        assert 1.0 < increase < 1.2  # paper: +109 %
+
+    def test_synthesize_components(self):
+        report = synthesize(CoreConfig(has_fpu=True), name="test")
+        assert "fpu" in report.by_component
+        assert report.total_les > synthesize(
+            CoreConfig(has_fpu=False)).total_les
+        assert "total" in report.formatted()
+
+    def test_windows_cost_area(self):
+        small = synthesize(CoreConfig(nwindows=2, has_fpu=False)).total_les
+        large = synthesize(CoreConfig(nwindows=32, has_fpu=False)).total_les
+        assert large > small

@@ -1,0 +1,105 @@
+"""Cross-module integration: the full paper pipeline on small inputs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import assemble
+from repro.hw import Board, PerfectInstruments, leon3_fpu, leon3_nofpu
+from repro.isa.categories import CATEGORY_IDS
+from repro.nfp import Calibrator, NFPEstimator
+from repro.nfp.dse import WorkloadPair, explore_fpu
+from repro.fse.kernel import build_fse_kernel
+from repro.fse.params import FseParams
+from repro.kir import compile_module
+
+
+@pytest.fixture(scope="module")
+def calibrated():
+    board = Board(leon3_fpu(), PerfectInstruments())
+    model = Calibrator(board, iterations=600, unroll=16).calibrate().to_model()
+    return board, model
+
+
+class TestFullPipeline:
+    def test_paper_workflow_end_to_end(self, calibrated):
+        """Calibrate -> simulate -> estimate -> compare to measurement."""
+        board, model = calibrated
+        params = FseParams(block=8, iterations=3)
+        program = compile_module(build_fse_kernel(2, params), "hard")
+        estimator = NFPEstimator(model, board.config.core)
+        report = estimator.estimate_program(program, "fse2")
+        measurement = board.measure(program)
+        assert report.time_s == pytest.approx(measurement.true_time_s,
+                                              rel=0.10)
+        assert report.energy_j == pytest.approx(measurement.true_energy_j,
+                                                rel=0.10)
+        # the counts vector covers every category slot
+        assert len(report.sim.counts_vector) == len(CATEGORY_IDS)
+
+    def test_dse_pipeline(self, calibrated):
+        board, model = calibrated
+        params = FseParams(block=8, iterations=3)
+        module_hard = build_fse_kernel(1, params)
+        module_soft = build_fse_kernel(1, params)
+        pair = WorkloadPair(
+            name="fse:01",
+            float_program=compile_module(module_hard, "hard"),
+            fixed_program=compile_module(module_soft, "soft"),
+        )
+        est_fpu = NFPEstimator(model, leon3_fpu().core)
+        est_nofpu = NFPEstimator(model, leon3_nofpu().core)
+        report = explore_fpu(est_fpu, est_nofpu, [pair])
+        row = report.row("fse:01")
+        assert row.energy_change < -0.5   # FPU saves over half the energy
+        assert row.float_time_s < row.fixed_time_s
+        assert report.area_increase > 1.0
+        with pytest.raises(KeyError):
+            report.row("nope")
+
+    def test_estimation_linear_in_repetition(self, calibrated):
+        """Running a loop twice as long doubles the estimate (Eq. 1)."""
+        board, model = calibrated
+        estimator = NFPEstimator(model, board.config.core)
+
+        def loop_kernel(n: int) -> str:
+            return f"""
+    .text
+_start:
+    set {n}, %o1
+l:  subcc %o1, 1, %o1
+    bne l
+    nop
+    mov 0, %g1
+    ta 5
+"""
+        small = estimator.estimate_program(assemble(loop_kernel(1000)))
+        large = estimator.estimate_program(assemble(loop_kernel(2000)))
+        ratio = large.time_s / small.time_s
+        assert ratio == pytest.approx(2.0, rel=0.02)
+
+    def test_model_transfers_across_kernels(self, calibrated):
+        """A model calibrated once estimates unrelated kernels well."""
+        board, model = calibrated
+        estimator = NFPEstimator(model, board.config.core)
+        kernel = """
+    .text
+_start:
+    set buf, %o2
+    set 300, %o1
+l:
+    ld [%o2], %g2
+    st %g2, [%o2 + 4]
+    subcc %o1, 1, %o1
+    bne l
+    nop
+    mov 0, %g1
+    ta 5
+    .data
+    .align 8
+buf: .word 123, 0
+"""
+        report = estimator.estimate_program(assemble(kernel))
+        measurement = board.measure(assemble(kernel))
+        assert report.time_s == pytest.approx(measurement.true_time_s,
+                                              rel=0.05)

@@ -1,0 +1,166 @@
+"""Encode/decode roundtrips and decode rejection for the SPARC V8 subset."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import encoder
+from repro.isa.decoder import decode
+from repro.isa.errors import DecodeError, EncodeError
+from repro.isa.fields import s32, sign_extend, u32
+from repro.isa.opcodes import (
+    ARITH_MNEMONIC_TO_OP3,
+    FCC_NAME_TO_COND,
+    FPOP_MNEMONIC_TO_OPF,
+    FPOP_TWO_SOURCE,
+    ICC_COND_NAMES,
+    INSTR_SPECS,
+    MEM_MNEMONIC_TO_OP3,
+)
+
+regs = st.integers(min_value=0, max_value=31)
+simm13 = st.integers(min_value=-4096, max_value=4095)
+
+
+class TestFields:
+    @given(st.integers())
+    def test_u32_s32_roundtrip(self, value):
+        assert u32(s32(value)) == u32(value)
+
+    @given(st.integers(min_value=-(1 << 12), max_value=(1 << 12) - 1))
+    def test_sign_extend_13(self, value):
+        assert sign_extend(value & 0x1FFF, 13) == value
+
+    def test_sign_extend_negative(self):
+        assert sign_extend(0x1FFF, 13) == -1
+        assert sign_extend(0x1000, 13) == -4096
+
+
+class TestArithRoundtrip:
+    @given(st.sampled_from(sorted(ARITH_MNEMONIC_TO_OP3)), regs, regs, regs)
+    def test_register_form(self, mnemonic, rd, rs1, rs2):
+        word = encoder.encode_arith(mnemonic, rd, rs1, rs2=rs2)
+        instr = decode(word)
+        assert instr.mnemonic == mnemonic
+        assert (instr.rd, instr.rs1, instr.rs2) == (rd, rs1, rs2)
+        assert not instr.i
+
+    @given(st.sampled_from(sorted(ARITH_MNEMONIC_TO_OP3)), regs, regs, simm13)
+    def test_immediate_form(self, mnemonic, rd, rs1, imm):
+        if mnemonic in ("sll", "srl", "sra"):
+            imm &= 31
+        word = encoder.encode_arith(mnemonic, rd, rs1, imm=imm)
+        instr = decode(word)
+        assert instr.mnemonic == mnemonic
+        assert instr.i and instr.imm == imm
+
+    def test_immediate_overflow_rejected(self):
+        with pytest.raises(EncodeError):
+            encoder.encode_arith("add", 1, 2, imm=5000)
+        with pytest.raises(EncodeError):
+            encoder.encode_arith("sll", 1, 2, imm=40)
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(EncodeError):
+            encoder.encode_arith("madd", 1, 2, 3)
+
+
+class TestMemoryRoundtrip:
+    @given(st.sampled_from(sorted(MEM_MNEMONIC_TO_OP3)), regs, regs, simm13)
+    def test_immediate_address(self, mnemonic, rd, rs1, imm):
+        word = encoder.encode_mem(mnemonic, rd, rs1, imm=imm)
+        instr = decode(word)
+        assert instr.mnemonic == mnemonic
+        assert instr.kind in ("load", "store")
+        assert (instr.rd, instr.rs1, instr.imm) == (rd, rs1, imm)
+
+    @given(st.sampled_from(sorted(MEM_MNEMONIC_TO_OP3)), regs, regs, regs)
+    def test_register_address(self, mnemonic, rd, rs1, rs2):
+        instr = decode(encoder.encode_mem(mnemonic, rd, rs1, rs2=rs2))
+        assert (instr.rd, instr.rs1, instr.rs2) == (rd, rs1, rs2)
+
+
+class TestBranchRoundtrip:
+    @given(st.sampled_from(sorted(ICC_COND_NAMES.values())),
+           st.integers(min_value=-(1 << 21), max_value=(1 << 21) - 1),
+           st.booleans())
+    def test_bicc(self, mnemonic, disp_words, annul):
+        word = encoder.encode_branch(mnemonic, disp_words * 4, annul)
+        instr = decode(word)
+        assert instr.mnemonic == mnemonic
+        assert instr.imm == disp_words * 4
+        assert instr.annul == annul
+
+    @given(st.sampled_from(sorted(FCC_NAME_TO_COND)),
+           st.integers(min_value=-1000, max_value=1000))
+    def test_fbfcc(self, mnemonic, disp_words):
+        instr = decode(encoder.encode_fbranch(mnemonic, disp_words * 4))
+        assert instr.mnemonic == mnemonic
+        assert instr.kind == "fbranch"
+
+    def test_unaligned_displacement_rejected(self):
+        with pytest.raises(EncodeError):
+            encoder.encode_branch("ba", 6)
+
+    def test_displacement_range(self):
+        with pytest.raises(EncodeError):
+            encoder.encode_branch("ba", 4 << 22)
+
+    @given(st.integers(min_value=-(1 << 29), max_value=(1 << 29) - 1))
+    def test_call(self, disp_words):
+        instr = decode(encoder.encode_call(disp_words * 4))
+        assert instr.mnemonic == "call"
+        assert instr.imm == disp_words * 4
+
+
+class TestFpopRoundtrip:
+    @given(st.sampled_from(sorted(FPOP_MNEMONIC_TO_OPF)), regs, regs, regs)
+    def test_fpop(self, mnemonic, rd, rs1, rs2):
+        word = encoder.encode_fpop(mnemonic, rd, rs2, rs1)
+        instr = decode(word)
+        assert instr.mnemonic == mnemonic
+        assert instr.rs2 == rs2
+        if mnemonic in FPOP_TWO_SOURCE:
+            assert instr.rs1 == rs1
+
+
+class TestSpecialForms:
+    def test_sethi_and_nop(self):
+        instr = decode(encoder.encode_sethi(5, 0x12345))
+        assert instr.mnemonic == "sethi" and instr.imm == 0x12345
+        assert decode(encoder.encode_nop()).mnemonic == "nop"
+        # sethi 0, %g0 is the canonical nop
+        assert decode(encoder.encode_sethi(0, 0)).kind == "nop"
+
+    def test_jmpl_rdy_wry_trap(self):
+        assert decode(encoder.encode_jmpl(15, 3, imm=8)).mnemonic == "jmpl"
+        assert decode(encoder.encode_rdy(4)).mnemonic == "rdy"
+        assert decode(encoder.encode_wry(4, imm=0)).mnemonic == "wry"
+        instr = decode(encoder.encode_trap("ta", imm=5))
+        assert instr.mnemonic == "ta" and instr.imm == 5
+
+    def test_every_spec_has_morph_group_and_category(self):
+        for mnemonic, spec in INSTR_SPECS.items():
+            assert spec.morph_group.startswith("do"), mnemonic
+            assert 0 <= spec.category <= 8
+
+
+class TestDecodeRejection:
+    @pytest.mark.parametrize("word", [
+        0x00000000,              # UNIMP
+        0x81D82000,              # unsupported op3 (flush-like)
+        0xC1982000 ^ 0x00080000,  # bogus memory op3
+        (2 << 30) | (0x2A << 19),  # unknown arith op3
+        (2 << 30) | (0x34 << 19) | (0x1FF << 5),  # unknown FPop opf
+    ])
+    def test_undecodable(self, word):
+        with pytest.raises(DecodeError):
+            decode(word)
+
+    def test_decode_error_carries_word(self):
+        try:
+            decode(0)
+        except DecodeError as exc:
+            assert exc.word == 0
+            assert "0x00000000" in str(exc)

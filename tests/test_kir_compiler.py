@@ -1,0 +1,321 @@
+"""Kernel-IR compiler: semantics of both backends against Python."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kir import (
+    F64,
+    I32,
+    KirError,
+    KirTypeError,
+    Module,
+    U32,
+    compile_module,
+    generate_assembly,
+)
+from tests.helpers import run_kir
+
+i32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+M32 = 0xFFFFFFFF
+
+
+def _main_returning(build_body) -> Module:
+    m = Module("t")
+    f = m.function("main", ret=I32)
+    build_body(m, f)
+    return m
+
+
+class TestIntegerSemantics:
+    @settings(max_examples=20, deadline=None)
+    @given(i32s, i32s)
+    def test_arith_matrix(self, a, b):
+        """One batch kernel evaluates many int ops; compared to Python."""
+        def body(m, f):
+            x = f.local(I32, "x", init=a)
+            y = f.local(I32, "y", init=b)
+            acc = f.local(U32, "acc", init=0)
+            for expr in (x + y, x - y, x * y, x & y, x | y, x ^ y,
+                         x << (y & 15), (x >> (y & 15))):
+                f.assign(acc, (acc * 31) ^ expr)
+            f.ret(acc)
+
+        result = run_kir(_main_returning(body))
+        acc = 0
+        sy = b & 15
+        for value in ((a + b), (a - b), (a * b), (a & b), (a | b),
+                      (a ^ b), (a << sy) & M32,
+                      ((a >> sy) if a >= 0 else ~((~a) >> sy))):
+            acc = ((acc * 31) & M32) ^ (value & M32)
+        assert result.exit_code == acc
+
+    @settings(max_examples=15, deadline=None)
+    @given(i32s, i32s.filter(lambda v: v != 0))
+    def test_signed_div_rem(self, a, b):
+        def body(m, f):
+            x = f.local(I32, "x", init=a)
+            y = f.local(I32, "y", init=b)
+            f.ret((x // y) * 1000003 + x % y)
+
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        q = max(-(2**31), min(2**31 - 1, q))
+        r = a - q * b
+        expected = (q * 1000003 + r) & M32
+        assert run_kir(_main_returning(body)).exit_code == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=M32),
+           st.integers(min_value=1, max_value=M32))
+    def test_unsigned_div_rem(self, a, b):
+        def body(m, f):
+            x = f.local(U32, "x", init=a)
+            y = f.local(U32, "y", init=b)
+            f.ret((f.udiv(x, y) ^ f.urem(x, y)))
+
+        expected = ((a // b) ^ (a % b)) & M32
+        assert run_kir(_main_returning(body)).exit_code == expected
+
+    def test_umul_wide(self):
+        def body(m, f):
+            hi = f.local(U32, "hi")
+            lo = f.local(U32, "lo")
+            f.umul_wide(hi, lo, 0xFFFFFFFF, 0x12345678)
+            f.ret(hi ^ lo)
+
+        product = 0xFFFFFFFF * 0x12345678
+        assert run_kir(_main_returning(body)).exit_code == \
+            ((product >> 32) ^ (product & M32))
+
+    def test_unsigned_comparisons(self):
+        def body(m, f):
+            big = f.local(U32, "big", init=0x80000000)
+            one = f.local(U32, "one", init=1)
+            acc = f.local(I32, "acc", init=0)
+            with f.if_(big > one):
+                f.assign(acc, acc + 1)      # unsigned: taken
+            si = f.local(I32, "si", init=-0x80000000)
+            with f.if_(si < 1):
+                f.assign(acc, acc + 10)     # signed: taken
+            f.ret(acc)
+
+        assert run_kir(_main_returning(body)).exit_code == 11
+
+
+class TestControlFlow:
+    def test_nested_loops_break_continue(self):
+        def body(m, f):
+            total = f.local(I32, "total", init=0)
+            i = f.local(I32, "i", init=0)
+            with f.while_(i < 10):
+                f.assign(i, i + 1)
+                with f.if_(i == 3):
+                    f.continue_()
+                with f.if_(i == 8):
+                    f.break_()
+                f.assign(total, total + i)
+            f.ret(total)  # 1+2+4+5+6+7 = 25
+
+        assert run_kir(_main_returning(body)).exit_code == 25
+
+    def test_if_else_chains(self):
+        def body(m, f):
+            x = f.local(I32, "x", init=42)
+            out = f.local(I32, "out", init=0)
+            with f.if_(x > 100) as c:
+                f.assign(out, 1)
+            with c.else_():
+                with f.if_(x > 40) as c2:
+                    f.assign(out, 2)
+                with c2.else_():
+                    f.assign(out, 3)
+            f.ret(out)
+
+        assert run_kir(_main_returning(body)).exit_code == 2
+
+    def test_for_range_negative_step(self):
+        def body(m, f):
+            total = f.local(I32, "total", init=0)
+            with f.for_range("i", 5, 0, step=-1) as i:
+                f.assign(total, total + i)
+            f.ret(total)  # 5+4+3+2+1
+
+        assert run_kir(_main_returning(body)).exit_code == 15
+
+    def test_comparison_as_value(self):
+        def body(m, f):
+            a = f.local(I32, "a", init=3)
+            f.ret((a == 3) + (a != 3) * 10 + (a < 5) * 100)
+
+        assert run_kir(_main_returning(body)).exit_code == 101
+
+
+class TestCallsAndGlobals:
+    def test_multi_arg_calls_and_recursion(self):
+        m = Module("t")
+        g = m.function("ack_like", [("a", I32), ("b", I32)], ret=I32)
+        a, b = g.params
+        with g.if_(a == 0) as c:
+            g.ret(b + 1)
+        with c.else_():
+            g.ret(g.call("ack_like", a - 1, b + a))
+        f = m.function("main", ret=I32)
+        f.ret(f.call("ack_like", 5, 0))
+        assert run_kir(m).exit_code == 5 + 4 + 3 + 2 + 1 + 1
+
+    def test_globals_and_memory_widths(self):
+        m = Module("t")
+        m.global_words("warr", [0x11223344])
+        m.global_bytes("barr", bytes([1, 2, 3, 4]))
+        m.global_zeros("zeros", 16)
+        f = m.function("main", ret=I32)
+        acc = f.local(I32, "acc", init=0)
+        f.assign(acc, f.load(m.addr_of("warr")))            # 0x11223344
+        f.assign(acc, acc + f.load_u8(m.addr_of("barr", 1)))  # +2
+        f.store16(m.addr_of("zeros"), 0xBEEF)
+        f.assign(acc, acc + f.load_u16(m.addr_of("zeros")))   # +0xBEEF
+        f.store8(m.addr_of("zeros", 4), 0x80)
+        f.assign(acc, acc + f.load_s8(m.addr_of("zeros", 4)))  # -128
+        f.ret(acc)
+        expected = (0x11223344 + 2 + 0xBEEF - 128) & M32
+        assert run_kir(m).exit_code == expected
+
+    def test_signed_halfword_load(self):
+        m = Module("t")
+        m.global_words("w", [0xFFFF0000])
+        f = m.function("main", ret=I32)
+        f.ret(f.load_s16(m.addr_of("w")))
+        assert run_kir(m).exit_code == (-1) & M32
+
+    def test_undeclared_call_rejected(self):
+        m = Module("t")
+        f = m.function("main", ret=I32)
+        with pytest.raises(KirError):
+            f.call("nowhere")
+
+    def test_missing_function_fails_at_codegen(self):
+        m = Module("t")
+        m.declare("ghost", (), I32)
+        f = m.function("main", ret=I32)
+        f.ret(f.call("ghost"))
+        with pytest.raises(KirError):
+            generate_assembly(m)
+
+
+class TestFloatBackends:
+    @pytest.mark.parametrize("abi", ["hard", "soft"])
+    def test_float_pipeline_identical(self, abi):
+        def body(m, f):
+            x = f.local(F64, "x", init=f.f64const(2.25))
+            y = f.local(F64, "y", init=f.f64const(-0.5))
+            z = f.local(F64, "z")
+            f.assign(z, (x * y + f.f64const(10.0)) / f.f64const(4.0))
+            f.assign(z, f.fsqrt(z) * f.f64const(100.0))
+            f.ret(f.dtoi(z))
+
+        result = run_kir(_main_returning(body), float_abi=abi,
+                         has_fpu=(abi == "hard"))
+        import math
+        expected = int(math.sqrt((2.25 * -0.5 + 10.0) / 4.0) * 100.0)
+        assert result.exit_code == expected
+
+    @pytest.mark.parametrize("abi", ["hard", "soft"])
+    def test_float_comparisons_and_neg(self, abi):
+        def body(m, f):
+            x = f.local(F64, "x", init=f.f64const(1.5))
+            acc = f.local(I32, "acc", init=0)
+            with f.if_(x > f.f64const(1.0)):
+                f.assign(acc, acc + 1)
+            with f.if_(-x < f.f64const(0.0)):
+                f.assign(acc, acc + 10)
+            with f.if_(x == f.f64const(1.5)):
+                f.assign(acc, acc + 100)
+            with f.if_(x >= f.f64const(2.0)):
+                f.assign(acc, acc + 1000)   # not taken
+            f.ret(acc)
+
+        result = run_kir(_main_returning(body), float_abi=abi,
+                         has_fpu=(abi == "hard"))
+        assert result.exit_code == 111
+
+    def test_soft_build_contains_no_fpu_instructions(self):
+        def body(m, f):
+            x = f.local(F64, "x", init=f.f64const(3.0))
+            f.ret(f.dtoi(x * x))
+
+        result = run_kir(_main_returning(body), float_abi="soft",
+                         has_fpu=False)
+        assert result.exit_code == 9
+        assert result.category_counts["fpu_arith"] == 0
+        assert result.category_counts["fpu_div"] == 0
+
+    def test_f64_function_args_and_return(self):
+        m = Module("t")
+        g = m.function("scale", [("v", F64), ("k", I32)], ret=F64)
+        v, k = g.params
+        g.ret(v * g.itod(k))
+        f = m.function("main", ret=I32)
+        f.ret(f.dtoi(f.call("scale", f.f64const(2.5), 4)))
+        for abi in ("hard", "soft"):
+            assert run_kir(m, float_abi=abi,
+                           has_fpu=(abi == "hard")).exit_code == 10
+            m2 = Module("t")  # rebuild: modules are single-use per ABI
+            g = m2.function("scale", [("v", F64), ("k", I32)], ret=F64)
+            v, k = g.params
+            g.ret(v * g.itod(k))
+            f = m2.function("main", ret=I32)
+            f.ret(f.dtoi(f.call("scale", f.f64const(2.5), 4)))
+            m = m2
+
+
+class TestTypeChecking:
+    def test_mixed_assign_rejected(self):
+        m = Module("t")
+        f = m.function("main", ret=I32)
+        x = f.local(F64, "x")
+        with pytest.raises(KirTypeError):
+            f.assign(x, 5)
+
+    def test_int_truediv_rejected(self):
+        m = Module("t")
+        f = m.function("main", ret=I32)
+        x = f.local(I32, "x", init=4)
+        with pytest.raises(KirTypeError):
+            _ = x / 2
+
+    def test_return_type_enforced(self):
+        m = Module("t")
+        f = m.function("main", ret=I32)
+        with pytest.raises(KirTypeError):
+            f.ret(f.f64const(1.0))
+
+    def test_duplicate_names_rejected(self):
+        m = Module("t")
+        f = m.function("main", ret=I32)
+        f.local(I32, "x")
+        with pytest.raises(KirError):
+            f.local(I32, "x")
+        with pytest.raises(KirError):
+            m.function("main")
+
+    def test_break_outside_loop(self):
+        m = Module("t")
+        f = m.function("main", ret=I32)
+        with pytest.raises(KirError):
+            f.break_()
+
+    def test_arg_count_checked(self):
+        m = Module("t")
+        g = m.function("two", [("a", I32), ("b", I32)], ret=I32)
+        g.ret(g.params[0])
+        f = m.function("main", ret=I32)
+        with pytest.raises(KirTypeError):
+            f.call("two", 1)
+
+    def test_entry_required(self):
+        m = Module("t")
+        with pytest.raises(KirError):
+            compile_module(m)

@@ -1,0 +1,194 @@
+"""The estimation method: model (Eq. 1), calibration (Eq. 2), errors (Eq. 3),
+estimator and design-space exploration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.hw import Board, PerfectInstruments, leon3_fpu, leon3_nofpu
+from repro.isa.categories import CATEGORY_IDS, NUM_CATEGORIES
+from repro.nfp import (
+    Calibrator,
+    KernelError,
+    MechanisticModel,
+    NFPEstimator,
+    PAPER_TABLE1,
+    SpecificCosts,
+    blend_with_mix,
+    make_kernel_pair,
+    relative_error,
+    summarize_errors,
+    table3,
+)
+
+counts_strategy = st.lists(
+    st.integers(min_value=0, max_value=10**7),
+    min_size=NUM_CATEGORIES, max_size=NUM_CATEGORIES)
+
+
+class TestModel:
+    def test_paper_table1_values(self):
+        costs = PAPER_TABLE1.costs
+        rows = dict(zip(CATEGORY_IDS, zip(costs.time_ns, costs.energy_nj)))
+        assert rows["int_arith"] == (45, 15)
+        assert rows["mem_load"] == (700, 229)
+        assert rows["fpu_div"] == (431, 431)
+
+    @given(counts_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_eq1_is_exact_dot_product(self, counts):
+        estimate = PAPER_TABLE1.estimate(counts)
+        costs = PAPER_TABLE1.costs
+        expected_t = sum(t * n for t, n in zip(costs.time_ns, counts)) * 1e-9
+        expected_e = sum(e * n for e, n in zip(costs.energy_nj, counts)) * 1e-9
+        assert estimate.time_s == pytest.approx(expected_t, rel=1e-12)
+        assert estimate.energy_j == pytest.approx(expected_e, rel=1e-12)
+
+    @given(counts_strategy, counts_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_eq1_additivity(self, a, b):
+        """The mechanistic model is linear in the instruction counts."""
+        combined = PAPER_TABLE1.estimate([x + y for x, y in zip(a, b)])
+        separate_t = (PAPER_TABLE1.estimate(a).time_s
+                      + PAPER_TABLE1.estimate(b).time_s)
+        assert combined.time_s == pytest.approx(separate_t, rel=1e-9)
+
+    def test_estimate_from_mapping(self):
+        estimate = PAPER_TABLE1.estimate_from_mapping({"mem_load": 1000})
+        assert estimate.time_s == pytest.approx(700e-9 * 1000)
+        assert estimate.energy_j == pytest.approx(229e-9 * 1000)
+
+    def test_breakdown_sums_to_total(self):
+        estimate = PAPER_TABLE1.estimate([10] * NUM_CATEGORIES)
+        assert sum(estimate.time_breakdown_s) == pytest.approx(estimate.time_s)
+        assert len(estimate.breakdown_by_category()) == NUM_CATEGORIES
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            PAPER_TABLE1.estimate([1, 2, 3])
+        with pytest.raises(ValueError):
+            SpecificCosts(time_ns=(1.0,) * 3, energy_nj=(1.0,) * 9)
+
+
+class TestMetrics:
+    def test_eq3_signed(self):
+        assert relative_error(103.0, 100.0) == pytest.approx(0.03)
+        assert relative_error(97.0, 100.0) == pytest.approx(-0.03)
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    @given(st.lists(st.floats(min_value=-0.5, max_value=0.5,
+                              allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_summary_laws(self, errors):
+        summary = summarize_errors(errors)
+        assert 0 <= summary.mean_abs <= summary.max_abs
+        assert summary.count == len(errors)
+        assert summary.mean_abs_percent == pytest.approx(
+            100 * summary.mean_abs)
+
+    def test_table3_aggregation(self):
+        records = [
+            KernelError("k1", 1.02, 1.0, 2.06, 2.0),
+            KernelError("k2", 0.95, 1.0, 1.9, 2.0),
+        ]
+        result = table3(records)
+        assert result["time"].mean_abs == pytest.approx((0.02 + 0.05) / 2)
+        assert result["energy"].max_abs == pytest.approx(0.05)
+
+
+class TestCalibration:
+    def test_kernel_pair_structure(self):
+        pair = make_kernel_pair("int_arith", iterations=100, unroll=8)
+        assert pair.n_test == 800
+        # test kernel contains the unrolled instructions, reference does not
+        assert pair.test_source.count("add %g") >= 8
+        assert "add %g" not in pair.reference_source
+        # both assemble
+        assert assemble(pair.reference_source).word_count() > 0
+        assert assemble(pair.test_source).word_count() > 0
+
+    def test_all_categories_have_pairs(self):
+        for cid in CATEGORY_IDS:
+            pair = make_kernel_pair(cid, iterations=10, unroll=4)
+            assemble(pair.test_source)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            make_kernel_pair("int_arith", iterations=0)
+        with pytest.raises(ValueError):
+            make_kernel_pair("fpu_div", fpu=False)
+        with pytest.raises(ValueError):
+            make_kernel_pair("nonsense")
+
+    def test_calibration_recovers_testbed_costs(self):
+        board = Board(leon3_fpu(), PerfectInstruments())
+        calibrator = Calibrator(board, iterations=400, unroll=16)
+        record = calibrator.calibrate_category("mem_load")
+        # table: ld = 35 cycles at 50 MHz = 700 ns
+        assert record.time_ns == pytest.approx(700, rel=0.05)
+        assert record.energy_nj == pytest.approx(229, rel=0.1)
+
+    def test_nofpu_board_skips_fpu_categories(self):
+        board = Board(leon3_nofpu(), PerfectInstruments())
+        calibrator = Calibrator(board, iterations=50, unroll=4)
+        result = calibrator.calibrate(["int_arith", "fpu_div"])
+        assert "int_arith" in result.records
+        assert "fpu_div" not in result.records
+        assert any("fpu_div" in w for w in result.warnings)
+
+    def test_to_model_roundtrip(self):
+        board = Board(leon3_fpu(), PerfectInstruments())
+        result = Calibrator(board, iterations=50, unroll=4).calibrate(
+            ["int_arith", "nop"])
+        model = result.to_model()
+        estimate = model.estimate_from_mapping({"int_arith": 1000})
+        assert estimate.time_s > 0
+
+    def test_blend_with_mix(self):
+        base = PAPER_TABLE1.costs
+        blended = blend_with_mix(
+            base, "int_arith",
+            member_costs={"add": (40.0, 13.0), "udiv": (700.0, 120.0)},
+            mix={"add": 0.9, "udiv": 0.1})
+        idx = CATEGORY_IDS.index("int_arith")
+        assert blended.time_ns[idx] == pytest.approx(0.9 * 40 + 0.1 * 700)
+        # other categories untouched
+        assert blended.time_ns[idx + 1] == base.time_ns[idx + 1]
+        with pytest.raises(ValueError):
+            blend_with_mix(base, "int_arith", {"add": (1, 1)}, {"add": 0.0})
+
+
+class TestEstimatorAndDse:
+    _KERNEL = """
+    .text
+_start:
+    set 2000, %o1
+loop:
+    ld [%sp], %g2
+    add %g2, 1, %g3
+    subcc %o1, 1, %o1
+    bne loop
+    nop
+    mov 0, %g1
+    ta 5
+"""
+
+    def test_estimate_matches_measurement_closely(self):
+        board = Board(leon3_fpu(), PerfectInstruments())
+        model = Calibrator(board, iterations=400, unroll=16).calibrate(
+        ).to_model()
+        estimator = NFPEstimator(model, board.config.core)
+        report = estimator.estimate_program(assemble(self._KERNEL))
+        measurement = board.measure(assemble(self._KERNEL))
+        assert report.time_s == pytest.approx(measurement.time_s, rel=0.05)
+        assert report.energy_j == pytest.approx(measurement.energy_j,
+                                                rel=0.05)
+        assert report.counts["mem_load"] >= 2000
+
+    def test_estimate_counts_passthrough(self):
+        estimator = NFPEstimator(PAPER_TABLE1)
+        estimate = estimator.estimate_counts({"jump": 100})
+        assert estimate.time_s == pytest.approx(238e-9 * 100)

@@ -1,0 +1,155 @@
+"""The kernel-IR soft-float runtime vs the Python reference, in batch.
+
+One simulated kernel applies every runtime routine to many operand pairs;
+the outputs must equal :mod:`repro.softfloat.pyref` bit-for-bit (which is
+itself hypothesis-verified against the host FPU).
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro.kir import I32, Module, U32, compile_module
+from repro.softfloat import pyref as sf
+from repro.softfloat.kirlib import ensure_softfloat
+from repro.vm import CoreConfig, Simulator
+
+_REC = 56  # bytes per result record
+
+
+def _interesting_pairs(count: int, seed: int) -> list[tuple[int, int]]:
+    rng = random.Random(seed)
+
+    def bits(x: float) -> int:
+        return struct.unpack(">Q", struct.pack(">d", x))[0]
+
+    def rand_bits() -> int:
+        r = rng.random()
+        if r < 0.45:
+            return rng.getrandbits(64)
+        if r < 0.65:
+            return bits(rng.uniform(-1e12, 1e12))
+        if r < 0.75:
+            return rng.getrandbits(52) | (rng.getrandbits(1) << 63)
+        return rng.choice([
+            0, sf.SIGN, sf.INF, sf.INF | sf.SIGN, sf.QNAN, 1,
+            bits(1.0), bits(-1.0), bits(0.5), bits(2.0),
+            (0x7FE << 52) | sf.MASK52, sf.HIDDEN - 1,
+        ])
+
+    return [(rand_bits(), rand_bits()) for _ in range(count)]
+
+
+def _run_batch(pairs: list[tuple[int, int]]):
+    m = Module("sfbatch")
+    ensure_softfloat(m)
+    inbuf = []
+    for a, b in pairs:
+        inbuf += [a >> 32, a & 0xFFFFFFFF, b >> 32, b & 0xFFFFFFFF]
+    m.global_words("inp", inbuf, align=8)
+    m.global_zeros("outp", len(pairs) * _REC, align=8)
+    f = m.function("main", ret=I32)
+    rh, rl = f.local(U32, "rh"), f.local(U32, "rl")
+    src = f.local(U32, "src", init=m.addr_of("inp"))
+    dst = f.local(U32, "dst", init=m.addr_of("outp"))
+    ah, al = f.local(U32, "ah"), f.local(U32, "al")
+    bh, bl = f.local(U32, "bh"), f.local(U32, "bl")
+    with f.for_range("i", 0, len(pairs)):
+        f.assign(ah, f.load(src))
+        f.assign(al, f.load(src + 4))
+        f.assign(bh, f.load(src + 8))
+        f.assign(bl, f.load(src + 12))
+        for k, op in enumerate(("__sf_add", "__sf_sub", "__sf_mul",
+                                "__sf_div")):
+            f.call_pair(rh, rl, op, ah, al, bh, bl)
+            f.store(dst + k * 8, rh)
+            f.store(dst + k * 8 + 4, rl)
+        f.call_pair(rh, rl, "__sf_sqrt", ah, al)
+        f.store(dst + 32, rh)
+        f.store(dst + 36, rl)
+        f.store(dst + 40, f.call("__sf_cmp", ah, al, bh, bl))
+        f.store(dst + 44, f.call("__sf_dtoi", ah, al))
+        f.call_pair(rh, rl, "__sf_itod", al)
+        f.store(dst + 48, rh)
+        f.store(dst + 52, rl)
+        f.assign(src, src + 16)
+        f.assign(dst, dst + _REC)
+    f.ret(0)
+
+    program = compile_module(m, float_abi="soft")
+    simulator = Simulator(program, CoreConfig(has_fpu=False))
+    result = simulator.run(max_instructions=200_000_000)
+    assert result.exit_code == 0
+    # soft-float must never touch the FPU
+    assert result.category_counts["fpu_arith"] == 0
+    assert result.category_counts["fpu_div"] == 0
+    assert result.category_counts["fpu_sqrt"] == 0
+    return simulator.memory, program.symbol("outp")
+
+
+@pytest.fixture(scope="module")
+def batch():
+    pairs = _interesting_pairs(220, seed=1234)
+    memory, base = _run_batch(pairs)
+
+    def read_pair(index: int, slot: int) -> int:
+        off = base + index * _REC + slot * 4
+        return (memory.read_u32(off) << 32) | memory.read_u32(off + 4)
+
+    def read_word(index: int, slot: int) -> int:
+        return memory.read_u32(base + index * _REC + slot * 4)
+
+    return pairs, read_pair, read_word
+
+
+@pytest.mark.parametrize("slot,name,ref", [
+    (0, "add", sf.f64_add),
+    (2, "sub", sf.f64_sub),
+    (4, "mul", sf.f64_mul),
+    (6, "div", sf.f64_div),
+])
+def test_binary_ops_bit_exact(batch, slot, name, ref):
+    pairs, read_pair, _ = batch
+    for i, (a, b) in enumerate(pairs):
+        got = read_pair(i, slot)
+        expected = ref(a, b)
+        assert got == expected, (
+            f"{name}(0x{a:016x}, 0x{b:016x}) = 0x{got:016x}, "
+            f"expected 0x{expected:016x}")
+
+
+def test_sqrt_bit_exact(batch):
+    pairs, read_pair, _ = batch
+    for i, (a, _) in enumerate(pairs):
+        assert read_pair(i, 8) == sf.f64_sqrt(a)
+
+
+def test_cmp_matches(batch):
+    pairs, _, read_word = batch
+    for i, (a, b) in enumerate(pairs):
+        assert read_word(i, 10) == sf.f64_cmp(a, b)
+
+
+def test_dtoi_matches(batch):
+    pairs, _, read_word = batch
+    for i, (a, _) in enumerate(pairs):
+        assert read_word(i, 11) == sf.f64_to_i32(a)
+
+
+def test_itod_matches(batch):
+    pairs, read_pair, _ = batch
+    for i, (a, _) in enumerate(pairs):
+        assert read_pair(i, 12) == sf.i32_to_f64(a & 0xFFFFFFFF)
+
+
+def test_ensure_softfloat_idempotent():
+    m = Module("t")
+    ensure_softfloat(m)
+    count = len(m.functions)
+    ensure_softfloat(m)
+    assert len(m.functions) == count
+    assert "__sf_add" in m.functions
+    assert "__sf_roundpack" in m.functions

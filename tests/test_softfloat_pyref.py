@@ -1,0 +1,158 @@
+"""Bit-exactness of the pure-Python soft-float against the host FPU.
+
+CPython floats are IEEE-754 binary64 with round-to-nearest-even, so
+``struct``-packed host results are the oracle.  NaNs compare as a class
+(payloads are canonicalised, see the module docstring).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.softfloat import pyref as sf
+from repro.vm.morpher import f64_to_i32_trunc, ieee_div, ieee_sqrt
+
+
+def bits_of(x: float) -> int:
+    return struct.unpack(">Q", struct.pack(">d", x))[0]
+
+
+def value_of(b: int) -> float:
+    return struct.unpack(">d", struct.pack(">Q", b & (2**64 - 1)))[0]
+
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+any_bits = st.one_of(
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.builds(bits_of, finite),
+    st.builds(lambda f, s: (s << 63) | f,
+              st.integers(min_value=0, max_value=(1 << 52) - 1),
+              st.integers(min_value=0, max_value=1)),  # subnormals
+    st.sampled_from([0, sf.SIGN, sf.INF, sf.INF | sf.SIGN, sf.QNAN,
+                     1, (1 << 52) - 1, bits_of(1.0), bits_of(-0.0),
+                     (0x7FE << 52) | sf.MASK52]),
+)
+
+
+def same(host: float, ours: int) -> bool:
+    if math.isnan(host):
+        return math.isnan(value_of(ours))
+    return bits_of(host) == ours
+
+
+class TestArithmetic:
+    @given(any_bits, any_bits)
+    @settings(max_examples=600, deadline=None)
+    def test_add(self, a, b):
+        assert same(value_of(a) + value_of(b), sf.f64_add(a, b))
+
+    @given(any_bits, any_bits)
+    @settings(max_examples=400, deadline=None)
+    def test_sub(self, a, b):
+        assert same(value_of(a) - value_of(b), sf.f64_sub(a, b))
+
+    @given(any_bits, any_bits)
+    @settings(max_examples=600, deadline=None)
+    def test_mul(self, a, b):
+        assert same(value_of(a) * value_of(b), sf.f64_mul(a, b))
+
+    @given(any_bits, any_bits)
+    @settings(max_examples=600, deadline=None)
+    def test_div(self, a, b):
+        assert same(ieee_div(value_of(a), value_of(b)), sf.f64_div(a, b))
+
+    @given(any_bits)
+    @settings(max_examples=400, deadline=None)
+    def test_sqrt(self, a):
+        assert same(ieee_sqrt(value_of(a)), sf.f64_sqrt(a))
+
+    @given(any_bits, any_bits)
+    @settings(max_examples=300, deadline=None)
+    def test_cmp(self, a, b):
+        fa, fb = value_of(a), value_of(b)
+        if math.isnan(fa) or math.isnan(fb):
+            expected = 3
+        elif fa == fb:
+            expected = 0
+        else:
+            expected = 1 if fa < fb else 2
+        assert sf.f64_cmp(a, b) == expected
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_i32_to_f64(self, x):
+        assert sf.i32_to_f64(x & 0xFFFFFFFF) == bits_of(float(x))
+
+    @given(any_bits)
+    @settings(max_examples=300, deadline=None)
+    def test_f64_to_i32(self, a):
+        assert sf.f64_to_i32(a) == f64_to_i32_trunc(value_of(a))
+
+
+class TestIdentities:
+    """Algebraic identities that hold exactly in IEEE-754."""
+
+    @given(any_bits)
+    @settings(max_examples=200, deadline=None)
+    def test_add_zero_identity(self, a):
+        # x + 0.0 == x for every non-NaN x except -0.0 (which becomes +0.0)
+        result = sf.f64_add(a, 0)
+        fa = value_of(a)
+        if math.isnan(fa):
+            assert math.isnan(value_of(result))
+        elif a == sf.SIGN:  # -0.0 + +0.0 = +0.0
+            assert result == 0
+        else:
+            assert result == a
+
+    @given(st.builds(bits_of, finite))
+    @settings(max_examples=200, deadline=None)
+    def test_sub_self_is_plus_zero(self, a):
+        assert sf.f64_sub(a, a) == 0
+
+    @given(st.builds(bits_of, finite))
+    @settings(max_examples=200, deadline=None)
+    def test_mul_one_identity(self, a):
+        assert sf.f64_mul(a, bits_of(1.0)) == a
+
+    @given(st.builds(bits_of, st.floats(min_value=1e-150, max_value=1e150)))
+    @settings(max_examples=200, deadline=None)
+    def test_sqrt_of_square_stays_close(self, a):
+        squared = sf.f64_mul(a, a)
+        root = sf.f64_sqrt(squared)
+        # correctly rounded sqrt of a correctly rounded square is within
+        # one ulp of the original
+        assert abs(root - a) <= 1
+
+    def test_nan_canonicalisation(self):
+        assert sf.f64_add(sf.QNAN, bits_of(1.0)) == sf.QNAN
+        assert sf.f64_mul(sf.INF, 0) == sf.QNAN
+        assert sf.f64_div(0, 0) == sf.QNAN
+        assert sf.f64_sqrt(bits_of(-4.0)) == sf.QNAN
+
+    def test_special_cases_table(self):
+        inf, ninf = sf.INF, sf.INF | sf.SIGN
+        one = bits_of(1.0)
+        assert sf.f64_add(inf, one) == inf
+        assert sf.f64_add(inf, ninf) == sf.QNAN
+        assert sf.f64_div(one, 0) == inf
+        assert sf.f64_div(one, sf.SIGN) == ninf  # 1 / -0.0
+        assert sf.f64_div(one, inf) == 0
+        assert sf.f64_sqrt(inf) == inf
+        assert sf.f64_to_i32(sf.QNAN) == 0
+        assert sf.f64_to_i32(bits_of(-2147483648.0)) == 0x80000000
+        assert sf.f64_to_i32(bits_of(2147483648.0)) == 0x7FFFFFFF
+
+    @given(st.builds(bits_of, finite), st.builds(bits_of, finite))
+    @settings(max_examples=200, deadline=None)
+    def test_add_commutes(self, a, b):
+        assert sf.f64_add(a, b) == sf.f64_add(b, a)
+
+    @given(st.builds(bits_of, finite), st.builds(bits_of, finite))
+    @settings(max_examples=200, deadline=None)
+    def test_mul_commutes(self, a, b):
+        assert sf.f64_mul(a, b) == sf.f64_mul(b, a)

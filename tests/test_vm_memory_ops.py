@@ -1,0 +1,142 @@
+"""Load/store instruction semantics: widths, signs, pairs, endianness."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vm import MemoryFault
+from tests.helpers import run_asm, run_exit_code
+
+_DATA = """
+    .data
+    .align 8
+buf:
+    .word 0x81828384, 0x01020304
+    .word 0, 0
+"""
+
+
+def _mem_kernel(body: str) -> str:
+    return f"    .text\n_start:\n    set buf, %o1\n{body}\n" \
+           f"    mov 0, %g1\n    ta 5\n{_DATA}"
+
+
+class TestLoads:
+    @pytest.mark.parametrize("op,offset,expected", [
+        ("ld", 0, 0x81828384),
+        ("ld", 4, 0x01020304),
+        ("ldub", 0, 0x81),
+        ("ldub", 3, 0x84),
+        ("ldsb", 0, 0xFFFFFF81),   # sign-extended
+        ("ldsb", 4, 0x01),
+        ("lduh", 0, 0x8182),
+        ("ldsh", 0, 0xFFFF8182),
+        ("ldsh", 4, 0x0102),
+    ])
+    def test_load_widths(self, op, offset, expected):
+        result = run_asm(_mem_kernel(f"    {op} [%o1 + {offset}], %o0"))
+        assert result.exit_code == expected
+
+    def test_ldd_fills_even_odd_pair(self):
+        result = run_asm(_mem_kernel("""
+    ldd [%o1], %o2
+    xor %o2, %o3, %o0
+"""))
+        assert result.exit_code == 0x81828384 ^ 0x01020304
+
+    def test_register_indexed_address(self):
+        result = run_asm(_mem_kernel("""
+    mov 4, %o2
+    ld [%o1 + %o2], %o0
+"""))
+        assert result.exit_code == 0x01020304
+
+    def test_misaligned_load_faults(self):
+        with pytest.raises(MemoryFault):
+            run_asm(_mem_kernel("    ld [%o1 + 2], %o0"))
+
+    def test_misaligned_ldd_faults(self):
+        with pytest.raises(MemoryFault):
+            run_asm(_mem_kernel("    ldd [%o1 + 4], %o2"))
+
+
+class TestStores:
+    @pytest.mark.parametrize("op,offset,readback,expected", [
+        ("st", 8, "ld [%o1 + 8], %o0", 0xCAFEBABE),
+        ("sth", 8, "lduh [%o1 + 8], %o0", 0xBABE),
+        ("stb", 9, "ldub [%o1 + 9], %o0", 0xBE),
+    ])
+    def test_store_widths(self, op, offset, readback, expected):
+        result = run_asm(_mem_kernel(f"""
+    set 0xCAFEBABE, %o2
+    {op} %o2, [%o1 + {offset}]
+    {readback}
+"""))
+        assert result.exit_code == expected
+
+    def test_partial_store_preserves_neighbours(self):
+        result = run_asm(_mem_kernel("""
+    set 0xFF, %o2
+    stb %o2, [%o1 + 1]
+    ld [%o1], %o0
+"""))
+        assert result.exit_code == 0x81FF8384
+
+    def test_std_writes_pair(self):
+        result = run_asm(_mem_kernel("""
+    set 0x11111111, %o2
+    set 0x22222222, %o3
+    std %o2, [%o1 + 8]
+    ld [%o1 + 8], %g2
+    ld [%o1 + 12], %g3
+    sub %g2, %g3, %o0
+"""))
+        assert result.exit_code == (0x11111111 - 0x22222222) & 0xFFFFFFFF
+
+    def test_store_outside_ram_faults(self):
+        with pytest.raises(MemoryFault):
+            run_exit_code("""
+    set 0x10000000, %o1
+    st %g0, [%o1]
+""")
+
+
+class TestFpMemory:
+    def test_lddf_stdf_roundtrip(self):
+        result = run_asm(_mem_kernel("""
+    lddf [%o1], %f0
+    stdf %f0, [%o1 + 8]
+    ld [%o1 + 8], %g2
+    ld [%o1], %g3
+    xor %g2, %g3, %o0
+"""))
+        assert result.exit_code == 0
+
+    def test_ldf_stf_single_word(self):
+        result = run_asm(_mem_kernel("""
+    ldf [%o1 + 4], %f5
+    stf %f5, [%o1 + 8]
+    ld [%o1 + 8], %o0
+"""))
+        assert result.exit_code == 0x01020304
+
+
+class TestStorePatterns:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_word_roundtrip_arbitrary_patterns(self, value):
+        result = run_asm(_mem_kernel(f"""
+    set {value}, %o2
+    st %o2, [%o1 + 8]
+    ld [%o1 + 8], %o0
+"""))
+        assert result.exit_code == value
+
+    def test_byte_order_big_endian(self):
+        result = run_asm(_mem_kernel("""
+    set 0x11223344, %o2
+    st %o2, [%o1 + 8]
+    ldub [%o1 + 8], %o0     ! MSB first on SPARC
+"""))
+        assert result.exit_code == 0x11

@@ -1,0 +1,307 @@
+"""Register windows, FPU semantics, traps and semihosting."""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import pytest
+
+from repro.vm import FpuDisabled, UnhandledTrap, WindowUnderflow
+from repro.vm.morpher import (
+    f64_to_i32_trunc,
+    get_d,
+    ieee_div,
+    ieee_sqrt,
+    put_d,
+)
+from tests.helpers import run_asm, run_exit_code
+
+
+class TestRegisterWindows:
+    def test_save_restore_shares_outs_ins(self):
+        assert run_exit_code("""
+    mov 11, %o1
+    save %sp, -96, %sp
+    ! caller's %o1 is now %i1
+    add %i1, 1, %i1
+    restore
+    ! callee's %i1 went back to %o1
+    mov %o1, %o0
+""") == 12
+
+    def test_locals_are_private_per_window(self):
+        assert run_exit_code("""
+    mov 5, %l0
+    save %sp, -96, %sp
+    mov 99, %l0
+    restore
+    mov %l0, %o0
+""") == 5
+
+    def test_save_computes_with_old_window(self):
+        # `save %sp, -96, %sp`: the source %sp is the CALLER's stack
+        # pointer, the destination lands in the CALLEE's window, and the
+        # caller's %sp becomes the callee's %fp (= %i6).
+        result = run_asm("""
+    .text
+_start:
+    save %sp, -96, %sp
+    sub %fp, %sp, %i0     ! callee frame size
+    restore %i0, 0, %o0   ! restore moves the result to the caller
+    mov 0, %g1
+    ta 5
+""")
+        assert result.exit_code == 96
+
+    def test_deep_recursion_spills(self):
+        # factorial via recursion deeper than NWINDOWS exercises spill/fill
+        result = run_asm("""
+    .text
+_start:
+    mov 12, %o0
+    call fact
+    nop
+    mov 0, %g1
+    ta 5
+fact:
+    save %sp, -96, %sp
+    cmp %i0, 1
+    bg recurse
+    nop
+    mov 1, %i0
+    ret
+    restore
+recurse:
+    sub %i0, 1, %o0
+    call fact
+    nop
+    smul %o0, %i0, %i0
+    ret
+    restore
+""", nwindows=4)
+        assert result.exit_code == math.factorial(12) & 0xFFFFFFFF
+        assert result.max_window_depth >= 4
+        assert result.spill_count > 0
+        assert result.fill_count > 0
+
+    def test_restore_without_save_underflows(self):
+        with pytest.raises(WindowUnderflow):
+            run_exit_code("    restore")
+
+
+class TestFpuSemantics:
+    def _fp_binop(self, op: str, a: float, b: float) -> float:
+        a_bits = struct.unpack(">Q", struct.pack(">d", a))[0]
+        b_bits = struct.unpack(">Q", struct.pack(">d", b))[0]
+        result = run_asm(f"""
+    .text
+_start:
+    set da, %o1
+    lddf [%o1], %f0
+    set db, %o1
+    lddf [%o1], %f2
+    {op} %f0, %f2, %f4
+    set dout, %o1
+    stdf %f4, [%o1]
+    ld [%o1], %o0
+    mov 0, %g1
+    ta 5
+    .data
+    .align 8
+da:   .word 0x{a_bits >> 32:08X}, 0x{a_bits & 0xFFFFFFFF:08X}
+db:   .word 0x{b_bits >> 32:08X}, 0x{b_bits & 0xFFFFFFFF:08X}
+dout: .word 0, 0
+""")
+        sim_mem_hi = result.exit_code
+        return sim_mem_hi  # high word of the result
+
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("faddd", 1.5, 2.25, 1.5 + 2.25),
+        ("fsubd", 10.0, 0.125, 9.875),
+        ("fmuld", 3.0, -2.5, -7.5),
+        ("fdivd", 1.0, 3.0, 1.0 / 3.0),
+    ])
+    def test_double_arithmetic_high_word(self, op, a, b, expected):
+        expected_hi = struct.unpack(
+            ">Q", struct.pack(">d", expected))[0] >> 32
+        assert self._fp_binop(op, a, b) == expected_hi
+
+    def test_fsqrt_and_conversions(self):
+        result = run_asm("""
+    .text
+_start:
+    set da, %o1
+    lddf [%o1], %f0
+    fsqrtd %f0, %f2
+    fdtoi %f2, %f4
+    set dout, %o1
+    stf %f4, [%o1]
+    ld [%o1], %o0
+    mov 0, %g1
+    ta 5
+    .data
+    .align 8
+da:   .word 0x40310000, 0    ! 17.0
+dout: .word 0
+""")
+        assert result.exit_code == int(math.sqrt(17.0))
+
+    def test_fitod_roundtrip(self):
+        result = run_asm("""
+    .text
+_start:
+    set val, %o1
+    ldf [%o1], %f0
+    fitod %f0, %f2
+    faddd %f2, %f2, %f2     ! *2
+    fdtoi %f2, %f4
+    set val, %o1
+    stf %f4, [%o1]
+    ld [%o1], %o0
+    mov 0, %g1
+    ta 5
+    .data
+    .align 4
+val: .word 21
+""")
+        assert result.exit_code == 42
+
+    def test_fcmp_branches(self):
+        result = run_asm("""
+    .text
+_start:
+    set da, %o1
+    lddf [%o1], %f0
+    set db, %o1
+    lddf [%o1], %f2
+    fcmpd %f0, %f2
+    nop
+    fbl less
+    nop
+    mov 0, %o0
+    ba out
+    nop
+less:
+    mov 1, %o0
+out:
+    mov 0, %g1
+    ta 5
+    .data
+    .align 8
+da: .word 0x3FF00000, 0     ! 1.0
+db: .word 0x40000000, 0     ! 2.0
+""")
+        assert result.exit_code == 1
+
+    def test_fneg_fabs_bit_ops(self):
+        result = run_asm("""
+    .text
+_start:
+    set da, %o1
+    lddf [%o1], %f0
+    fnegs %f0, %f2
+    fmovs %f1, %f3
+    fabss %f2, %f4
+    set dout, %o1
+    stf %f2, [%o1]
+    ld [%o1], %o0
+    mov 0, %g1
+    ta 5
+    .data
+    .align 8
+da:   .word 0x3FF00000, 0
+dout: .word 0
+""")
+        assert result.exit_code == 0xBFF00000  # -1.0 high word
+
+    def test_fpu_disabled_trap(self):
+        with pytest.raises(FpuDisabled):
+            run_exit_code("    faddd %f0, %f2, %f4", has_fpu=False)
+
+    def test_integer_kernels_run_without_fpu(self):
+        assert run_exit_code("    mov 9, %o0", has_fpu=False) == 9
+
+
+class TestFpHelpers:
+    def test_ieee_div_by_zero(self):
+        assert ieee_div(1.0, 0.0) == math.inf
+        assert ieee_div(-1.0, 0.0) == -math.inf
+        assert math.isnan(ieee_div(0.0, 0.0))
+        assert math.isnan(ieee_div(math.nan, 2.0))
+
+    def test_ieee_sqrt(self):
+        assert ieee_sqrt(4.0) == 2.0
+        assert math.isnan(ieee_sqrt(-1.0))
+        assert math.copysign(1.0, ieee_sqrt(-0.0)) == -1.0
+
+    def test_f64_to_i32_trunc(self):
+        assert f64_to_i32_trunc(1.99) == 1
+        assert f64_to_i32_trunc(-1.99) == (-1) & 0xFFFFFFFF
+        assert f64_to_i32_trunc(float("nan")) == 0
+        assert f64_to_i32_trunc(1e300) == 0x7FFFFFFF
+        assert f64_to_i32_trunc(-1e300) == 0x80000000
+
+    def test_get_put_d_roundtrip(self):
+        fregs = [0] * 32
+        put_d(fregs, 4, -123.456)
+        assert get_d(fregs, 4) == -123.456
+
+
+class TestSemihosting:
+    def test_console_services(self):
+        result = run_asm("""
+    .text
+_start:
+    mov 'H', %o0
+    mov 1, %g1
+    ta 5
+    mov 'i', %o0
+    mov 1, %g1
+    ta 5
+    mov 1234, %o0
+    mov 2, %g1
+    ta 5
+    set msg, %o0
+    mov 3, %o1
+    mov 4, %g1
+    ta 5
+    mov 0, %o0
+    mov 0, %g1
+    ta 5
+    .data
+msg: .ascii "ok\\n"
+""")
+        assert result.console == "Hi1234\nok\n"
+        assert result.exit_code == 0
+
+    def test_clock_returns_retired_count(self):
+        result = run_asm("""
+    .text
+_start:
+    mov 3, %g1
+    ta 5
+    mov %o0, %o0
+    mov 0, %g1
+    ta 5
+""")
+        # exit code is the instruction count at the clock call
+        assert 0 < result.exit_code < 10
+
+    def test_unknown_service_raises(self):
+        with pytest.raises(UnhandledTrap):
+            run_exit_code("""
+    mov 77, %g1
+    ta 5
+""")
+
+    def test_unknown_trap_number_raises(self):
+        with pytest.raises(UnhandledTrap):
+            run_exit_code("    ta 9")
+
+    def test_conditional_trap_not_taken_falls_through(self):
+        assert run_exit_code("""
+    cmp %g0, 1
+    te 9                    ! equal? no -> no trap
+    mov 5, %o0
+""") == 5
