@@ -30,14 +30,26 @@ loop:
 """
 
 
-def _run_fast():
-    sim = Simulator(assemble(_LOOP_KERNEL), CoreConfig())
+def _run_fast(blocks_enabled: bool = True):
+    sim = Simulator(assemble(_LOOP_KERNEL),
+                    CoreConfig(blocks_enabled=blocks_enabled))
     return sim.run(max_instructions=10_000_000)
 
 
 def test_iss_throughput(benchmark):
-    """Fast functional loop: simulated instructions per second."""
+    """Fast functional loop (superblock dispatch): simulated MIPS."""
     result = benchmark.pedantic(_run_fast, rounds=3, iterations=1)
+    benchmark.extra_info["retired"] = result.retired
+    benchmark.extra_info["mips"] = round(result.mips, 3)
+    benchmark.extra_info["translated_blocks"] = \
+        result.extras["translated_blocks"]
+    assert result.retired > 300_000
+
+
+def test_iss_throughput_per_instruction(benchmark):
+    """The same loop with block translation disabled (A/B baseline)."""
+    result = benchmark.pedantic(lambda: _run_fast(False),
+                                rounds=3, iterations=1)
     benchmark.extra_info["retired"] = result.retired
     benchmark.extra_info["mips"] = round(result.mips, 3)
     assert result.retired > 300_000

@@ -68,6 +68,10 @@ def main() -> None:
     report = estimator.estimate_program(program, kernel_name="sum-squares")
     print(f"\nkernel console output: {report.sim.console.strip()}")
     print(f"instruction counts   : {report.counts}")
+    extras = report.sim.extras
+    print(f"simulation speed     : {report.sim.mips:.2f} MIPS "
+          f"({extras['translated_blocks']:.0f} superblocks translated, "
+          f"avg {extras['avg_block_len']:.1f} instructions)")
     print(f"estimated time       : {report.time_s * 1e3:.3f} ms")
     print(f"estimated energy     : {report.energy_j * 1e3:.3f} mJ")
 

@@ -51,6 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run")
     p.add_argument("file")
     p.add_argument("--no-fpu", action="store_true")
+    p.add_argument("--no-blocks", action="store_true",
+                   help="disable superblock translation (per-instruction "
+                        "dispatch, slower but step-exact tooling baseline)")
     p.add_argument("--max-instructions", type=int, default=50_000_000)
     p = sub.add_parser("disasm")
     p.add_argument("word", help="hex instruction word, e.g. 0x82008004")
@@ -109,13 +112,19 @@ def main(argv: list[str] | None = None) -> int:
         from repro.vm import CoreConfig, Simulator
         with open(args.file, encoding="utf-8") as handle:
             program = assemble(handle.read())
-        config = CoreConfig(has_fpu=not args.no_fpu)
+        config = CoreConfig(has_fpu=not args.no_fpu,
+                            blocks_enabled=not args.no_blocks)
         result = Simulator(program, config).run(
             max_instructions=args.max_instructions)
         if result.console:
             sys.stdout.write(result.console)
         print(f"exit code : {result.exit_code}")
         print(f"retired   : {result.retired}")
+        print(f"speed     : {result.mips:.2f} MIPS")
+        if result.extras.get("block_mode"):
+            print(f"blocks    : {result.extras['translated_blocks']:.0f} "
+                  f"translated, avg {result.extras['avg_block_len']:.1f} "
+                  f"instrs")
         for cid, count in result.category_counts.items():
             if count:
                 print(f"  {cid:<10} {count}")

@@ -6,8 +6,10 @@ the non-functional estimates they produce.  This driver measures our
 concrete instances of each rung on one FSE kernel:
 
 * ``algorithm``   -- the pure-Python FSE (fast, no NFP output at all);
-* ``iss``         -- functional instruction-set simulation (fast, counts
-  only, still no time/energy);
+* ``iss``         -- functional instruction-set simulation with superblock
+  translation (fast, counts only, still no time/energy);
+* ``iss per-instruction`` -- the same functional ISS with block
+  translation disabled (the pre-superblock baseline);
 * ``iss+model``   -- the paper's approach: ISS counts x calibrated model;
 * ``cycle-model`` -- the instrumented cycle/energy testbed model (slowest,
   the measurement reference, error 0 by definition).
@@ -86,11 +88,18 @@ def run(scale: Scale | str | None = None) -> Figure1Result:
         max_instructions=scale.max_instructions)
     model_wall = time.perf_counter() - t0
 
-    # plain functional ISS (no cost model applied)
+    # plain functional ISS (no cost model applied), block-translated
+    core = bench.board_fpu.config.core
     t0 = time.perf_counter()
-    iss_result = Simulator(program, bench.board_fpu.config.core).run(
+    iss_result = Simulator(program, core).run(
         max_instructions=scale.max_instructions)
     iss_wall = time.perf_counter() - t0
+
+    # the same ISS with superblock translation disabled (A/B baseline)
+    t0 = time.perf_counter()
+    Simulator(program, core.with_blocks(False)).run(
+        max_instructions=scale.max_instructions)
+    stepwise_wall = time.perf_counter() - t0
 
     # the algorithm itself on the host (no simulation at all)
     image, mask = test_case(index, scale.fse_size)
@@ -104,6 +113,10 @@ def run(scale: Scale | str | None = None) -> Figure1Result:
                        provides_nfp=False),
         LandscapePoint("ISS (functional)", iss_wall,
                        retired / iss_wall / 1e6 if iss_wall else None,
+                       None, None, provides_nfp=False),
+        LandscapePoint("ISS (per-instruction)", stepwise_wall,
+                       retired / stepwise_wall / 1e6 if stepwise_wall
+                       else None,
                        None, None, provides_nfp=False),
         LandscapePoint(
             "ISS + model (our work)", model_wall,

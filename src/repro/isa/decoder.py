@@ -8,6 +8,8 @@ into *native code* (a Python closure) for the simulator.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.isa.errors import DecodeError
 from repro.isa.fields import bits, sign_extend
 from repro.isa.opcodes import (
@@ -90,8 +92,15 @@ class DecodedInstr:
         return hash(self.word)
 
 
+@lru_cache(maxsize=65536)
 def decode(word: int) -> DecodedInstr:
-    """Decode one 32-bit instruction word.
+    """Decode one 32-bit instruction word (memoized by word).
+
+    Most programs hold the same few thousand distinct words at many PCs,
+    so decode results are shared through an LRU cache.  The returned
+    :class:`DecodedInstr` is therefore shared between call sites and must
+    be treated as immutable.  Words that fail to decode are *not* cached;
+    ``decode.cache_clear()`` resets the cache.
 
     Raises
     ------

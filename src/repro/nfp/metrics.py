@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -35,9 +36,13 @@ def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
     if not errors:
         raise ValueError("no errors to summarise")
     magnitudes = [abs(e) for e in errors]
+    max_abs = max(magnitudes)
+    # fsum + clamp: naive summation can round the mean one ulp above the
+    # maximum for tiny same-magnitude inputs, violating mean <= max.
+    mean_abs = min(math.fsum(magnitudes) / len(magnitudes), max_abs)
     return ErrorSummary(
-        mean_abs=sum(magnitudes) / len(magnitudes),
-        max_abs=max(magnitudes),
+        mean_abs=mean_abs,
+        max_abs=max_abs,
         count=len(magnitudes),
     )
 

@@ -3,11 +3,16 @@
 The functional simulation environment of the paper: instruction-accurate,
 not cycle-accurate; the user can inspect registers and memory at any point
 but there is no pipeline state.  Per-category instruction counters are
-maintained inline by the morphed code (Section III of the paper), making
-the extended ISS barely slower than the purely functional one.
+maintained by the morphed code (Section III of the paper), making the
+extended ISS barely slower than the purely functional one.  The fast loop
+additionally translates straight-line runs into *superblocks*
+(:mod:`repro.vm.blocks`) with batched counter updates -- toggled by
+``CoreConfig.blocks_enabled`` and bit-identical to per-instruction
+dispatch.
 """
 
-from repro.vm.config import CoreConfig
+from repro.vm.blocks import Block, compile_block
+from repro.vm.config import DEFAULT_BLOCK_SIZE, CoreConfig
 from repro.vm.cpu import DEFAULT_BUDGET, Cpu, RetireObserver
 from repro.vm.errors import (
     DivisionByZero,
@@ -33,10 +38,13 @@ from repro.vm.syscalls import (
 )
 
 __all__ = [
+    "Block",
     "Cpu",
     "CoreConfig",
     "CpuState",
+    "DEFAULT_BLOCK_SIZE",
     "DEFAULT_BUDGET",
+    "compile_block",
     "DivisionByZero",
     "FpuDisabled",
     "IllegalInstruction",

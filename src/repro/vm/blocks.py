@@ -1,0 +1,796 @@
+"""Superblock translation: straight-line code -> one compiled closure.
+
+The per-instruction morpher (:mod:`repro.vm.morpher`) already caches one
+closure per PC, but the fast ISS loop still pays a dict lookup, a Python
+call and two counter bumps for *every* retired instruction.  Real binary
+translators (OVP included) win their order of magnitude by translating at
+basic-block granularity; this module does the analogue for the Python ISS:
+
+* starting at an entry PC it decodes a straight-line run of *fusible*
+  instructions (integer/FP arithmetic, loads/stores, ``sethi``, ``nop``,
+  ``rdy``/``wry``), ending at any control transfer, trap, window op or a
+  configurable maximum length;
+* it emits specialised Python source for the whole run -- operand register
+  numbers, immediates and memory-bounds constants baked in as literals --
+  and ``exec``-compiles it into a single *block closure*;
+* the per-block category-count vector and per-mnemonic retire counts are
+  precomputed at translation time and added to the live counters in one
+  batched update at the end of the block instead of N inline bumps;
+* ``Bicc``/``FBfcc`` branches and ``call`` are fused *into* the block
+  together with their delay-slot instruction (when the slot holds a simple
+  no-fault instruction), so a typical inner loop becomes one dispatch per
+  iteration;
+* blocks that fall through (maximum length reached) chain directly to the
+  successor block when it is already translated and fits the remaining
+  watchdog budget.
+
+Exactness contract (checked by ``tests/test_vm_blocks.py``): for every
+kernel, block mode and the per-instruction loop produce bit-identical
+``category_counts``, ``mnemonic_counts``, ``retired``, ``exit_code``,
+console output and window statistics.  Faults mid-block retire exactly the
+preceding prefix (the fix-up handler recounts it) and re-raise with the
+architectural ``pc`` of the faulting instruction, like the stepping loop.
+The only relaxation is ``CpuState.last_value``, which inside a block is
+materialised once at block end (the metered loop, which feeds the
+data-dependent energy model, never runs on the block path).
+
+A store that lands inside translated text takes a slow early-exit path:
+it retires the prefix including itself, invalidates the overwritten
+translations through ``CpuState.on_code_write`` and returns to the
+dispatch loop, so self-modifying code never executes a stale closure --
+even when the overwritten instruction lives in the *currently executing*
+block.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.isa.categories import (
+    CAT_FPU_ARITH,
+    CAT_INT_ARITH,
+    CAT_JUMP,
+    CAT_MEM_LOAD,
+    CAT_MEM_STORE,
+    CAT_NOP,
+    CAT_OTHER,
+)
+from repro.isa.decoder import DecodedInstr
+from repro.vm.errors import IllegalInstruction, MemoryFault
+from repro.vm.morpher import (
+    CC_FAMILY,
+    FCC_MASKS,
+    FPOP_CATEGORIES,
+    _LOAD_PARAMS,
+    _STORE_PARAMS,
+    _sdiv,
+    _smul,
+    _udiv,
+    _umul,
+    f64_to_i32_trunc,
+    get_d,
+    get_f,
+    ieee_div,
+    ieee_sqrt,
+    put_d,
+    put_f,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.vm.cpu import Cpu
+    from repro.vm.state import CpuState
+
+M32 = 0xFFFFFFFF
+_M32 = "4294967295"
+
+#: Instruction kinds the code generator can fuse into a block body.
+FUSIBLE_KINDS = frozenset(
+    {"arith", "sethi", "nop", "load", "store", "rdy", "wry", "fpop", "fcmp"})
+
+#: Kinds that end a block (executed as the block's terminator).
+TERMINATOR_KINDS = frozenset(
+    {"branch", "fbranch", "call", "jmpl", "trap", "save", "restore"})
+
+_DIV_MNEMONICS = frozenset({"udiv", "sdiv", "udivcc", "sdivcc"})
+
+#: Bicc condition -> Python expression over ``st`` (None = always/never,
+#: resolved via _branch_mode).
+_COND_EXPR = {
+    "be": "st.z",
+    "bne": "not st.z",
+    "bg": "not (st.z or (st.n ^ st.v))",
+    "ble": "st.z or (st.n ^ st.v)",
+    "bge": "not (st.n ^ st.v)",
+    "bl": "st.n ^ st.v",
+    "bgu": "not (st.c or st.z)",
+    "bleu": "st.c or st.z",
+    "bcc": "not st.c",
+    "bcs": "st.c",
+    "bpos": "not st.n",
+    "bneg": "st.n",
+    "bvc": "not st.v",
+    "bvs": "st.v",
+}
+
+
+
+class Block:
+    """One translated superblock, ready to dispatch.
+
+    ``fn(state, remaining)`` retires up to ``length`` instructions and
+    returns the exact number retired; the dispatcher guarantees
+    ``remaining >= length`` so the watchdog budget is never overshot.
+    """
+
+    __slots__ = ("fn", "length", "start", "end")
+
+    def __init__(self, fn: Callable, length: int, start: int, end: int):
+        self.fn = fn
+        self.length = length
+        self.start = start
+        self.end = end
+
+
+def category_of(instr: DecodedInstr) -> int:
+    """The Table-I category this instruction retires into (morpher rules)."""
+    kind = instr.kind
+    if kind in ("arith", "sethi"):
+        return CAT_INT_ARITH
+    if kind == "nop":
+        return CAT_NOP
+    if kind == "load":
+        return CAT_MEM_LOAD
+    if kind == "store":
+        return CAT_MEM_STORE
+    if kind in ("rdy", "wry", "save", "restore", "trap"):
+        return CAT_OTHER
+    if kind in ("branch", "fbranch", "call", "jmpl"):
+        return CAT_JUMP
+    if kind == "fcmp":
+        return CAT_FPU_ARITH
+    assert kind == "fpop", kind
+    return FPOP_CATEGORIES.get(instr.mnemonic, CAT_FPU_ARITH)
+
+
+def _fusible(instr: DecodedInstr, has_fpu: bool) -> bool:
+    kind = instr.kind
+    if kind not in FUSIBLE_KINDS:
+        return False
+    if kind in ("fpop", "fcmp") and not has_fpu:
+        return False  # must raise FpuDisabled -> per-instruction closure
+    return True
+
+
+def _delay_safe(instr: DecodedInstr, has_fpu: bool) -> bool:
+    """Can ``instr`` be fused into a branch arm? (must never raise)."""
+    kind = instr.kind
+    if kind in ("nop", "sethi", "rdy", "wry"):
+        return True
+    if kind == "arith":
+        return instr.mnemonic not in _DIV_MNEMONICS
+    if kind in ("fpop", "fcmp"):
+        return has_fpu
+    return False
+
+
+def _can_raise(instr: DecodedInstr) -> bool:
+    kind = instr.kind
+    return kind in ("load", "store") or (
+        kind == "arith" and instr.mnemonic in _DIV_MNEMONICS)
+
+
+# -- per-kind source emitters ------------------------------------------------
+#
+# Each emitter appends source lines (with the given indent) implementing the
+# instruction's architectural effect, *without* counter bumps or pc/npc
+# updates, and returns the expression the morpher would have stored into
+# ``st.last_value`` -- or None for non-producing instructions (``nop``).
+# Locals available: ``st``, ``r`` (= st.regs), ``f`` (= st.fregs, when the
+# block touches FP state), and scratch names reused sequentially.
+
+def _operand(instr: DecodedInstr) -> str:
+    """Second ALU operand: masked immediate literal or register read."""
+    if instr.i:
+        return str(instr.imm & M32)
+    return f"r[{instr.rs2}]"
+
+
+def _alu_lines(m: str, instr: DecodedInstr, ind: str, pc: int,
+               out: list) -> None:
+    """Emit ``v = <result>`` for a non-cc ALU op (morpher semantics)."""
+    a = f"r[{instr.rs1}]"
+    b = _operand(instr)
+    if m == "add":
+        out.append(f"{ind}v = ({a} + {b}) & {_M32}")
+    elif m == "sub":
+        out.append(f"{ind}v = ({a} - {b}) & {_M32}")
+    elif m == "and":
+        out.append(f"{ind}v = {a} & {b} & {_M32}")
+    elif m == "andn":
+        out.append(f"{ind}v = {a} & ~{b} & {_M32}")
+    elif m == "or":
+        out.append(f"{ind}v = ({a} | {b}) & {_M32}")
+    elif m == "orn":
+        out.append(f"{ind}v = ({a} | ~{b}) & {_M32}")
+    elif m == "xor":
+        out.append(f"{ind}v = ({a} ^ {b}) & {_M32}")
+    elif m == "xnor":
+        out.append(f"{ind}v = ~({a} ^ {b}) & {_M32}")
+    elif m == "addx":
+        out.append(f"{ind}v = ({a} + {b} + st.c) & {_M32}")
+    elif m == "subx":
+        out.append(f"{ind}v = ({a} - {b} - st.c) & {_M32}")
+    elif m in ("sll", "srl", "sra"):
+        sh = str(instr.imm & 31) if instr.i else f"({b} & 31)"
+        if m == "sll":
+            out.append(f"{ind}v = ({a} << {sh}) & {_M32}")
+        elif m == "srl":
+            out.append(f"{ind}v = ({a} & {_M32}) >> {sh}")
+        else:
+            out.append(f"{ind}x = {a}")
+            out.append(f"{ind}v = ((x - 4294967296 if x & 2147483648 else x)"
+                       f" >> {sh}) & {_M32}")
+    elif m in ("umul", "smul"):
+        out.append(f"{ind}v = _{m}(st, {a}, {b})")
+    else:
+        assert m in ("udiv", "sdiv"), m
+        out.append(f"{ind}st.pc = {pc}")  # DivisionByZero reports st.pc
+        out.append(f"{ind}v = _{m}(st, {a}, {b})")
+
+
+def _emit_flags(family: str, ind: str, out: list) -> None:
+    out.append(f"{ind}st.n = v >> 31")
+    out.append(f"{ind}st.z = 1 if v == 0 else 0")
+
+
+def _emit_arith(instr: DecodedInstr, pc: int, ind: str, out: list) -> str:
+    m = instr.mnemonic
+    if m not in CC_FAMILY:
+        _alu_lines(m, instr, ind, pc, out)
+        if instr.rd:
+            out.append(f"{ind}r[{instr.rd}] = v")
+        return "v"
+
+    base, family = CC_FAMILY[m]
+    a = f"r[{instr.rs1}]"
+    b = _operand(instr)
+    if family in ("add", "sub"):
+        carry = " + st.c" if base == "addx" else (
+            " - st.c" if base == "subx" else "")
+        out.append(f"{ind}a = {a}")
+        if not instr.i:
+            out.append(f"{ind}b = {b}")
+            b = "b"
+        if family == "add":
+            out.append(f"{ind}t = a + {b}{carry}")
+            out.append(f"{ind}v = t & {_M32}")
+            out.append(f"{ind}st.c = t >> 32")
+            out.append(f"{ind}st.v = (~(a ^ {b}) & (a ^ v)) >> 31 & 1")
+        else:
+            out.append(f"{ind}t = a - {b}{carry}")
+            out.append(f"{ind}v = t & {_M32}")
+            out.append(f"{ind}st.c = 1 if t < 0 else 0")
+            out.append(f"{ind}st.v = ((a ^ {b}) & (a ^ v)) >> 31 & 1")
+    else:  # logic / mul / div families clear C and V
+        _alu_lines(base, instr, ind, pc, out)
+        out.append(f"{ind}st.c = 0")
+        out.append(f"{ind}st.v = 0")
+    _emit_flags(family, ind, out)
+    if instr.rd:
+        out.append(f"{ind}r[{instr.rd}] = v")
+    return "v"
+
+
+def _emit_sethi(instr: DecodedInstr, ind: str, out: list) -> str:
+    value = (instr.imm << 10) & M32
+    out.append(f"{ind}v = {value}")
+    if instr.rd:
+        out.append(f"{ind}r[{instr.rd}] = v")
+    return "v"
+
+
+def _emit_load(instr: DecodedInstr, pc: int, ind: str, out: list,
+               mbase: int, msize: int) -> str:
+    m = instr.mnemonic
+    size, signed, fp, pair = _LOAD_PARAMS[m]
+    out.append(f"{ind}addr = (r[{instr.rs1}] + {_operand(instr)}) & {_M32}")
+    out.append(f"{ind}off = addr - {mbase}")
+    align = "" if size == 1 else f"addr & {size - 1} or "
+    out.append(f"{ind}if {align}off < 0 or off + {size} > {msize}:")
+    out.append(f"{ind}    raise _MF(addr, {size}, "
+               f"'load outside RAM or misaligned', pc={pc})")
+    out.append(f"{ind}v = _ifb(_ram[off:off + {size}], 'big')")
+    if signed:
+        bits = size * 8
+        out.append(f"{ind}if v >> {bits - 1}:")
+        out.append(f"{ind}    v = (v - {1 << bits}) & {_M32}")
+    if fp:
+        if pair:
+            out.append(f"{ind}f[{instr.rd}] = v >> 32")
+            out.append(f"{ind}f[{instr.rd + 1}] = v & {_M32}")
+        else:
+            out.append(f"{ind}f[{instr.rd}] = v")
+    elif pair:
+        if instr.rd:
+            out.append(f"{ind}r[{instr.rd}] = v >> 32")
+        out.append(f"{ind}r[{instr.rd | 1}] = v & {_M32}")
+    elif instr.rd:
+        out.append(f"{ind}r[{instr.rd}] = v")
+    return f"v & {_M32}"
+
+
+def _emit_store(instr: DecodedInstr, pc: int, k: int, ind: str, out: list,
+                mbase: int, msize: int, acc: str = "",
+                flush: list | None = None) -> str:
+    m = instr.mnemonic
+    size, fp, pair = _STORE_PARAMS[m]
+    out.append(f"{ind}addr = (r[{instr.rs1}] + {_operand(instr)}) & {_M32}")
+    out.append(f"{ind}off = addr - {mbase}")
+    align = "" if size == 1 else f"addr & {size - 1} or "
+    out.append(f"{ind}if {align}off < 0 or off + {size} > {msize}:")
+    out.append(f"{ind}    raise _MF(addr, {size}, "
+               f"'store outside RAM or misaligned', pc={pc})")
+    if fp:
+        if pair:
+            out.append(f"{ind}v = (f[{instr.rd}] << 32) | f[{instr.rd + 1}]")
+        else:
+            out.append(f"{ind}v = f[{instr.rd}]")
+    elif pair:
+        out.append(f"{ind}v = (r[{instr.rd}] << 32) | r[{instr.rd | 1}]")
+    else:
+        out.append(f"{ind}v = r[{instr.rd}] & {(1 << (size * 8)) - 1}")
+    out.append(f"{ind}_ram[off:off + {size}] = v.to_bytes({size}, 'big')")
+    # Self-modifying code: retire the prefix including this store, drop the
+    # stale translations and bail out to the dispatch loop (slow, rare).
+    out.append(f"{ind}if st.code_lo < addr + {size} and addr < st.code_hi:")
+    out.append(f"{ind}    st.last_value = v & {_M32}")
+    for line in flush or ():  # flush completed self-loop iterations first
+        out.append(f"{ind}    {line}")
+    out.append(f"{ind}    _fix(st, {k + 1})")
+    out.append(f"{ind}    st.on_code_write(addr, {size})")
+    out.append(f"{ind}    return {acc}{k + 1}")
+    return f"v & {_M32}"
+
+
+def _emit_fpop(instr: DecodedInstr, ind: str, out: list) -> str:
+    """FPop/FCmp bodies via the shared IEEE helpers (never raise)."""
+    m = instr.mnemonic
+    rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
+    if m in ("fmovs", "fnegs", "fabss"):
+        op = {"fmovs": f"f[{rs2}]",
+              "fnegs": f"f[{rs2}] ^ 2147483648",
+              "fabss": f"f[{rs2}] & 2147483647"}[m]
+        out.append(f"{ind}v = {op}")
+        out.append(f"{ind}f[{rd}] = v")
+        return "v"
+    if m in ("fcmps", "fcmpd"):
+        g = "_getd" if m.endswith("d") else "_getf"
+        out.append(f"{ind}a = {g}(f, {rs1})")
+        out.append(f"{ind}b = {g}(f, {rs2})")
+        out.append(f"{ind}st.fcc = 3 if (a != a or b != b) else "
+                   f"(1 if a < b else (2 if a > b else 0))")
+        return "st.fcc"
+    if m in ("fitos", "fitod"):
+        out.append(f"{ind}x = f[{rs2}]")
+        cvt = "float(x - 4294967296 if x & 2147483648 else x)"
+        if m == "fitod":
+            out.append(f"{ind}_putd(f, {rd}, {cvt})")
+            return f"f[{rd + 1}]"
+        out.append(f"{ind}_putf(f, {rd}, {cvt})")
+        return f"f[{rd}]"
+    if m in ("fstoi", "fdtoi"):
+        g = "_getd" if m == "fdtoi" else "_getf"
+        out.append(f"{ind}f[{rd}] = _f2i({g}(f, {rs2}))")
+        return f"f[{rd}]"
+    if m == "fstod":
+        out.append(f"{ind}_putd(f, {rd}, _getf(f, {rs2}))")
+        return f"f[{rd + 1}]"
+    if m == "fdtos":
+        out.append(f"{ind}_putf(f, {rd}, _getd(f, {rs2}))")
+        return f"f[{rd}]"
+    double = m.endswith("d")
+    base = m[:-1]
+    g, p = ("_getd", "_putd") if double else ("_getf", "_putf")
+    if base in ("fadd", "fsub", "fmul"):
+        op = {"fadd": "+", "fsub": "-", "fmul": "*"}[base]
+        out.append(f"{ind}{p}(f, {rd}, {g}(f, {rs1}) {op} {g}(f, {rs2}))")
+    elif base == "fdiv":
+        out.append(f"{ind}{p}(f, {rd}, _fdivh({g}(f, {rs1}), {g}(f, {rs2})))")
+    else:
+        assert base == "fsqrt", m
+        out.append(f"{ind}{p}(f, {rd}, _fsqrth({g}(f, {rs2})))")
+    return f"f[{rd + 1}]" if double else f"f[{rd}]"
+
+
+def _uses_fregs(instr: DecodedInstr) -> bool:
+    kind = instr.kind
+    if kind in ("fpop", "fcmp"):
+        return True
+    if kind == "load":
+        return _LOAD_PARAMS[instr.mnemonic][2]
+    if kind == "store":
+        return _STORE_PARAMS[instr.mnemonic][1]
+    return False
+
+
+def _emit_body(instr: DecodedInstr, pc: int, k: int, ind: str, out: list,
+               mbase: int, msize: int, acc: str = "",
+               flush: list | None = None) -> str | None:
+    """Dispatch to the per-kind emitter; returns the last-value expression."""
+    kind = instr.kind
+    if kind == "arith":
+        return _emit_arith(instr, pc, ind, out)
+    if kind == "sethi":
+        return _emit_sethi(instr, ind, out)
+    if kind == "nop":
+        return None
+    if kind == "load":
+        return _emit_load(instr, pc, ind, out, mbase, msize)
+    if kind == "store":
+        return _emit_store(instr, pc, k, ind, out, mbase, msize, acc, flush)
+    if kind == "rdy":
+        out.append(f"{ind}v = st.y")
+        if instr.rd:
+            out.append(f"{ind}r[{instr.rd}] = v")
+        return "v"
+    if kind == "wry":
+        out.append(f"{ind}st.y = (r[{instr.rs1}] ^ {_operand(instr)})"
+                   f" & {_M32}")
+        return "st.y"
+    assert kind in ("fpop", "fcmp"), kind
+    return _emit_fpop(instr, ind, out)
+
+
+# -- branch terminators ------------------------------------------------------
+
+def _branch_mode(instr: DecodedInstr) -> tuple[str, str | None]:
+    """Classify an inlineable terminator: ('always'|'never'|'cond', expr)."""
+    kind = instr.kind
+    if kind == "call":
+        return "always", None
+    m = instr.mnemonic
+    if kind == "branch":
+        if m == "ba":
+            return "always", None
+        if m == "bn":
+            return "never", None
+        return "cond", _COND_EXPR[m]
+    mask = FCC_MASKS[m]
+    if mask == 0b1111:
+        return "always", None
+    if mask == 0:
+        return "never", None
+    return "cond", f"({mask} >> st.fcc) & 1"
+
+
+def _make_fixup(entry: int, meta: list) -> Callable:
+    """Fault fix-up: retire the first ``n`` fused instructions exactly."""
+    def fixup(st: "CpuState", n: int) -> None:
+        cc = st.cat_counts
+        for cat, cell in meta[:n]:
+            cc[cat] += 1
+            cell[0] += 1
+        st.pc = entry + 4 * n
+        st.npc = st.pc + 4
+    return fixup
+
+
+def compile_block(cpu: "Cpu", entry: int) -> Block:
+    """Translate the superblock entered at ``entry`` for ``cpu``.
+
+    Raises :class:`~repro.vm.errors.IllegalInstruction` when the entry
+    word itself cannot be fetched or decoded (matching the per-instruction
+    translator); decode failures *past* the entry merely end the block.
+    """
+    state = cpu.state
+    mem = state.mem
+    morpher = cpu.morpher
+    has_fpu = morpher.has_fpu
+
+    first = cpu.decoded_at(entry)  # may raise IllegalInstruction
+    fused: list[tuple[int, DecodedInstr]] = []
+    term: DecodedInstr | None = None
+    pc = entry
+    instr = first
+    while True:
+        if _fusible(instr, has_fpu):
+            fused.append((pc, instr))
+            pc += 4
+            if len(fused) >= cpu.block_size:
+                break
+            try:
+                instr = cpu.decoded_at(pc)
+            except IllegalInstruction:
+                break
+        else:
+            term = instr
+            break
+    term_pc = pc
+    n = len(fused)
+
+    # Decide how the terminator is handled: inlined branch (+ fused delay
+    # slot), per-instruction closure, or absent (fall-through chain).
+    inline = False
+    delay: DecodedInstr | None = None
+    mode = expr = None
+    if term is not None and term.kind in ("branch", "fbranch", "call"):
+        mode, expr = _branch_mode(term)
+        if term.annul and mode in ("always", "never"):
+            inline = True  # the delay slot is annulled on every taken path
+        else:
+            try:
+                cand = cpu.decoded_at(term_pc + 4)
+            except IllegalInstruction:
+                cand = None
+            if cand is not None and _delay_safe(cand, has_fpu):
+                inline = True
+                delay = cand
+
+    if term is not None and not inline and n == 0:
+        # Terminator-only block: the per-instruction closure is already the
+        # best translation; wrap it so the dispatcher sees a uniform shape.
+        closure = cpu.closure_at(entry)
+
+        def single(st: "CpuState", _rem: int, _f=closure) -> int:
+            _f(st)
+            return 1
+
+        return Block(single, 1, entry, entry + 4)
+
+    # -- batched bookkeeping metadata ---------------------------------------
+    meta: list[tuple[int, list]] = []
+    cat_totals: dict[int, int] = {}
+    cell_order: list[tuple[str, list, int]] = []
+    cell_index: dict[str, int] = {}
+
+    def account(instr: DecodedInstr, batched: bool = True) -> str:
+        """Register instr's counters; returns the ns name of its cell."""
+        m = instr.mnemonic
+        cell = morpher.mn_cells.setdefault(m, [0])
+        if m not in cell_index:
+            cell_index[m] = len(cell_order)
+            cell_order.append((m, cell, 0))
+        idx = cell_index[m]
+        if batched:
+            name, c, count = cell_order[idx]
+            cell_order[idx] = (name, c, count + 1)
+            cat = category_of(instr)
+            cat_totals[cat] = cat_totals.get(cat, 0) + 1
+        return f"_mc{idx}"
+
+    for _, ins in fused:
+        account(ins)
+        meta.append((category_of(ins), morpher.mn_cells[ins.mnemonic]))
+    if term is not None and inline:
+        account(term)
+    delay_cell_name = account(delay, batched=False) if delay is not None \
+        else None
+
+    guarded = any(_can_raise(ins) for _, ins in fused)
+    use_f = any(_uses_fregs(ins) for _, ins in fused) or (
+        delay is not None and _uses_fregs(delay))
+
+    ns: dict[str, object] = {
+        "_first": cpu.closure_at(entry),
+        "_fix": _make_fixup(entry, meta),
+        "_bget": cpu.blocks_get,
+        "_ram": mem.ram,
+        "_MF": MemoryFault,
+        "_ifb": int.from_bytes,
+        "_udiv": _udiv, "_sdiv": _sdiv, "_umul": _umul, "_smul": _smul,
+        "_getd": get_d, "_putd": put_d, "_getf": get_f, "_putf": put_f,
+        "_fdivh": ieee_div, "_fsqrth": ieee_sqrt, "_f2i": f64_to_i32_trunc,
+    }
+    for i, (_, cell, _) in enumerate(cell_order):
+        ns[f"_mc{i}"] = cell
+
+    # A branch whose target is the block's own entry lets the block iterate
+    # *internally*: one dispatch runs the whole hot loop until it exits or
+    # the watchdog budget nears, and the per-iteration counter updates are
+    # deferred -- iterations are recovered as ``_n // taken_count`` at the
+    # exits and flushed with one multiply-add per touched counter.
+    target = (term_pc + term.imm) & M32 if (term is not None and inline) \
+        else None
+    taken_count = n + (1 if delay is None else 2)
+    self_loop = (inline and mode in ("always", "cond")
+                 and target == entry and term.kind != "call")
+
+    mbase, msize = mem.base, mem.size
+    out: list[str] = [f"def _block(st, _rem):",
+                      f"    if st.npc != {entry + 4}:",
+                      f"        _first(st)",
+                      f"        return 1",
+                      f"    r = st.regs"]
+    if use_f:
+        out.append("    f = st.fregs")
+    out.append("    cc = st.cat_counts")
+    li = "    "  # indent of the (possibly looping) block body
+    if self_loop:
+        out.append("    _n = 0")
+        out.append("    while True:")
+        li = "        "
+
+    def scaled(count: int, factor: str) -> str:
+        return factor if count == 1 else f"{count} * {factor}"
+
+    #: deferred flush of the completed self-loop iterations (incl. delay)
+    flush_lines: list[str] = []
+    if self_loop:
+        flush_lines.append(f"_it = _n // {taken_count}")
+        iter_cats = dict(cat_totals)
+        if delay is not None:
+            dcat = category_of(delay)
+            iter_cats[dcat] = iter_cats.get(dcat, 0) + 1
+        for cat in sorted(iter_cats):
+            flush_lines.append(f"cc[{cat}] += {scaled(iter_cats[cat], '_it')}")
+        for i, (m, _, count) in enumerate(cell_order):
+            extra = 1 if (delay is not None and m == delay.mnemonic) else 0
+            if count + extra:
+                flush_lines.append(
+                    f"_mc{i}[0] += {scaled(count + extra, '_it')}")
+        if delay is not None and delay.mnemonic not in cell_index:
+            raise AssertionError("delay cell not registered")
+        # completed iterations each took the back edge: restore the exact
+        # st.taken the stepping loop would hold at this point, so fault
+        # and SMC exits stay architecturally identical across modes
+        flush_lines.append("if _n:")
+        flush_lines.append("    st.taken = 1")
+
+    def emit_flush(ind: str) -> None:
+        for line in flush_lines:
+            out.append(f"{ind}{line}")
+
+    body_ind = li + "    " if guarded else li
+    if guarded:
+        out.append(f"{li}i = 0")
+        out.append(f"{li}try:")
+
+    lv: str | None = None
+    for k, (ipc, ins) in enumerate(fused):
+        out.append(f"{body_ind}# 0x{ipc:08x} {ins.mnemonic}")
+        if _can_raise(ins):
+            out.append(f"{body_ind}i = {k}")
+        new_lv = _emit_body(ins, ipc, k, body_ind, out, mbase, msize,
+                            acc="_n + " if self_loop else "",
+                            flush=flush_lines)
+        if new_lv is not None:
+            lv = new_lv
+    if guarded:
+        out.append(f"{li}except BaseException:")
+        emit_flush(f"{li}    ")
+        out.append(f"{li}    _fix(st, i)")
+        out.append(f"{li}    raise")
+
+    def emit_batch(ind: str) -> None:
+        """The per-execution batched counter update (fused + inline term)."""
+        for cat in sorted(cat_totals):
+            out.append(f"{ind}cc[{cat}] += {cat_totals[cat]}")
+        for i, (_, _, count) in enumerate(cell_order):
+            if count:
+                out.append(f"{ind}_mc{i}[0] += {count}")
+
+    def emit_delay(ind: str) -> None:
+        """Delay-slot body + its counters inside a branch arm."""
+        assert delay is not None and delay_cell_name is not None
+        out.append(f"{ind}# 0x{term_pc + 4:08x} {delay.mnemonic} (delay)")
+        dlv = _emit_body(delay, term_pc + 4, 0, ind, out, mbase, msize)
+        if not self_loop:  # self-loop iterations flush deferred counts
+            out.append(f"{ind}cc[{category_of(delay)}] += 1")
+            out.append(f"{ind}{delay_cell_name}[0] += 1")
+        if dlv is not None:
+            out.append(f"{ind}st.last_value = {dlv}")
+
+    end = entry + 4 * n
+    length = n
+
+    if self_loop:
+        # Taken back edge: count the iteration, keep looping while another
+        # full iteration fits the remaining watchdog budget.
+        arm = li
+        if mode == "cond":
+            out.append(f"{li}if {expr}:")
+            arm = li + "    "
+        if delay is not None:
+            emit_delay(arm)  # body only; its counters ride the flush
+        out.append(f"{arm}_n += {taken_count}")
+        out.append(f"{arm}if _rem - _n >= {taken_count}:")
+        out.append(f"{arm}    continue")
+        emit_flush(arm)
+        out.append(f"{arm}st.taken = 1")
+        if lv is not None and (delay is None or delay.kind == "nop"):
+            out.append(f"{arm}st.last_value = {lv}")
+        out.append(f"{arm}st.pc = {target}")
+        out.append(f"{arm}st.npc = {target + 4}")
+        out.append(f"{arm}return _n")
+        if mode == "cond":
+            # untaken exit: flush full iterations, then retire the final
+            # partial pass (fused + branch, plus delay unless annulled)
+            emit_flush(li)
+            emit_batch(li)
+            out.append(f"{li}st.taken = 0")
+            if lv is not None:
+                out.append(f"{li}st.last_value = {lv}")
+            count = n + 1
+            if not term.annul and delay is not None:
+                out.append(f"{li}cc[{category_of(delay)}] += 1")
+                out.append(f"{li}{delay_cell_name}[0] += 1")
+                out.append(f"{li}# 0x{term_pc + 4:08x} {delay.mnemonic} "
+                           f"(delay)")
+                dlv = _emit_body(delay, term_pc + 4, 0, li, out, mbase,
+                                 msize)
+                if dlv is not None:
+                    out.append(f"{li}st.last_value = {dlv}")
+                count = taken_count
+            out.append(f"{li}st.pc = {term_pc + 8}")
+            out.append(f"{li}st.npc = {term_pc + 12}")
+            out.append(f"{li}return _n + {count}")
+        end = term_pc + 4 + (4 if delay is not None else 0)
+        length = taken_count
+    else:
+        emit_batch(li)
+        if lv is not None:
+            out.append(f"{li}st.last_value = {lv}")
+
+        def emit_taken(ind: str) -> None:
+            out.append(f"{ind}st.taken = 1")
+            if delay is not None:
+                emit_delay(ind)
+            out.append(f"{ind}st.pc = {target}")
+            out.append(f"{ind}st.npc = {target + 4}")
+            out.append(f"{ind}return {taken_count}")
+
+        def emit_untaken(ind: str) -> None:
+            out.append(f"{ind}st.taken = 0")
+            count = n + 1 if (term.annul or delay is None) else taken_count
+            if not term.annul and delay is not None:
+                emit_delay(ind)
+            out.append(f"{ind}st.pc = {term_pc + 8}")
+            out.append(f"{ind}st.npc = {term_pc + 12}")
+            out.append(f"{ind}return {count}")
+
+        if term is None:
+            # fall-through end: chain to the successor block if translated
+            out.append(f"    st.pc = {end}")
+            out.append(f"    st.npc = {end + 4}")
+            out.append(f"    _nxt = _bget({end})")
+            out.append(f"    if _nxt is not None and _nxt[1] <= _rem - {n}:")
+            # pass the successor exactly its own length: it executes once
+            # but cannot chain further, bounding recursion depth at one
+            # frame regardless of how long the straight-line run is
+            out.append(f"        return {n} + _nxt[0](st, _nxt[1])")
+            out.append(f"    return {n}")
+        elif not inline:
+            out.append(f"    st.pc = {term_pc}")
+            out.append(f"    st.npc = {term_pc + 4}")
+            out.append(f"    _term(st)")
+            out.append(f"    return {n + 1}")
+            ns["_term"] = cpu.closure_at(term_pc)
+            end = term_pc + 4
+            length = n + 1
+        else:
+            if term.kind == "call":
+                out.append(f"    r[15] = {term_pc}")
+            if mode == "always":
+                if delay is None:  # ba,a / fba,a: delay slot annulled
+                    out.append(f"{li}st.taken = 1")
+                    out.append(f"{li}st.pc = {target}")
+                    out.append(f"{li}st.npc = {target + 4}")
+                    out.append(f"{li}return {n + 1}")
+                else:
+                    emit_taken(li)
+            elif mode == "never":
+                emit_untaken(li)
+            else:
+                out.append(f"{li}if {expr}:")
+                emit_taken(li + "    ")
+                emit_untaken(li)
+            end = term_pc + 4 + (4 if delay is not None else 0)
+            length = taken_count if delay is not None or mode != "never" \
+                else n + 1
+
+    source = "\n".join(out) + "\n"
+    code = compile(source, f"<block 0x{entry:08x}>", "exec")
+    exec(code, ns)  # noqa: S102 - the source is generated above, not input
+    fn = ns["_block"]
+    fn.__block_source__ = source  # debugging aid
+    return Block(fn, length, entry, end)

@@ -9,9 +9,12 @@ measurement-derived cost model (non-functional).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.vm.memory import DEFAULT_BASE, DEFAULT_SIZE
+
+#: Default maximum number of fused instructions per translated superblock.
+DEFAULT_BLOCK_SIZE = 32
 
 
 @dataclass(frozen=True)
@@ -31,6 +34,16 @@ class CoreConfig:
         Geometry of the single RAM bank.
     stack_reserve:
         Bytes reserved at the top of RAM for the initial stack.
+    blocks_enabled:
+        When ``True`` (the default) the fast ISS loop dispatches whole
+        translated superblocks (see :mod:`repro.vm.blocks`); when
+        ``False`` it falls back to the per-instruction loop.  Both modes
+        produce bit-identical architectural results and counters -- the
+        knob exists for A/B experiments and exactness-sensitive tooling.
+    block_size:
+        Maximum number of straight-line instructions fused into one
+        superblock (the block terminator and a fused delay slot come on
+        top of this).
     """
 
     has_fpu: bool = True
@@ -38,21 +51,28 @@ class CoreConfig:
     ram_size: int = DEFAULT_SIZE
     ram_base: int = DEFAULT_BASE
     stack_reserve: int = 1 << 20
+    blocks_enabled: bool = True
+    block_size: int = DEFAULT_BLOCK_SIZE
 
     def __post_init__(self) -> None:
         if self.nwindows < 2 or self.nwindows > 32:
             raise ValueError("SPARC V8 allows 2..32 register windows")
         if self.stack_reserve <= 0 or self.stack_reserve >= self.ram_size:
             raise ValueError("stack_reserve must be within RAM")
+        if self.block_size < 1 or self.block_size > 1024:
+            raise ValueError("block_size must be in 1..1024")
 
     def without_fpu(self) -> "CoreConfig":
         """A copy of this configuration with the FPU removed."""
-        return CoreConfig(has_fpu=False, nwindows=self.nwindows,
-                          ram_size=self.ram_size, ram_base=self.ram_base,
-                          stack_reserve=self.stack_reserve)
+        return replace(self, has_fpu=False)
 
     def with_fpu(self) -> "CoreConfig":
         """A copy of this configuration with the FPU present."""
-        return CoreConfig(has_fpu=True, nwindows=self.nwindows,
-                          ram_size=self.ram_size, ram_base=self.ram_base,
-                          stack_reserve=self.stack_reserve)
+        return replace(self, has_fpu=True)
+
+    def with_blocks(self, enabled: bool = True,
+                    block_size: int | None = None) -> "CoreConfig":
+        """A copy with block translation toggled (and optionally resized)."""
+        return replace(self, blocks_enabled=enabled,
+                       block_size=self.block_size if block_size is None
+                       else block_size)

@@ -24,7 +24,7 @@ class Memory:
     invariants those closures rely on are established here.
     """
 
-    __slots__ = ("base", "ram")
+    __slots__ = ("base", "ram", "on_write")
 
     def __init__(self, size: int = DEFAULT_SIZE, base: int = DEFAULT_BASE):
         if size <= 0 or size % 8:
@@ -33,6 +33,11 @@ class Memory:
             raise ValueError(f"RAM base must be 8-byte aligned: {base:#x}")
         self.base = base
         self.ram = bytearray(size)
+        #: host-write observer ``(addr, size) -> None``; the CPU installs
+        #: one so writes through these accessors (tests, syscalls, debug
+        #: pokes) invalidate stale code translations.  Guest stores go
+        #: through the morpher's inlined fast path and are watched there.
+        self.on_write = None
 
     @property
     def size(self) -> int:
@@ -73,18 +78,26 @@ class Memory:
     def write_u8(self, addr: int, value: int) -> None:
         off = self._offset(addr, 1, 1)
         self.ram[off] = value & 0xFF
+        if self.on_write is not None:
+            self.on_write(addr, 1)
 
     def write_u16(self, addr: int, value: int) -> None:
         off = self._offset(addr, 2, 2)
         self.ram[off:off + 2] = (value & 0xFFFF).to_bytes(2, "big")
+        if self.on_write is not None:
+            self.on_write(addr, 2)
 
     def write_u32(self, addr: int, value: int) -> None:
         off = self._offset(addr, 4, 4)
         self.ram[off:off + 4] = (value & 0xFFFFFFFF).to_bytes(4, "big")
+        if self.on_write is not None:
+            self.on_write(addr, 4)
 
     def write_u64(self, addr: int, value: int) -> None:
         off = self._offset(addr, 8, 8)
         self.ram[off:off + 8] = (value & (2**64 - 1)).to_bytes(8, "big")
+        if self.on_write is not None:
+            self.on_write(addr, 8)
 
     def read_f64(self, addr: int) -> float:
         off = self._offset(addr, 8, 8)
@@ -93,6 +106,8 @@ class Memory:
     def write_f64(self, addr: int, value: float) -> None:
         off = self._offset(addr, 8, 8)
         struct.pack_into(">d", self.ram, off, value)
+        if self.on_write is not None:
+            self.on_write(addr, 8)
 
     def read_bytes(self, addr: int, size: int) -> bytes:
         off = self._offset(addr, max(size, 1), 1)
@@ -101,6 +116,8 @@ class Memory:
     def write_bytes(self, addr: int, blob: bytes) -> None:
         off = self._offset(addr, max(len(blob), 1), 1)
         self.ram[off:off + len(blob)] = blob
+        if self.on_write is not None and blob:
+            self.on_write(addr, len(blob))
 
     def load_program(self, origin: int, image: bytes, bss_addr: int = 0,
                      bss_size: int = 0) -> None:

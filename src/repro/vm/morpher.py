@@ -237,6 +237,13 @@ FCC_MASKS: dict[str, int] = {
     "fbo": 0b0111,
 }
 
+#: FPop mnemonics whose Table-I category is not the FPU-arithmetic default
+#: (shared with the block translator so both loops categorise identically).
+FPOP_CATEGORIES: dict[str, int] = {
+    "fdivs": CAT_FPU_DIV, "fdivd": CAT_FPU_DIV,
+    "fsqrts": CAT_FPU_SQRT, "fsqrtd": CAT_FPU_SQRT,
+}
+
 #: trap mnemonic -> same condition logic as branches.
 TRAP_COND_FUNCS: dict[str, Callable[[CpuState], int]] = {
     "t" + name[1:]: fn for name, fn in COND_FUNCS.items()
@@ -643,6 +650,11 @@ class Morpher:
             else:
                 v = regs[rd] & ((1 << (size * 8)) - 1)
             ram[off:off + size] = v.to_bytes(size, "big")
+            # self-modifying code: a store into translated text must drop
+            # the stale closures/blocks (the default watch range is empty,
+            # so the check costs one comparison until code is translated).
+            if st.code_lo < addr + size and addr < st.code_hi:
+                st.on_code_write(addr, size)
             st.last_value = v & M32
             counts[cat] += 1
             cell[0] += 1
@@ -708,10 +720,7 @@ class Morpher:
             def run_disabled(st: CpuState) -> None:
                 raise FpuDisabled(st.pc, m)
             return run_disabled
-        cat = {
-            "fdivs": CAT_FPU_DIV, "fdivd": CAT_FPU_DIV,
-            "fsqrts": CAT_FPU_SQRT, "fsqrtd": CAT_FPU_SQRT,
-        }.get(m, CAT_FPU_ARITH)
+        cat = FPOP_CATEGORIES.get(m, CAT_FPU_ARITH)
         counts, cell, cat = self._bookkeeping(m, cat)
         rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
 

@@ -106,7 +106,9 @@ class Simulator:
 
         self.morpher = Morpher(self.state, has_fpu=self.config.has_fpu,
                                semihost=semihost_dispatch)
-        self.cpu = Cpu(self.state, self.morpher)
+        self.cpu = Cpu(self.state, self.morpher,
+                       blocks_enabled=self.config.blocks_enabled,
+                       block_size=self.config.block_size)
         self._consumed = False
 
     def run(self, max_instructions: int = DEFAULT_BUDGET) -> SimulationResult:
@@ -136,6 +138,7 @@ class Simulator:
     def _result(self, elapsed: float) -> SimulationResult:
         st = self.state
         counts = dict(zip(CATEGORY_IDS, st.cat_counts))
+        n_blocks, avg_len = self.cpu.block_stats()
         return SimulationResult(
             exit_code=st.exit_code if st.exit_code is not None else -1,
             retired=st.retired,
@@ -147,6 +150,11 @@ class Simulator:
             max_window_depth=st.max_wdepth,
             spill_count=st.spill_count,
             fill_count=st.fill_count,
+            extras={
+                "block_mode": 1.0 if self.config.blocks_enabled else 0.0,
+                "translated_blocks": float(n_blocks),
+                "avg_block_len": avg_len,
+            },
         )
 
 

@@ -26,6 +26,7 @@ class CpuState:
         "pc", "npc", "running", "exit_code", "mem", "output",
         "cat_counts", "last_value", "taken", "wdepth", "max_wdepth",
         "spill_count", "fill_count", "nwindows",
+        "code_lo", "code_hi", "on_code_write",
     )
 
     def __init__(self, mem: Memory, nwindows: int = 8):
@@ -65,6 +66,13 @@ class CpuState:
         self.spill_count = 0
         self.fill_count = 0
         self.nwindows = nwindows
+        #: translated-code watch range [code_lo, code_hi): store closures
+        #: call :attr:`on_code_write` when a write lands inside it so the
+        #: CPU can invalidate stale translations (self-modifying code).
+        #: The empty default range makes the check free until code exists.
+        self.code_lo = 1 << 62
+        self.code_hi = 0
+        self.on_code_write = None
 
     # -- conveniences used by tests and the semihosting layer ---------------
 
