@@ -21,6 +21,7 @@ import argparse
 import json
 import os
 import re
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -30,10 +31,12 @@ BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 
 #: the default tracked suites: substrate micro-costs + the figure drivers
+#: + the runner-cache warm/cold rungs
 DEFAULT_SUITES = (
     "test_bench_micro.py",
     "test_bench_figure1_landscape.py",
     "test_bench_figure4_showcase.py",
+    "test_bench_runner_cache.py",
 )
 
 
@@ -55,7 +58,8 @@ def trim(raw: dict) -> dict:
             "rounds": bench["stats"]["rounds"],
         }
         extra = bench.get("extra_info") or {}
-        for key in ("mips", "retired", "cycles", "translated_blocks"):
+        for key in ("mips", "retired", "cycles", "translated_blocks",
+                    "metered_blocks"):
             if key in extra:
                 entry[key] = extra[key]
         suites[bench["fullname"]] = entry
@@ -89,6 +93,14 @@ def main(argv: list[str] | None = None) -> int:
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     if args.scale:
         env["REPRO_SCALE"] = args.scale
+    # the recorded run includes the showcase bench and measures honest
+    # cold-compute numbers: a fresh result-cache directory per invocation
+    # (removed afterwards unless the caller pinned one)
+    env["REPRO_RUN_SHOWCASE"] = "1"
+    scratch_cache = None
+    if "REPRO_CACHE_DIR" not in env:
+        scratch_cache = tempfile.mkdtemp(prefix="repro-bench-")
+        env["REPRO_CACHE_DIR"] = scratch_cache
 
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         raw_path = Path(handle.name)
@@ -105,6 +117,8 @@ def main(argv: list[str] | None = None) -> int:
         raw = json.loads(raw_path.read_text())
     finally:
         raw_path.unlink(missing_ok=True)
+        if scratch_cache is not None:
+            shutil.rmtree(scratch_cache, ignore_errors=True)
 
     out_path = args.out or next_output_path()
     out_path.write_text(json.dumps(trim(raw), indent=2, sort_keys=True)

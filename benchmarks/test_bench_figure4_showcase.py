@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments import figure4
 
 
+@pytest.mark.showcase
 def test_figure4_showcases(benchmark, scale, bench_env):
     """All four showcase bars; regenerates Figure 4."""
     result = benchmark.pedantic(lambda: figure4.run(scale),

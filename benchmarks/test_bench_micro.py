@@ -56,7 +56,7 @@ def test_iss_throughput_per_instruction(benchmark):
 
 
 def test_metered_throughput(benchmark):
-    """Instrumented loop (testbed path): the slow, accurate rung."""
+    """Instrumented loop (testbed path), metered on cost-fused blocks."""
     board = Board(leon3_fpu())
 
     def run():
@@ -65,7 +65,23 @@ def test_metered_throughput(benchmark):
 
     measurement = benchmark.pedantic(run, rounds=3, iterations=1)
     benchmark.extra_info["cycles"] = measurement.cycles
+    benchmark.extra_info["metered_blocks"] = \
+        measurement.sim.extras["metered_blocks"]
     assert measurement.cycles > measurement.sim.retired  # >1 cycle/instr
+    assert measurement.sim.extras["metered_blocks"] > 0
+
+
+def test_metered_throughput_per_instruction(benchmark):
+    """The same instrumented run with block metering disabled (A/B)."""
+    board = Board(leon3_fpu(metered_blocks_enabled=False))
+
+    def run():
+        return board.measure(assemble(_LOOP_KERNEL),
+                             max_instructions=10_000_000)
+
+    measurement = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["cycles"] = measurement.cycles
+    assert measurement.sim.extras["metered_blocks"] == 0.0
 
 
 def test_assembler_throughput(benchmark):

@@ -1,0 +1,73 @@
+"""Benchmark: the experiment runner's result cache, cold vs warm.
+
+The cold rung computes a small metered workload batch into a fresh cache
+directory each round; the warm rung replays the identical batch from a
+prepopulated directory.  The gap is what every repeated figure/table
+invocation saves, and the equality assertions pin the cache contract:
+warm payloads are bit-identical to cold ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+from repro.asm import assemble
+from repro.hw.config import leon3_fpu
+from repro.runner import ExperimentRunner, SimTask
+
+_KERNEL = """
+    .text
+_start:
+    set 40000, %o0
+loop:
+    add %g1, %g2, %g3
+    xor %g3, %o0, %g2
+    subcc %o0, 1, %o0
+    bne loop
+    nop
+    mov 0, %g1
+    ta 5
+"""
+
+
+def _tasks():
+    hw = leon3_fpu()
+    return [SimTask(mode="metered", program=assemble(_KERNEL),
+                    budget=2_000_000, hw=hw),
+            SimTask(mode="fast", program=assemble(_KERNEL),
+                    budget=2_000_000, core=hw.core)]
+
+
+def test_runner_cache_cold(benchmark, tmp_path):
+    """Compute the batch into a fresh cache directory every round."""
+    counter = itertools.count()
+
+    def setup():
+        runner = ExperimentRunner(
+            cache_dir=tmp_path / f"cold{next(counter)}", workers=1)
+        return (runner,), {}
+
+    def run(runner):
+        return runner.run_tasks(_tasks())
+
+    payloads = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert payloads[0]["cycles"] > 0
+
+
+def test_runner_cache_warm(benchmark, tmp_path):
+    """Replay the identical batch from a warm cache directory."""
+    cache_dir = tmp_path / "warm"
+    cold = ExperimentRunner(cache_dir=cache_dir, workers=1).run_tasks(
+        _tasks())
+
+    def setup():
+        # a fresh runner per round: only the on-disk entries are warm
+        return (ExperimentRunner(cache_dir=cache_dir, workers=1),), {}
+
+    def run(runner):
+        return runner.run_tasks(_tasks())
+
+    warm = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert json.dumps(warm, sort_keys=True) == \
+        json.dumps(cold, sort_keys=True)

@@ -30,6 +30,17 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
                         default=None,
                         help="experiment size (default: REPRO_SCALE or "
                              "'default')")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for independent simulations "
+                             "(default: REPRO_WORKERS or min(cpus, 8))")
+    parser.add_argument("--no-metered-blocks", action="store_true",
+                        help="meter the testbed per instruction instead of "
+                             "on cost-fused superblocks (slower A/B "
+                             "baseline, bit-identical results)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk simulation result cache "
+                             "(REPRO_CACHE_DIR, default "
+                             "~/.cache/repro-nfp)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +76,13 @@ def main(argv: list[str] | None = None) -> int:
     command = args.command
 
     if command in ("table1", "table3", "table4", "figure1", "figure4", "all"):
+        import os
+        if args.workers is not None:
+            os.environ["REPRO_WORKERS"] = str(args.workers)
+        if args.no_metered_blocks:
+            os.environ["REPRO_METERED_BLOCKS"] = "0"
+        if args.no_cache:
+            os.environ["REPRO_CACHE"] = "off"
         from repro.experiments import (figure1, figure4, table1, table3,
                                        table4)
         from repro.experiments.scale import get_scale

@@ -1,14 +1,31 @@
-"""Shared experiment infrastructure: boards, calibration, measurement cache.
+"""Shared experiment infrastructure: boards, calibration, runner, caches.
 
 One board pair (with and without FPU) and one calibrated model per scale
-are shared across all experiment drivers in a process; workload
-measurements are memoised because Table III, Table IV and Figure 4 all
-reuse them.
+are shared across all experiment drivers in a process.  Workload runs go
+through an :class:`~repro.runner.ExperimentRunner`: simulation results
+are content-addressed on disk (shared across figures, processes and
+repeated invocations) and batches fan out over worker processes, while
+the stateful instrument model is applied in the parent in measurement
+order -- so results are bit-identical serial, parallel, warm or cold.
+
+Environment knobs (the CLI flags set these too):
+
+``REPRO_CACHE_DIR``
+    Result-cache directory (default ``~/.cache/repro-nfp``).
+``REPRO_CACHE=off``
+    Disable the on-disk cache (an in-process cache remains).
+``REPRO_WORKERS``
+    Worker processes per batch (default ``min(cpu_count, 8)``).
+``REPRO_METERED_BLOCKS=0``
+    Meter per-instruction instead of on cost-fused superblocks (A/B).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
 
 from repro.asm.program import Program
 from repro.hw.board import Board, Measurement
@@ -16,7 +33,24 @@ from repro.hw.config import leon3_fpu, leon3_nofpu
 from repro.hw.powermeter import InstrumentModel
 from repro.nfp.calibration import CalibrationResult, Calibrator
 from repro.nfp.estimator import EstimationReport, NFPEstimator
+from repro.runner import ExperimentRunner, SimTask, program_digest
 from repro.experiments.scale import Scale
+
+
+def runner_from_env() -> ExperimentRunner:
+    """Build the shared runner according to the ``REPRO_*`` environment."""
+    cache_mode = os.environ.get("REPRO_CACHE", "").strip().lower()
+    if cache_mode in ("off", "0", "no", "false", "disabled"):
+        cache_dir = None
+    else:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or str(
+            Path.home() / ".cache" / "repro-nfp")
+    return ExperimentRunner(cache_dir=cache_dir)
+
+
+def metered_blocks_from_env() -> bool:
+    return os.environ.get("REPRO_METERED_BLOCKS", "1").strip().lower() \
+        not in ("0", "no", "off", "false")
 
 
 @dataclass
@@ -29,46 +63,119 @@ class Bench:
     calibration: CalibrationResult
     estimator_fpu: NFPEstimator
     estimator_nofpu: NFPEstimator
-    _measurements: dict[tuple[str, bool], Measurement] = field(
+    runner: ExperimentRunner | None = None
+    _measurements: dict[tuple[str, str, bool], Measurement] = field(
         default_factory=dict)
-    _estimates: dict[tuple[str, bool], EstimationReport] = field(
+    _estimates: dict[tuple[str, str, bool], EstimationReport] = field(
         default_factory=dict)
+
+    def _key(self, name: str, program: Program,
+             fpu: bool) -> tuple[str, str, bool]:
+        # keyed by *content*, not just name: two different programs
+        # measured under one name can never alias each other's results
+        return (name, program_digest(program), fpu)
 
     def measure(self, name: str, program: Program,
                 fpu: bool) -> Measurement:
-        """Measure ``program`` on the matching board (memoised by name)."""
-        key = (name, fpu)
-        if key not in self._measurements:
+        """Measure ``program`` on the matching board (memoised)."""
+        key = self._key(name, program, fpu)
+        measurement = self._measurements.get(key)
+        if measurement is None:
             board = self.board_fpu if fpu else self.board_nofpu
-            self._measurements[key] = board.measure(
-                program, max_instructions=self.scale.max_instructions)
-        return self._measurements[key]
+            if self.runner is not None:
+                raw = self.runner.metered_raw(
+                    program, board.config, self.scale.max_instructions)
+                measurement = board.reading(raw)
+            else:
+                measurement = board.measure(
+                    program, max_instructions=self.scale.max_instructions)
+            self._measurements[key] = measurement
+        return measurement
 
     def estimate(self, name: str, program: Program,
                  fpu: bool) -> EstimationReport:
-        """Estimate ``program`` with the calibrated model (memoised)."""
-        key = (name, fpu)
-        if key not in self._estimates:
+        """Estimate ``program`` with the calibrated model (memoised).
+
+        Every simulator loop retires bit-identical category counts, so
+        when the kernel was already measured, the model is applied to the
+        measured run's counts and no second simulation happens at all.
+        """
+        key = self._key(name, program, fpu)
+        report = self._estimates.get(key)
+        if report is None:
             estimator = self.estimator_fpu if fpu else self.estimator_nofpu
-            self._estimates[key] = estimator.estimate_program(
-                program, kernel_name=name,
-                max_instructions=self.scale.max_instructions)
-        return self._estimates[key]
+            measurement = self._measurements.get(key)
+            if measurement is not None:
+                report = estimator.report_from_result(
+                    measurement.sim, kernel_name=name)
+            elif self.runner is not None:
+                sim = self.runner.fast_sim(
+                    program, estimator.core, self.scale.max_instructions)
+                report = estimator.report_from_result(sim, kernel_name=name)
+            else:
+                report = estimator.estimate_program(
+                    program, kernel_name=name,
+                    max_instructions=self.scale.max_instructions)
+            self._estimates[key] = report
+        return report
+
+    def prefetch(self, items: Iterable[tuple[str, Program, bool]]) -> None:
+        """Warm the runner for a batch of ``(name, program, fpu)`` runs.
+
+        All not-yet-memoised metered simulations are submitted in one
+        batch, so they fan out across the pool and land in the shared
+        cache; the later :meth:`measure`/:meth:`estimate` calls then only
+        replay instrument readings in call order.
+        """
+        if self.runner is None:
+            return
+        tasks = []
+        for name, program, fpu in items:
+            if self._key(name, program, fpu) in self._measurements:
+                continue
+            board = self.board_fpu if fpu else self.board_nofpu
+            tasks.append(SimTask(
+                mode="metered", program=program,
+                budget=self.scale.max_instructions, hw=board.config))
+        if tasks:
+            self.runner.run_tasks(tasks)
+
+    def prefetch_pairs(self, pairs) -> None:
+        """Prefetch both builds of every float/fixed workload pair."""
+        self.prefetch([(f"{pair.name}:{tag}", program, fpu)
+                       for pair in pairs
+                       for tag, program, fpu in (
+                           ("float", pair.float_program, True),
+                           ("fixed", pair.fixed_program, False))])
 
 
-_BENCHES: dict[str, Bench] = {}
+_BENCHES: dict[tuple, Bench] = {}
 
 
 def get_bench(scale: Scale) -> Bench:
-    """Build (or fetch) the shared bench for ``scale``."""
-    if scale.name in _BENCHES:
-        return _BENCHES[scale.name]
+    """Build (or fetch) the shared bench for ``scale``.
+
+    Keyed by the environment knobs too: ``table3`` followed by
+    ``table3 --no-metered-blocks`` (or ``--no-cache``/``--workers``) in
+    one process must not reuse the first call's boards and runner.
+    """
+    metered_blocks = metered_blocks_from_env()
+    env_key = (scale.name, metered_blocks,
+               os.environ.get("REPRO_CACHE", ""),
+               os.environ.get("REPRO_CACHE_DIR", ""),
+               os.environ.get("REPRO_WORKERS", ""))
+    if env_key in _BENCHES:
+        return _BENCHES[env_key]
+    runner = runner_from_env()
     instruments = InstrumentModel(seed=2015)
-    board_fpu = Board(leon3_fpu(), instruments)
-    board_nofpu = Board(leon3_nofpu(), instruments)
+    board_fpu = Board(leon3_fpu(metered_blocks_enabled=metered_blocks),
+                      instruments)
+    board_nofpu = Board(leon3_nofpu(metered_blocks_enabled=metered_blocks),
+                        instruments)
     calibrator = Calibrator(board_fpu,
                             iterations=scale.calibration_iterations,
-                            unroll=scale.calibration_unroll)
+                            unroll=scale.calibration_unroll,
+                            runner=runner)
     calibration = calibrator.calibrate()
     model = calibration.to_model()
     bench = Bench(
@@ -78,8 +185,9 @@ def get_bench(scale: Scale) -> Bench:
         calibration=calibration,
         estimator_fpu=NFPEstimator(model, board_fpu.config.core),
         estimator_nofpu=NFPEstimator(model, board_nofpu.config.core),
+        runner=runner,
     )
-    _BENCHES[scale.name] = bench
+    _BENCHES[env_key] = bench
     return bench
 
 

@@ -56,11 +56,14 @@ def run(scale: Scale | str | None = None) -> Table3Result:
     scale = scale if isinstance(scale, Scale) else get_scale(
         scale if isinstance(scale, str) else None)
     bench = get_bench(scale)
+    kernels = kernel_set(scale)
+    bench.prefetch([(name, program, abi == "hard")
+                    for name, abi, program in kernels])
     records: list[KernelError] = []
-    for name, abi, program in kernel_set(scale):
+    for name, abi, program in kernels:
         fpu = abi == "hard"
-        report = bench.estimate(name, program, fpu)
         measurement = bench.measure(name, program, fpu)
+        report = bench.estimate(name, program, fpu)
         records.append(KernelError(
             kernel=name,
             estimated_time_s=report.time_s,

@@ -60,17 +60,19 @@ def run(scale: Scale | str | None = None) -> Table4Result:
         scale if isinstance(scale, str) else None)
     bench = get_bench(scale)
 
+    pairs = workload_pairs(scale)
+    bench.prefetch_pairs(pairs)
     est_acc: dict[str, dict[str, list[float]]] = {}
     meas_acc: dict[str, dict[str, list[float]]] = {}
-    for pair in workload_pairs(scale):
+    for pair in pairs:
         family = pair.name.split(":")[0]
-        est_float = bench.estimate(f"{pair.name}:float", pair.float_program,
-                                   fpu=True)
-        est_fixed = bench.estimate(f"{pair.name}:fixed", pair.fixed_program,
-                                   fpu=False)
         meas_float = bench.measure(f"{pair.name}:float", pair.float_program,
                                    fpu=True)
         meas_fixed = bench.measure(f"{pair.name}:fixed", pair.fixed_program,
+                                   fpu=False)
+        est_float = bench.estimate(f"{pair.name}:float", pair.float_program,
+                                   fpu=True)
+        est_fixed = bench.estimate(f"{pair.name}:fixed", pair.fixed_program,
                                    fpu=False)
         e = est_acc.setdefault(family, {"energy": [], "time": []})
         e["energy"].append(100 * (est_float.energy_j - est_fixed.energy_j)

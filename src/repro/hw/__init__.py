@@ -6,7 +6,13 @@ synthesis reports).  See DESIGN.md for the substitution rationale.
 """
 
 from repro.hw.area import AreaReport, fpu_area_increase, synthesize
-from repro.hw.board import Board, Measurement, instruction_cost
+from repro.hw.board import (
+    Board,
+    CostMeter,
+    Measurement,
+    RawMeasurement,
+    instruction_cost,
+)
 from repro.hw.config import HwConfig, leon3_fpu, leon3_nofpu
 from repro.hw.energy import default_energy_table, jitter_factor
 from repro.hw.powermeter import (
@@ -19,7 +25,9 @@ from repro.hw.timing import default_cycle_table, intdiv_cycles
 __all__ = [
     "AreaReport",
     "Board",
+    "CostMeter",
     "HwConfig",
+    "RawMeasurement",
     "InstrumentModel",
     "InstrumentSpec",
     "Measurement",

@@ -5,6 +5,20 @@ power-meter setup: it executes the kernel on the *instrumented* simulator
 loop, accumulating cycle-accurate time and data-dependent energy per
 retired instruction, then passes the totals through the instrument model
 to produce what the experimenter would read off.
+
+The accumulation itself is performed by :class:`CostMeter`.  Because the
+meter exposes its cost model *structurally* (per-mnemonic base costs plus
+flag behaviours) rather than as an opaque callback, the simulator's
+metered loop can compile it into cost-fused superblocks
+(:func:`repro.vm.blocks.compile_metered_block`) -- the fast testbed path
+-- while remaining bit-identical to per-instruction observation.
+
+:meth:`Board.measure` splits into two halves: :meth:`Board.measure_raw`
+runs the simulation and returns the *deterministic* totals (cacheable and
+computable in a worker process, see :mod:`repro.runner`), and
+:meth:`Board.reading` applies the stateful instrument model -- which must
+happen in the parent process, in measurement order, because real
+instruments consume their noise sequence one reading at a time.
 """
 
 from __future__ import annotations
@@ -15,16 +29,12 @@ from repro.asm.program import Program
 from repro.hw.config import HwConfig
 from repro.hw.energy import jitter_factor
 from repro.hw.powermeter import InstrumentModel
+from repro.vm.blocks import FLAG_BRANCH as _FLAG_BRANCH
+from repro.vm.blocks import FLAG_INTDIV as _FLAG_INTDIV
+from repro.vm.blocks import jitter_table, scaled_jitter_table
 from repro.vm.cpu import DEFAULT_BUDGET
 from repro.vm.simulator import SimulationResult, Simulator
 from repro.vm.state import CpuState
-
-_FLAG_NORMAL = 0
-_FLAG_BRANCH = 1
-_FLAG_INTDIV = 2
-_FLAG_WINDOW = 3
-
-_BRANCH_KINDS = ("branch", "fbranch")
 
 
 @dataclass
@@ -48,64 +58,98 @@ class Measurement:
         return self.energy_j / self.time_s if self.time_s else 0.0
 
 
-class _CostAccumulator:
-    """Retire observer accumulating cycles and dynamic energy."""
+@dataclass
+class RawMeasurement:
+    """The deterministic half of a measurement (no instrument noise).
 
-    __slots__ = ("cycles", "dyn_energy_nj", "_tbl", "_amp", "_untaken_cyc",
-                 "_untaken_factor", "_wtrap_cyc", "_wtrap_nj", "_spills",
-                 "_fills")
+    Everything here is a pure function of (program, hardware config,
+    budget): safe to compute in a worker process and to cache on disk
+    keyed by content (see :mod:`repro.runner`).
+    """
+
+    cycles: int
+    dyn_energy_nj: float
+    true_time_s: float
+    true_energy_j: float
+    sim: SimulationResult
+
+
+class CostMeter:
+    """Retire observer accumulating cycles and dynamic energy.
+
+    The attributes mirror the accumulator arithmetic exactly and are part
+    of the block-metering contract consumed by
+    :func:`repro.vm.blocks.compile_metered_block`:
+
+    * ``table`` -- per-mnemonic ``(base cycles, dynamic nJ, flag)``,
+      shared per :class:`HwConfig` via :attr:`HwConfig.cost_table`;
+    * ``amp``/``untaken_*``/``wtrap_*`` -- flag-behaviour constants;
+    * ``cycles``/``dyn_energy_nj``/``spills``/``fills`` -- the mutable
+      accumulation state generated block code banks into.
+    """
+
+    supports_block_metering = True
+
+    __slots__ = ("cycles", "dyn_energy_nj", "table", "amp", "jit",
+                 "untaken_cycles", "untaken_energy_factor",
+                 "wtrap_cycles", "wtrap_energy_nj", "spills", "fills")
 
     def __init__(self, config: HwConfig):
-        from repro.isa.decoder import decode  # local import, avoid cycle
-        from repro.isa.opcodes import INSTR_SPECS
-
         self.cycles = 0
         self.dyn_energy_nj = 0.0
-        self._amp = config.jitter_amplitude
-        self._untaken_cyc = config.untaken_branch_discount
-        self._untaken_factor = config.untaken_branch_energy_factor
-        self._wtrap_cyc = config.window_trap_cycles
-        self._wtrap_nj = config.window_trap_energy_nj
-        self._spills = 0
-        self._fills = 0
-
-        tbl: dict[str, tuple[int, float, int]] = {}
-        for mnemonic, spec in INSTR_SPECS.items():
-            flag = _FLAG_NORMAL
-            if mnemonic in ("udiv", "udivcc", "sdiv", "sdivcc"):
-                flag = _FLAG_INTDIV
-            elif spec.morph_group in ("doBranch", "doFBranch"):
-                flag = _FLAG_BRANCH
-            elif mnemonic in ("save", "restore"):
-                flag = _FLAG_WINDOW
-            tbl[mnemonic] = (config.cycle_table[mnemonic],
-                             config.dyn_energy_nj[mnemonic], flag)
-        self._tbl = tbl
+        self.table = config.cost_table
+        self.amp = config.jitter_amplitude
+        self.jit = jitter_table(self.amp)
+        self.untaken_cycles = config.untaken_branch_discount
+        self.untaken_energy_factor = config.untaken_branch_energy_factor
+        self.wtrap_cycles = config.window_trap_cycles
+        self.wtrap_energy_nj = config.window_trap_energy_nj
+        self.spills = 0
+        self.fills = 0
 
     def on_retire(self, pc: int, mnemonic: str, st: CpuState) -> None:
-        base_cyc, dyn, flag = self._tbl[mnemonic]
+        base_cyc, dyn, flag = self.table[mnemonic]
         value = st.last_value
         if flag:
             if flag == _FLAG_BRANCH:
                 if not st.taken:
-                    base_cyc -= self._untaken_cyc
-                    dyn *= self._untaken_factor
+                    base_cyc -= self.untaken_cycles
+                    dyn *= self.untaken_energy_factor
             elif flag == _FLAG_INTDIV:
                 base_cyc -= (32 - value.bit_length()) >> 1
             else:  # save/restore: charge window overflow/underflow traps
-                if st.spill_count != self._spills:
-                    self._spills = st.spill_count
-                    base_cyc += self._wtrap_cyc
-                    dyn += self._wtrap_nj
-                if st.fill_count != self._fills:
-                    self._fills = st.fill_count
-                    base_cyc += self._wtrap_cyc
-                    dyn += self._wtrap_nj
+                if st.spill_count != self.spills:
+                    self.spills = st.spill_count
+                    base_cyc += self.wtrap_cycles
+                    dyn += self.wtrap_energy_nj
+                if st.fill_count != self.fills:
+                    self.fills = st.fill_count
+                    base_cyc += self.wtrap_cycles
+                    dyn += self.wtrap_energy_nj
         self.cycles += base_cyc
         h = ((value * 2654435761) ^ (pc * 0x9E3779B1)) & 0xFFFFFFFF
         h ^= h >> 15
-        self.dyn_energy_nj += dyn * (
-            1.0 + self._amp * (((h & 0xFFFF) / 32768.0) - 1.0))
+        # table lookup == jitter_factor(pc, value, amp), bit-identically
+        self.dyn_energy_nj += dyn * self.jit[h & 0xFFFF]
+
+
+def warm_cost_tables(config: HwConfig) -> None:
+    """Prime the (process-shared) jitter lookup tables for ``config``.
+
+    Powering a board builds every energy table its meter or the metered
+    block compiler could reach -- the analogue of libraries precomputing
+    their CRC tables at start-up -- so the first measurement costs the
+    same as every later one.  All tables are cached per (amplitude, dyn)
+    module-wide: a no-op from the second board on, and pool workers
+    (forked on Linux) share the parent's tables copy-on-write.
+    """
+    amp = config.jitter_amplitude
+    jitter_table(amp)
+    factor = config.untaken_branch_energy_factor
+    for _, dyn, flag in config.cost_table.values():
+        scaled_jitter_table(amp, dyn)
+        if flag == _FLAG_BRANCH:
+            scaled_jitter_table(amp, dyn * factor)
 
 
 class Board:
@@ -125,26 +169,43 @@ class Board:
                  instruments: InstrumentModel | None = None):
         self.config = config or HwConfig()
         self.instruments = instruments or InstrumentModel()
+        warm_cost_tables(self.config)
+
+    def measure_raw(self, program: Program,
+                    max_instructions: int = DEFAULT_BUDGET) -> RawMeasurement:
+        """Run ``program`` and accumulate the exact cycle/energy totals."""
+        config = self.config
+        meter = CostMeter(config)
+        simulator = Simulator(program, config.core)
+        sim_result = simulator.run_metered(meter,
+                                           max_instructions=max_instructions)
+        true_time = meter.cycles * config.cycle_seconds
+        true_energy = (meter.dyn_energy_nj * 1e-9 +
+                       config.static_power_w * true_time)
+        return RawMeasurement(
+            cycles=meter.cycles,
+            dyn_energy_nj=meter.dyn_energy_nj,
+            true_time_s=true_time,
+            true_energy_j=true_energy,
+            sim=sim_result,
+        )
+
+    def reading(self, raw: RawMeasurement) -> Measurement:
+        """Read ``raw`` off this board's (stateful) instruments."""
+        return Measurement(
+            time_s=self.instruments.read_time(raw.true_time_s),
+            energy_j=self.instruments.read_energy(raw.true_energy_j),
+            true_time_s=raw.true_time_s,
+            true_energy_j=raw.true_energy_j,
+            cycles=raw.cycles,
+            sim=raw.sim,
+        )
 
     def measure(self, program: Program,
                 max_instructions: int = DEFAULT_BUDGET) -> Measurement:
         """Run ``program`` on the bench and measure time and energy."""
-        config = self.config
-        accumulator = _CostAccumulator(config)
-        simulator = Simulator(program, config.core)
-        sim_result = simulator.run_metered(accumulator,
-                                           max_instructions=max_instructions)
-        true_time = accumulator.cycles * config.cycle_seconds
-        true_energy = (accumulator.dyn_energy_nj * 1e-9 +
-                       config.static_power_w * true_time)
-        return Measurement(
-            time_s=self.instruments.read_time(true_time),
-            energy_j=self.instruments.read_energy(true_energy),
-            true_time_s=true_time,
-            true_energy_j=true_energy,
-            cycles=accumulator.cycles,
-            sim=sim_result,
-        )
+        return self.reading(self.measure_raw(
+            program, max_instructions=max_instructions))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Board({self.config.name!r}, {self.config.clock_hz/1e6:.0f} MHz)"

@@ -10,6 +10,7 @@ CPU without FPU for ``-msoft-float`` builds).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from types import MappingProxyType
 from typing import Mapping
 
@@ -71,6 +72,52 @@ class HwConfig:
     @property
     def cycle_seconds(self) -> float:
         return 1.0 / self.clock_hz
+
+    @cached_property
+    def cost_table(self) -> dict[str, tuple[int, float, int]]:
+        """``mnemonic -> (base cycles, dynamic energy nJ, cost flag)``.
+
+        The merged retire-cost table every meter over this configuration
+        shares.  Built once per :class:`HwConfig` instance (the build
+        loops over all instruction specs, so hoisting it out of the
+        per-measurement path matters for the testbed's throughput); the
+        ``cached_property`` write lands in the instance ``__dict__``
+        directly, which is legal on frozen dataclasses.
+        """
+        from repro.isa.opcodes import INSTR_SPECS
+        from repro.vm.blocks import (
+            FLAG_BRANCH,
+            FLAG_INTDIV,
+            FLAG_NORMAL,
+            FLAG_WINDOW,
+        )
+
+        table: dict[str, tuple[int, float, int]] = {}
+        for mnemonic, spec in INSTR_SPECS.items():
+            flag = FLAG_NORMAL
+            if mnemonic in ("udiv", "udivcc", "sdiv", "sdivcc"):
+                flag = FLAG_INTDIV
+            elif spec.morph_group in ("doBranch", "doFBranch"):
+                flag = FLAG_BRANCH
+            elif mnemonic in ("save", "restore"):
+                flag = FLAG_WINDOW
+            table[mnemonic] = (self.cycle_table[mnemonic],
+                               self.dyn_energy_nj[mnemonic], flag)
+        return table
+
+    # -- pickling (the experiment runner ships configs to worker processes) --
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("cost_table", None)  # cached_property: rebuilt on demand
+        state["cycle_table"] = dict(self.cycle_table)
+        state["dyn_energy_nj"] = dict(self.dyn_energy_nj)
+        return state
+
+    def __setstate__(self, state):
+        state["cycle_table"] = MappingProxyType(state["cycle_table"])
+        state["dyn_energy_nj"] = MappingProxyType(state["dyn_energy_nj"])
+        self.__dict__.update(state)
 
 
 def leon3_fpu(**core_overrides) -> HwConfig:

@@ -204,27 +204,38 @@ class Calibrator:
     iterations, unroll:
         Loop trip count and in-loop copies of the test instruction;
         ``n_test = iterations * unroll`` instructions are averaged.
+    runner:
+        Optional :class:`~repro.runner.ExperimentRunner`: the category
+        kernel simulations are then prefetched as one batch (parallel
+        workers, shared result cache) while the instrument readings stay
+        sequential in category order, so the calibrated constants are
+        bit-identical with or without it.
     """
 
     def __init__(self, board: Board, iterations: int = 20000,
-                 unroll: int = 32, max_instructions: int = 400_000_000):
+                 unroll: int = 32, max_instructions: int = 400_000_000,
+                 runner=None):
         self.board = board
         self.iterations = iterations
         self.unroll = unroll
         self.max_instructions = max_instructions
+        self.runner = runner
 
-    def calibrate_category(self, category_id: str) -> CategoryCalibration:
-        """Measure one category's kernel pair and apply Eq. 2."""
-        pair = make_kernel_pair(category_id, self.iterations, self.unroll,
-                                fpu=self.board.config.core.has_fpu)
-        ref = self.board.measure(assemble(pair.reference_source),
-                                 max_instructions=self.max_instructions)
-        test = self.board.measure(assemble(pair.test_source),
+    def _measure(self, program) -> Measurement:
+        if self.runner is not None:
+            raw = self.runner.metered_raw(program, self.board.config,
+                                          self.max_instructions)
+            return self.board.reading(raw)
+        return self.board.measure(program,
                                   max_instructions=self.max_instructions)
+
+    def _record(self, pair: KernelPair, ref: Measurement,
+                test: Measurement) -> CategoryCalibration:
+        """Eq. 2 on one measured kernel pair."""
         time_ns = (test.time_s - ref.time_s) / pair.n_test * 1e9
         energy_nj = (test.energy_j - ref.energy_j) / pair.n_test * 1e9
         return CategoryCalibration(
-            category_id=category_id,
+            category_id=pair.category_id,
             time_ns=time_ns,
             energy_nj=energy_nj,
             n_test=pair.n_test,
@@ -232,10 +243,18 @@ class Calibrator:
             test=test,
         )
 
+    def calibrate_category(self, category_id: str) -> CategoryCalibration:
+        """Measure one category's kernel pair and apply Eq. 2."""
+        pair = make_kernel_pair(category_id, self.iterations, self.unroll,
+                                fpu=self.board.config.core.has_fpu)
+        ref = self._measure(assemble(pair.reference_source))
+        test = self._measure(assemble(pair.test_source))
+        return self._record(pair, ref, test)
+
     def calibrate(self, categories: list[str] | None = None) -> CalibrationResult:
         """Calibrate all (or the given) categories; see module docstring."""
         selected = categories or list(CATEGORY_IDS)
-        records: dict[str, CategoryCalibration] = {}
+        jobs = []
         warnings: list[str] = []
         has_fpu = self.board.config.core.has_fpu
         for cid in selected:
@@ -245,9 +264,23 @@ class Calibrator:
                     f"{cid}: skipped (board {self.board.config.name!r} "
                     f"has no FPU)")
                 continue
-            record = self.calibrate_category(cid)
+            pair = make_kernel_pair(cid, self.iterations, self.unroll,
+                                    fpu=has_fpu)
+            jobs.append((pair, assemble(pair.reference_source),
+                         assemble(pair.test_source)))
+        if self.runner is not None and jobs:
+            from repro.runner import SimTask
+            self.runner.run_tasks([
+                SimTask(mode="metered", program=program,
+                        budget=self.max_instructions,
+                        hw=self.board.config)
+                for _, ref, test in jobs for program in (ref, test)])
+        records: dict[str, CategoryCalibration] = {}
+        for pair, ref_program, test_program in jobs:
+            record = self._record(pair, self._measure(ref_program),
+                                  self._measure(test_program))
             self._consistency_adapt(record, warnings)
-            records[cid] = record
+            records[pair.category_id] = record
         return CalibrationResult(
             board_name=self.board.config.name,
             iterations=self.iterations,

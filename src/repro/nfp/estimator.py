@@ -62,6 +62,16 @@ class NFPEstimator:
         """Simulate ``program`` on the ISS and apply the model."""
         sim_result = Simulator(program, self.core).run(
             max_instructions=max_instructions)
+        return self.report_from_result(sim_result, kernel_name=kernel_name)
+
+    def report_from_result(self, sim_result: SimulationResult,
+                           kernel_name: str = "kernel") -> EstimationReport:
+        """Apply the model to an already-simulated run's counts.
+
+        Every loop of the simulator -- fast blocks, stepping, metered
+        blocks -- retires bit-identical category counts, so a cached or
+        testbed-metered run can stand in for a fresh ISS run here.
+        """
         estimate = self.model.estimate(sim_result.counts_vector)
         return EstimationReport(kernel=kernel_name, estimate=estimate,
                                 sim=sim_result)

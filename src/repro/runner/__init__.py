@@ -1,0 +1,46 @@
+"""Parallel, cached experiment running.
+
+The paper's workflow repeats one expensive primitive -- "simulate this
+kernel on that platform" -- across figures, tables, calibration sweeps
+and repeated invocations.  This package factors that primitive out:
+
+* :mod:`repro.runner.tasks` defines :class:`SimTask`, a *deterministic*
+  unit of work (program + platform + budget), its content-addressed key
+  and its JSON-able result payload;
+* :mod:`repro.runner.cache` stores payloads on disk keyed by content, so
+  any process that ever computed a simulation shares it with every later
+  one;
+* :mod:`repro.runner.pool` fans batches of tasks across a process pool
+  and merges the cache in front of it.
+
+The split in :class:`repro.hw.board.Board` between :meth:`measure_raw`
+(pure, cacheable) and :meth:`reading` (stateful instruments, applied by
+the caller in measurement order) is what makes results bit-identical no
+matter whether they were computed serially, in parallel workers, or read
+back from a warm cache.
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.pool import ExperimentRunner, default_workers
+from repro.runner.tasks import (
+    SCHEMA_VERSION,
+    SimTask,
+    program_digest,
+    run_task,
+    sim_from_dict,
+    sim_to_dict,
+    task_key,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "ResultCache",
+    "SCHEMA_VERSION",
+    "SimTask",
+    "default_workers",
+    "program_digest",
+    "run_task",
+    "sim_from_dict",
+    "sim_to_dict",
+    "task_key",
+]

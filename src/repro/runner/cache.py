@@ -1,0 +1,57 @@
+"""Content-addressed on-disk result cache.
+
+One JSON file per result, named by the task's content key (a SHA-256 over
+the program image, the priced hardware configuration, the watchdog budget
+and the schema version -- see :func:`repro.runner.tasks.task_key`).
+Content addressing is the whole invalidation story: changing the kernel,
+the cost tables or the result schema changes the key, so stale entries
+are never *read*, only left behind (and can be deleted wholesale at any
+time without correctness impact).
+
+Writes are atomic (temp file + ``os.replace``), so concurrent processes
+-- pool workers, parallel pytest sessions -- can share one directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+class ResultCache:
+    """A directory of ``<sha256>.json`` payloads."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> dict | None:
+        """The payload stored under ``key``, or None on a miss."""
+        try:
+            text = (self.root / f"{key}.json").read_text()
+            payload = json.loads(text)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store ``payload`` under ``key`` atomically."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.root / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, self.root / f"{key}.json")
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for p in self.root.iterdir()
+                       if p.suffix == ".json")
+        except OSError:
+            return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+                f"misses={self.misses})")

@@ -1,0 +1,113 @@
+"""Process-pool execution of simulation tasks behind the result cache.
+
+:class:`ExperimentRunner` is what the experiment drivers talk to: hand it
+a batch of :class:`~repro.runner.tasks.SimTask` and it returns their
+payloads, fetching what the cache already holds, fanning the rest across
+worker processes (``REPRO_WORKERS``, default ``min(cpu_count, 8)``) and
+persisting fresh results for the next figure, process or invocation.
+
+Within a batch, duplicate keys are computed once.  With ``workers <= 1``
+or single-task batches everything runs inline -- bit-identical either
+way, because tasks are deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.asm.program import Program
+from repro.hw.board import RawMeasurement
+from repro.hw.config import HwConfig
+from repro.runner.cache import ResultCache
+from repro.runner.tasks import (
+    SimTask,
+    raw_from_payload,
+    run_task,
+    sim_from_dict,
+    task_key,
+)
+from repro.vm.config import CoreConfig
+from repro.vm.simulator import SimulationResult
+
+
+def default_workers() -> int:
+    """``REPRO_WORKERS`` or a conservative CPU-count default."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return min(os.cpu_count() or 1, 8)
+
+
+class ExperimentRunner:
+    """Cache-fronted, pool-backed executor for simulation tasks.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory of the on-disk result cache; ``None`` disables
+        persistence (tasks still dedupe within a batch).
+    workers:
+        Maximum worker processes for one batch; ``None`` picks
+        :func:`default_workers`.  ``1`` computes inline.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None,
+                 workers: int | None = None):
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.workers = default_workers() if workers is None else workers
+        #: process-local tier in front of (or instead of) the disk cache,
+        #: so prefetch batches pay off even with persistence disabled
+        self._memory: dict[str, dict] = {}
+
+    # -- batch interface -----------------------------------------------------
+
+    def run_tasks(self, tasks: list[SimTask]) -> list[dict]:
+        """Payloads for ``tasks``, cache-first, misses fanned out."""
+        keys = [task_key(task) for task in tasks]
+        payloads: dict[str, dict] = {}
+        missing: dict[str, SimTask] = {}
+        for key, task in zip(keys, tasks):
+            if key in payloads or key in missing:
+                continue
+            cached = self._memory.get(key)
+            if cached is None and self.cache is not None:
+                cached = self.cache.get(key)
+            if cached is not None:
+                payloads[key] = cached
+            else:
+                missing[key] = task
+        if missing:
+            fresh = self._compute(list(missing.values()))
+            for key, payload in zip(missing, fresh):
+                payloads[key] = payload
+                if self.cache is not None:
+                    self.cache.put(key, payload)
+        self._memory.update(payloads)
+        return [payloads[key] for key in keys]
+
+    def _compute(self, tasks: list[SimTask]) -> list[dict]:
+        n = min(self.workers, len(tasks))
+        if n <= 1:
+            return [run_task(task) for task in tasks]
+        with ProcessPoolExecutor(max_workers=n) as pool:
+            return list(pool.map(run_task, tasks))
+
+    # -- single-task conveniences -------------------------------------------
+
+    def metered_raw(self, program: Program, hw: HwConfig,
+                    budget: int) -> RawMeasurement:
+        """The deterministic half of ``Board(hw).measure(program)``."""
+        task = SimTask(mode="metered", program=program, budget=budget,
+                       hw=hw)
+        return raw_from_payload(self.run_tasks([task])[0])
+
+    def fast_sim(self, program: Program, core: CoreConfig,
+                 budget: int) -> SimulationResult:
+        """A functional ISS run (the estimation path's counts)."""
+        task = SimTask(mode="fast", program=program, budget=budget,
+                       core=core)
+        return sim_from_dict(self.run_tasks([task])[0]["sim"])

@@ -44,6 +44,14 @@ class CoreConfig:
         Maximum number of straight-line instructions fused into one
         superblock (the block terminator and a fused delay slot come on
         top of this).
+    metered_blocks_enabled:
+        When ``True`` (the default) the *instrumented* testbed loop
+        (:meth:`repro.vm.cpu.Cpu.run_metered`) dispatches cost-fused
+        superblocks for observers that expose a structured cost model
+        (see :class:`repro.hw.board.CostMeter`); when ``False`` it always
+        observes per retired instruction.  Both modes accumulate
+        bit-identical cycles and energy -- the knob exists for A/B
+        benchmarks and exactness-sensitive tooling.
     """
 
     has_fpu: bool = True
@@ -53,6 +61,7 @@ class CoreConfig:
     stack_reserve: int = 1 << 20
     blocks_enabled: bool = True
     block_size: int = DEFAULT_BLOCK_SIZE
+    metered_blocks_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.nwindows < 2 or self.nwindows > 32:
@@ -76,3 +85,7 @@ class CoreConfig:
         return replace(self, blocks_enabled=enabled,
                        block_size=self.block_size if block_size is None
                        else block_size)
+
+    def with_metered_blocks(self, enabled: bool = True) -> "CoreConfig":
+        """A copy with metered (cost-fused) block dispatch toggled."""
+        return replace(self, metered_blocks_enabled=enabled)

@@ -108,7 +108,9 @@ class Simulator:
                                semihost=semihost_dispatch)
         self.cpu = Cpu(self.state, self.morpher,
                        blocks_enabled=self.config.blocks_enabled,
-                       block_size=self.config.block_size)
+                       block_size=self.config.block_size,
+                       metered_blocks_enabled=self.config
+                       .metered_blocks_enabled)
         self._consumed = False
 
     def run(self, max_instructions: int = DEFAULT_BUDGET) -> SimulationResult:
@@ -139,6 +141,7 @@ class Simulator:
         st = self.state
         counts = dict(zip(CATEGORY_IDS, st.cat_counts))
         n_blocks, avg_len = self.cpu.block_stats()
+        n_mblocks, avg_mlen = self.cpu.mblock_stats()
         return SimulationResult(
             exit_code=st.exit_code if st.exit_code is not None else -1,
             retired=st.retired,
@@ -154,6 +157,8 @@ class Simulator:
                 "block_mode": 1.0 if self.config.blocks_enabled else 0.0,
                 "translated_blocks": float(n_blocks),
                 "avg_block_len": avg_len,
+                "metered_blocks": float(n_mblocks),
+                "avg_metered_block_len": avg_mlen,
             },
         )
 

@@ -1,0 +1,19 @@
+"""Shared test configuration.
+
+Pins the runner's result cache to a per-session temporary directory so
+test runs are hermetic: they exercise the real cache machinery but never
+read state left behind by earlier runs or other tools.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_result_cache(tmp_path_factory):
+    if "REPRO_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_CACHE_DIR"] = str(
+            tmp_path_factory.mktemp("repro-cache"))
