@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Throughput regression guard over a trimmed ``BENCH_*.json`` report.
+
+CI's bench-smoke job runs ``run_bench.py`` and then this checker.  Two
+kinds of floors keep the PR-1/PR-2 fast paths honest:
+
+* an *absolute* simulated-MIPS floor for the fast ISS loop -- set very
+  conservatively (CI runners are slow and noisy), it only catches
+  catastrophic regressions such as block translation silently turning
+  off;
+* *relative* speedup floors between each fast path and its recorded
+  per-instruction A/B baseline from the same run -- machine-independent,
+  so they catch "the fast path stopped being fast" on any hardware.
+
+Exit status is non-zero when any floor is violated or a required rung is
+missing from the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def find_entry(suites: dict, test_name: str) -> dict | None:
+    """The trimmed entry whose pytest id ends in ``::<test_name>``."""
+    for fullname, entry in suites.items():
+        if fullname.endswith(f"::{test_name}"):
+            return entry
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path,
+                        help="trimmed BENCH_*.json written by run_bench.py")
+    parser.add_argument("--min-mips", type=float, default=2.0,
+                        help="absolute floor for fast-ISS simulated MIPS "
+                             "(default: %(default)s)")
+    parser.add_argument("--min-block-speedup", type=float, default=2.0,
+                        help="fast ISS blocks-vs-per-instruction wall "
+                             "speedup floor (default: %(default)sx)")
+    parser.add_argument("--min-metered-speedup", type=float, default=1.5,
+                        help="metered blocks-vs-per-instruction wall "
+                             "speedup floor (default: %(default)sx)")
+    args = parser.parse_args(argv)
+
+    suites = json.loads(args.report.read_text())["suites"]
+    failures: list[str] = []
+
+    def require(test_name: str) -> dict | None:
+        entry = find_entry(suites, test_name)
+        if entry is None:
+            failures.append(f"required rung {test_name!r} missing "
+                            f"from {args.report}")
+        return entry
+
+    iss = require("test_iss_throughput")
+    iss_slow = require("test_iss_throughput_per_instruction")
+    metered = require("test_metered_throughput")
+    metered_slow = require("test_metered_throughput_per_instruction")
+
+    if iss is not None:
+        mips = float(iss.get("mips", 0.0))
+        print(f"fast ISS            : {mips:8.2f} simulated MIPS "
+              f"(floor {args.min_mips})")
+        if mips < args.min_mips:
+            failures.append(
+                f"fast ISS throughput {mips:.2f} MIPS is below the "
+                f"{args.min_mips} MIPS floor")
+    if iss is not None and iss_slow is not None:
+        speedup = iss_slow["mean_s"] / iss["mean_s"]
+        print(f"block translation   : {speedup:8.2f}x vs per-instruction "
+              f"(floor {args.min_block_speedup}x)")
+        if speedup < args.min_block_speedup:
+            failures.append(
+                f"superblock ISS speedup {speedup:.2f}x is below the "
+                f"{args.min_block_speedup}x floor")
+    if metered is not None and metered_slow is not None:
+        speedup = metered_slow["mean_s"] / metered["mean_s"]
+        print(f"metered blocks      : {speedup:8.2f}x vs per-instruction "
+              f"(floor {args.min_metered_speedup}x)")
+        if speedup < args.min_metered_speedup:
+            failures.append(
+                f"metered-block speedup {speedup:.2f}x is below the "
+                f"{args.min_metered_speedup}x floor")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("all throughput floors hold")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

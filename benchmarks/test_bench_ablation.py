@@ -9,8 +9,6 @@ category refinement).
 
 from __future__ import annotations
 
-import pytest
-
 from repro.asm import assemble
 from repro.hw.board import Board
 from repro.hw.config import HwConfig, leon3_fpu

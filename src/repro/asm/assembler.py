@@ -12,7 +12,7 @@ import re
 import struct
 from dataclasses import dataclass
 
-from repro.asm.errors import AsmError, UndefinedSymbolError
+from repro.asm.errors import AsmError
 from repro.asm.expr import evaluate, references_symbols
 from repro.asm.program import Program
 from repro.isa import encoder

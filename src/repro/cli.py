@@ -8,6 +8,7 @@ command         action
 table1          calibrate and print Table I
 table3          estimation-error evaluation (Table III)
 table4          FPU design-space exploration (Table IV)
+dse             multi-dimensional design-space exploration (Pareto)
 figure1         simulator landscape (Figure 1)
 figure2         trace one instruction through the simulator (Fig. 2)
 figure3         morph-function grouping (Figure 3)
@@ -55,6 +56,18 @@ def build_parser() -> argparse.ArgumentParser:
         if cmd == "table3":
             p.add_argument("--per-kernel", action="store_true",
                            help="print the per-kernel error breakdown")
+    p = sub.add_parser(
+        "dse", help="sweep a hardware design space, print Pareto fronts")
+    _add_scale(p)
+    p.add_argument("--axes", default=None, metavar="SPEC",
+                   help="design-space spec, e.g. "
+                        "'clock_mhz=25:50:80,fpu,nwindows=4:8'; bare axis "
+                        "names take their registered default values "
+                        "(default: the stock clock/fpu/windows/wait-state "
+                        "grid)")
+    p.add_argument("--format", choices=("text", "csv", "json"),
+                   default="text", dest="fmt",
+                   help="output rendering (default: text)")
     sub.add_parser("figure2")
     sub.add_parser("figure3")
     p = sub.add_parser("asm")
@@ -75,7 +88,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     command = args.command
 
-    if command in ("table1", "table3", "table4", "figure1", "figure4", "all"):
+    if command in ("table1", "table3", "table4", "figure1", "figure4",
+                   "dse", "all"):
         import os
         if args.workers is not None:
             os.environ["REPRO_WORKERS"] = str(args.workers)
@@ -83,10 +97,18 @@ def main(argv: list[str] | None = None) -> int:
             os.environ["REPRO_METERED_BLOCKS"] = "0"
         if args.no_cache:
             os.environ["REPRO_CACHE"] = "off"
-        from repro.experiments import (figure1, figure4, table1, table3,
-                                       table4)
         from repro.experiments.scale import get_scale
         scale = get_scale(args.scale)
+        if command == "dse":
+            from repro.experiments import dse as dse_driver
+            rendered = dse_driver.run(scale, axes=args.axes).render(args.fmt)
+            if args.fmt == "text":
+                print(rendered)
+            else:  # csv/json renderers terminate their own output
+                sys.stdout.write(rendered)
+            return 0
+        from repro.experiments import (figure1, figure4, table1, table3,
+                                       table4)
         if command == "all":
             from repro.experiments import figure23
             print(table1.run(scale).render(), "\n")

@@ -15,7 +15,6 @@ from dataclasses import dataclass
 
 from repro.codecs.hevclite.bitstream import BitReader
 from repro.codecs.hevclite.encoder import (
-    CONFIGS,
     FRAME_B_BI,
     FRAME_B_PAST,
     FRAME_I,

@@ -1,0 +1,62 @@
+"""Multi-dimensional hardware design-space exploration.
+
+The NFP model exists to answer design questions; this package turns the
+reproduction into the exploration tool the paper motivates.  A
+:class:`DesignSpace` (an ordered selection of registered axes -- clock
+frequency, FPU presence, register windows, memory wait states, ...) is
+swept across the workload suite through the cached parallel
+:class:`~repro.runner.ExperimentRunner`; the resulting :class:`DseGrid`
+is classified into Pareto fronts over (time, energy, area) and rendered
+as text, CSV or JSON (:class:`SweepReport`).
+
+Entry points::
+
+    python -m repro dse --scale smoke              # stock 24-config sweep
+    python -m repro dse --axes clock_mhz,fpu       # custom space
+"""
+
+from repro.dse.axes import (
+    AXES,
+    DEFAULT_AXIS_NAMES,
+    Axis,
+    DesignSpace,
+    SweepConfig,
+    get_axis,
+    register_axis,
+)
+from repro.dse.engine import (
+    AGGREGATE,
+    OBJECTIVES,
+    DseGrid,
+    DsePoint,
+    sweep,
+    sweep_estimated,
+)
+from repro.dse.pareto import classify, dominates, knee_point, pareto_front
+from repro.dse.presets import explore_fpu_grid, fpu_design_space
+from repro.dse.report import SweepReport
+from repro.dse.workload import WorkloadPair
+
+__all__ = [
+    "AGGREGATE",
+    "AXES",
+    "Axis",
+    "DEFAULT_AXIS_NAMES",
+    "DesignSpace",
+    "DseGrid",
+    "DsePoint",
+    "OBJECTIVES",
+    "SweepConfig",
+    "SweepReport",
+    "WorkloadPair",
+    "classify",
+    "dominates",
+    "explore_fpu_grid",
+    "fpu_design_space",
+    "get_axis",
+    "knee_point",
+    "pareto_front",
+    "register_axis",
+    "sweep",
+    "sweep_estimated",
+]

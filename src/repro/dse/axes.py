@@ -1,0 +1,250 @@
+"""The axis registry and multi-dimensional design spaces.
+
+An :class:`Axis` is one named hardware parameter the exploration can
+sweep -- how to apply a value to a priced :class:`~repro.hw.config.HwConfig`,
+how to label it inside a configuration name, and which values a default
+sweep uses.  A :class:`DesignSpace` is an ordered selection of axes with
+value lists; its cartesian product yields the candidate platforms
+(:class:`SweepConfig`) a sweep runs every workload on.
+
+The registry is extensible: anything that can be expressed as a
+transformation of ``HwConfig`` (clock, cost tables, core parameters,
+static power, ...) can be registered as a new axis with
+:func:`register_axis` and immediately swept via ``DesignSpace.from_spec``
+or the ``repro dse --axes`` CLI flag.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from types import MappingProxyType
+from typing import Callable, Sequence
+
+from repro.hw.config import HwConfig
+from repro.hw.timing import cycle_table_with_wait_states
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One sweepable hardware parameter.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``clock_mhz``, ``fpu``, ...).
+    values:
+        Default sweep values, in sweep order.
+    apply:
+        ``(hw, value) -> hw`` transformation (must be pure).
+    label:
+        ``value -> str`` fragment used in generated configuration names.
+    parse:
+        ``str -> value`` parser for CLI-provided value lists.
+    doc:
+        One-line description shown in help/reports.
+    """
+
+    name: str
+    values: tuple
+    apply: Callable[[HwConfig, object], HwConfig]
+    label: Callable[[object], str]
+    parse: Callable[[str], object]
+    doc: str = ""
+
+
+def _parse_bool(text: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("1", "true", "yes", "on", "fpu"):
+        return True
+    if lowered in ("0", "false", "no", "off", "nofpu"):
+        return False
+    raise ValueError(f"not a boolean axis value: {text!r}")
+
+
+#: The paper's synthesis frequency; voltage scaling is normalised to it.
+BASE_CLOCK_MHZ = 50.0
+
+
+def _apply_clock(hw: HwConfig, mhz) -> HwConfig:
+    """Clock the platform at ``mhz``, with first-order voltage scaling.
+
+    Timing closure at a higher frequency needs a higher supply voltage
+    (affine V-f approximation, ``V/V0 = 0.7 + 0.3 f/f0``); dynamic
+    energy per instruction and static power both scale with ``V^2``.  At
+    the 50 MHz baseline the factors are exactly 1.0, so the axis leaves
+    the paper's platform bit-identical.  This is what makes the clock a
+    genuine design axis: raising it buys time but costs dynamic energy,
+    lowering it saves dynamic energy but pays static leakage for longer.
+    """
+    mhz = float(mhz)
+    voltage = 0.7 + 0.3 * (mhz / BASE_CLOCK_MHZ)
+    scale = voltage * voltage
+    dyn = {m: nj * scale for m, nj in hw.dyn_energy_nj.items()}
+    return replace(
+        hw, clock_hz=mhz * 1e6,
+        static_power_w=hw.static_power_w * scale,
+        window_trap_energy_nj=hw.window_trap_energy_nj * scale,
+        dyn_energy_nj=MappingProxyType(dyn))
+
+
+def _apply_fpu(hw: HwConfig, present) -> HwConfig:
+    return replace(hw, core=replace(hw.core, has_fpu=bool(present)))
+
+
+def _apply_nwindows(hw: HwConfig, nwindows) -> HwConfig:
+    return replace(hw, core=replace(hw.core, nwindows=int(nwindows)))
+
+
+def _apply_wait_states(hw: HwConfig, wait_states) -> HwConfig:
+    table = cycle_table_with_wait_states(hw.cycle_table, int(wait_states))
+    return replace(hw, cycle_table=MappingProxyType(table))
+
+
+def _apply_block_size(hw: HwConfig, block_size) -> HwConfig:
+    return replace(hw, core=replace(hw.core, block_size=int(block_size)))
+
+
+AXES: dict[str, Axis] = {}
+
+
+def register_axis(axis: Axis) -> Axis:
+    """Add ``axis`` to the registry (later registrations may override)."""
+    AXES[axis.name] = axis
+    return axis
+
+
+def get_axis(name: str) -> Axis:
+    try:
+        return AXES[name]
+    except KeyError:
+        raise ValueError(f"unknown design-space axis {name!r}; "
+                         f"available: {sorted(AXES)}") from None
+
+
+register_axis(Axis(
+    name="clock_mhz", values=(25.0, 50.0, 80.0),
+    apply=_apply_clock, label=lambda v: f"clk{v:g}", parse=float,
+    doc="core clock frequency in MHz (time vs static energy)"))
+register_axis(Axis(
+    name="fpu", values=(False, True),
+    apply=_apply_fpu, label=lambda v: "fpu" if v else "nofpu",
+    parse=_parse_bool,
+    doc="FPU presence (hard-float builds vs soft-float, Table IV)"))
+register_axis(Axis(
+    name="nwindows", values=(4, 8, 16),
+    apply=_apply_nwindows, label=lambda v: f"w{v}", parse=int,
+    doc="register windows (area vs window-trap overhead; 16 windows are "
+        "over-provisioned for call-shallow kernels and come out "
+        "Pareto-dominated)"))
+register_axis(Axis(
+    name="wait_states", values=(0, 2),
+    apply=_apply_wait_states, label=lambda v: f"ws{v}", parse=int,
+    doc="memory wait states per bus access (area vs memory latency)"))
+register_axis(Axis(
+    name="block_size", values=(8, 32),
+    apply=_apply_block_size, label=lambda v: f"bs{v}", parse=int,
+    doc="superblock fusion cap (simulator knob; NFPs are invariant)"))
+
+#: The stock sweep: 3 x 2 x 3 x 2 = 36 candidate platforms.
+DEFAULT_AXIS_NAMES = ("clock_mhz", "fpu", "nwindows", "wait_states")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One fully-applied candidate platform of a sweep."""
+
+    name: str
+    axis_values: tuple[tuple[str, object], ...]
+    hw: HwConfig
+
+    def value(self, axis_name: str, default=None):
+        """The value this configuration holds on ``axis_name``."""
+        for name, value in self.axis_values:
+            if name == axis_name:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """An ordered selection of axes with their sweep values."""
+
+    axes: tuple[tuple[str, tuple], ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for name, values in self.axes:
+            get_axis(name)  # must exist
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+            if name in seen:
+                raise ValueError(f"axis {name!r} listed twice")
+            seen.add(name)
+
+    @classmethod
+    def default(cls) -> "DesignSpace":
+        """The stock multi-dimensional space (see :data:`DEFAULT_AXIS_NAMES`)."""
+        return cls(tuple((name, get_axis(name).values)
+                         for name in DEFAULT_AXIS_NAMES))
+
+    @classmethod
+    def single(cls, name: str, values: Sequence | None = None) -> "DesignSpace":
+        """A one-axis space (used by presets such as the Table IV FPU sweep)."""
+        axis = get_axis(name)
+        return cls(((name, tuple(values if values is not None
+                                 else axis.values)),))
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "DesignSpace":
+        """Parse ``"clock_mhz=25:50,fpu,nwindows=4:8"`` into a space.
+
+        Comma-separated axis entries; each is either a bare registered
+        axis name (its default values) or ``name=v1:v2:...`` with values
+        parsed by the axis' own parser.
+        """
+        axes = []
+        for entry in spec.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            name, eq, values_text = entry.partition("=")
+            axis = get_axis(name.strip())
+            if eq:
+                values = tuple(axis.parse(v) for v in values_text.split(":"))
+            else:
+                values = axis.values
+            axes.append((axis.name, values))
+        if not axes:
+            raise ValueError(f"empty design-space spec {spec!r}")
+        return cls(tuple(axes))
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for _, values in self.axes:
+            n *= len(values)
+        return n
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.axes)
+
+    def configs(self, base: HwConfig | None = None) -> tuple[SweepConfig, ...]:
+        """Every candidate platform, in deterministic product order."""
+        base = base if base is not None else HwConfig()
+        value_lists = [values for _, values in self.axes]
+        out = []
+        for combo in itertools.product(*value_lists):
+            hw = base
+            labels = []
+            for (name, _), value in zip(self.axes, combo):
+                axis = get_axis(name)
+                hw = axis.apply(hw, value)
+                labels.append(axis.label(value))
+            name = "-".join(labels)
+            out.append(SweepConfig(
+                name=name,
+                axis_values=tuple(zip(self.axis_names, combo)),
+                hw=replace(hw, name=name)))
+        return tuple(out)

@@ -1,0 +1,236 @@
+"""The sweep engine: design space x workload suite -> objective grid.
+
+Every ``(candidate platform, workload)`` point is one deterministic
+metered simulation, expressed as a :class:`~repro.runner.tasks.SimTask`
+and submitted to the PR-2 :class:`~repro.runner.ExperimentRunner` in a
+single batch -- so a sweep is parallel across worker processes, content-
+addressed in the on-disk result cache (a re-run or an overlapping later
+sweep only computes what it has never seen), and bit-reproducible: the
+grid is built purely from the deterministic ``true_*`` accumulator
+totals, never from the stateful instrument model, so warm, cold, serial
+and parallel sweeps produce identical floats.
+
+The estimation-based variant (:func:`sweep_estimated`) runs the paper's
+fast Eq.-1 path instead of the metered testbed; it exists for presets
+such as the Table IV FPU exploration (:mod:`repro.dse.presets`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.dse.axes import DesignSpace, SweepConfig
+from repro.dse.pareto import classify, knee_point, pareto_front
+from repro.dse.workload import WorkloadPair
+from repro.hw.area import memctrl_les, synthesize
+from repro.hw.config import HwConfig
+from repro.runner import ExperimentRunner
+from repro.runner.tasks import SimTask, raw_from_payload
+
+#: Objective names, in the order :attr:`DsePoint.objectives` reports them.
+OBJECTIVES = ("time_s", "energy_j", "area_les")
+
+#: Workload label of per-configuration aggregate points.
+AGGREGATE = "*"
+
+
+@dataclass(frozen=True)
+class DsePoint:
+    """One evaluated (configuration, workload) grid point."""
+
+    config: str
+    axis_values: tuple[tuple[str, object], ...]
+    workload: str
+    build: str
+    time_s: float
+    energy_j: float
+    area_les: int
+    retired: int
+    cycles: int | None = None  #: None on the estimation path (no cycle sim)
+
+    @property
+    def objectives(self) -> tuple[float, float, float]:
+        """The minimised objective vector ``(time, energy, area)``."""
+        return (self.time_s, self.energy_j, float(self.area_les))
+
+    def value(self, axis_name: str, default=None):
+        for name, value in self.axis_values:
+            if name == axis_name:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class DseGrid:
+    """The full sweep result: every point, in deterministic order."""
+
+    points: tuple[DsePoint, ...]
+
+    def workloads(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for point in self.points:
+            seen.setdefault(point.workload)
+        return tuple(seen)
+
+    def configs(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for point in self.points:
+            seen.setdefault(point.config)
+        return tuple(seen)
+
+    def axis_names(self) -> tuple[str, ...]:
+        if not self.points:
+            return ()
+        return tuple(name for name, _ in self.points[0].axis_values)
+
+    def select(self, workload: str | None = None,
+               config: str | None = None) -> tuple[DsePoint, ...]:
+        return tuple(p for p in self.points
+                     if (workload is None or p.workload == workload)
+                     and (config is None or p.config == config))
+
+    def point(self, config: str, workload: str) -> DsePoint:
+        for p in self.points:
+            if p.config == config and p.workload == workload:
+                return p
+        raise KeyError((config, workload))
+
+    def aggregate(self) -> tuple[DsePoint, ...]:
+        """Per-configuration totals across the whole workload suite.
+
+        Time, energy and retired counts sum over workloads (every
+        configuration runs the full suite, so the sums are comparable);
+        area is a property of the configuration itself.
+        """
+        out = []
+        for config in self.configs():
+            points = self.select(config=config)
+            cycles: int | None = None
+            if all(p.cycles is not None for p in points):
+                cycles = sum(p.cycles for p in points)
+            out.append(DsePoint(
+                config=config,
+                axis_values=points[0].axis_values,
+                workload=AGGREGATE,
+                build=points[0].build,
+                time_s=sum(p.time_s for p in points),
+                energy_j=sum(p.energy_j for p in points),
+                area_les=points[0].area_les,
+                retired=sum(p.retired for p in points),
+                cycles=cycles,
+            ))
+        return tuple(out)
+
+    # -- Pareto views --------------------------------------------------------
+
+    def front(self, workload: str | None = None) -> tuple[DsePoint, ...]:
+        """Non-dominated configurations for ``workload`` (or the aggregate)."""
+        points = (self.aggregate() if workload is None
+                  else self.select(workload=workload))
+        return tuple(pareto_front(points, key=lambda p: p.objectives))
+
+    def knee(self, workload: str | None = None) -> DsePoint:
+        """The balanced front pick for ``workload`` (or the aggregate)."""
+        front = self.front(workload)
+        return knee_point(front, key=lambda p: p.objectives)
+
+    def dominated_flags(self, workload: str | None = None
+                        ) -> tuple[tuple[DsePoint, bool], ...]:
+        """``(point, on_front)`` pairs for ``workload`` (or the aggregate)."""
+        points = (self.aggregate() if workload is None
+                  else self.select(workload=workload))
+        flags = classify(points, key=lambda p: p.objectives)
+        return tuple(zip(points, flags))
+
+
+def _config_area_les(config: SweepConfig) -> int:
+    """Synthesis area of one candidate: core components + memory interface."""
+    core_les = synthesize(config.hw.core, name=config.name).total_les
+    return core_les + memctrl_les(int(config.value("wait_states", 0)))
+
+
+def _grid_jobs(configs: Sequence[SweepConfig],
+               pairs: Sequence[WorkloadPair]
+               ) -> list[tuple[SweepConfig, WorkloadPair, str, object]]:
+    jobs = []
+    for config in configs:
+        for pair in pairs:
+            build, program = pair.build_for(config.hw.core)
+            jobs.append((config, pair, build, program))
+    return jobs
+
+
+def sweep(space: DesignSpace | Sequence[SweepConfig],
+          pairs: Sequence[WorkloadPair], *,
+          budget: int,
+          runner: ExperimentRunner | None = None,
+          base: HwConfig | None = None) -> DseGrid:
+    """Measure every (configuration, workload) point on the metered testbed.
+
+    All points are submitted to ``runner`` as one batch of metered
+    :class:`SimTask`s: duplicates dedupe, cached results are read back,
+    and the misses fan out across the worker pool.  The grid holds the
+    deterministic accumulator totals only, so two sweeps of the same
+    space are bit-identical regardless of cache state or parallelism.
+    """
+    configs = (space.configs(base) if isinstance(space, DesignSpace)
+               else tuple(space))
+    runner = runner if runner is not None else ExperimentRunner()
+    jobs = _grid_jobs(configs, pairs)
+    tasks = [SimTask(mode="metered", program=program, budget=budget,
+                     hw=config.hw)
+             for config, _, _, program in jobs]
+    payloads = runner.run_tasks(tasks)
+    points = []
+    for (config, pair, build, _), payload in zip(jobs, payloads):
+        raw = raw_from_payload(payload)
+        points.append(DsePoint(
+            config=config.name,
+            axis_values=config.axis_values,
+            workload=pair.name,
+            build=build,
+            time_s=raw.true_time_s,
+            energy_j=raw.true_energy_j,
+            area_les=_config_area_les(config),
+            retired=raw.sim.retired,
+            cycles=raw.cycles,
+        ))
+    return DseGrid(points=tuple(points))
+
+
+def sweep_estimated(space: DesignSpace | Sequence[SweepConfig],
+                    pairs: Sequence[WorkloadPair], *,
+                    budget: int,
+                    estimator_for: Callable[[SweepConfig], object],
+                    base: HwConfig | None = None) -> DseGrid:
+    """Estimate every grid point with the mechanistic model (Eq. 1).
+
+    ``estimator_for`` maps a candidate configuration to the
+    :class:`~repro.nfp.estimator.NFPEstimator` calibrated for it; the
+    estimator's own functional core runs the simulation, exactly as the
+    pre-engine Table IV code path did, so presets built on this function
+    reproduce their historical numbers bit-for-bit.
+    """
+    configs = (space.configs(base) if isinstance(space, DesignSpace)
+               else tuple(space))
+    points = []
+    for config in configs:
+        estimator = estimator_for(config)
+        for pair in pairs:
+            build, program = pair.build_for(config.hw.core)
+            report = estimator.estimate_program(
+                program, kernel_name=f"{pair.name}-{build}",
+                max_instructions=budget)
+            points.append(DsePoint(
+                config=config.name,
+                axis_values=config.axis_values,
+                workload=pair.name,
+                build=build,
+                time_s=report.time_s,
+                energy_j=report.energy_j,
+                area_les=_config_area_les(config),
+                retired=report.sim.retired,
+                cycles=None,
+            ))
+    return DseGrid(points=tuple(points))

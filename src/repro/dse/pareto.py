@@ -1,0 +1,87 @@
+"""Pareto dominance over non-functional objective vectors.
+
+All objectives are minimised (time, energy, area).  The helpers are
+deliberately generic -- they act on items through a ``key`` function that
+returns an objective tuple -- so per-workload fronts, aggregate fronts
+and tests all share one dominance definition.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, TypeVar
+
+Item = TypeVar("Item")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better somewhere.
+
+    Dominance is irreflexive and antisymmetric: no vector dominates
+    itself, and ``dominates(a, b)`` and ``dominates(b, a)`` can never both
+    hold (the property tests pin this down).
+    """
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have equal length")
+    better = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            better = True
+    return better
+
+
+def pareto_front(items: Sequence[Item],
+                 key: Callable[[Item], Sequence[float]] = lambda it: it
+                 ) -> list[Item]:
+    """The non-dominated subset of ``items``, in original order.
+
+    Items with identical objective vectors do not dominate each other, so
+    exact ties all stay on the front (the sweep's ``block_size`` axis
+    produces such ties by design).
+    """
+    return [item for item, on_front in zip(items, classify(items, key))
+            if on_front]
+
+
+def knee_point(items: Sequence[Item],
+               key: Callable[[Item], Sequence[float]] = lambda it: it
+               ) -> Item:
+    """The balanced pick: minimal normalised distance to the ideal point.
+
+    Each objective is scaled to ``[0, 1]`` over ``items`` (constant
+    objectives contribute zero) and the item closest to the all-zero
+    ideal in Euclidean distance wins; ties break to the earliest item,
+    keeping the choice deterministic.
+    """
+    if not items:
+        raise ValueError("knee_point of an empty set")
+    objectives = [tuple(key(item)) for item in items]
+    dims = len(objectives[0])
+    lows = [min(obj[d] for obj in objectives) for d in range(dims)]
+    highs = [max(obj[d] for obj in objectives) for d in range(dims)]
+    best_index = 0
+    best_dist = math.inf
+    for i, obj in enumerate(objectives):
+        dist = 0.0
+        for d in range(dims):
+            span = highs[d] - lows[d]
+            if span > 0:
+                scaled = (obj[d] - lows[d]) / span
+                dist += scaled * scaled
+        dist = math.sqrt(dist)
+        if dist < best_dist:
+            best_dist = dist
+            best_index = i
+    return items[best_index]
+
+
+def classify(items: Sequence[Item],
+             key: Callable[[Item], Sequence[float]] = lambda it: it
+             ) -> list[bool]:
+    """Per-item non-dominated flags (aligned with ``items``)."""
+    objectives = [tuple(key(item)) for item in items]
+    return [not any(dominates(objectives[j], objectives[i])
+                    for j in range(len(items)) if j != i)
+            for i in range(len(items))]

@@ -1,0 +1,42 @@
+"""Canned design spaces: the paper's experiments as engine presets.
+
+The FPU question of Section VI.D ("is the FPU worth its chip area?",
+Table IV) is the original one-axis exploration; here it is expressed as
+a single-axis :class:`~repro.dse.axes.DesignSpace` swept on the
+estimation path, which is exactly what the pre-engine
+``repro.nfp.dse.explore_fpu`` did -- the numbers are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dse.axes import DesignSpace, SweepConfig
+from repro.dse.engine import DseGrid, sweep_estimated
+from repro.dse.workload import WorkloadPair
+
+#: Configuration names the FPU preset generates (fpu axis labels).
+FPU_CONFIG = "fpu"
+NOFPU_CONFIG = "nofpu"
+
+
+def fpu_design_space() -> DesignSpace:
+    """The Table IV space: one axis, FPU present or absent."""
+    return DesignSpace.single("fpu", (True, False))
+
+
+def explore_fpu_grid(estimator_fpu, estimator_nofpu,
+                     workloads: Sequence[WorkloadPair],
+                     budget: int) -> DseGrid:
+    """Sweep the FPU axis on the estimation path (the Table IV preset).
+
+    ``estimator_fpu``/``estimator_nofpu`` are the calibrated
+    :class:`~repro.nfp.estimator.NFPEstimator` instances for the two
+    platforms; each candidate runs the build matching its FPU bit, on the
+    matching estimator -- the historical ``explore_fpu`` behaviour.
+    """
+    def estimator_for(config: SweepConfig):
+        return estimator_fpu if config.hw.core.has_fpu else estimator_nofpu
+
+    return sweep_estimated(fpu_design_space(), workloads, budget=budget,
+                           estimator_for=estimator_for)

@@ -1,0 +1,147 @@
+"""Sweep reporting: Pareto classification rendered as text, CSV or JSON.
+
+The report is a pure function of the grid, so a warm re-run of a sweep
+renders byte-identical output -- the property the determinism tests (and
+the CI gate) lean on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dse.engine import AGGREGATE, DseGrid, DsePoint
+from repro.experiments.render import csv_table, fmt_si, json_blob, text_table
+
+#: Renderers accepted by :meth:`SweepReport.render`.
+FORMATS = ("text", "csv", "json")
+
+
+def _point_row(point: DsePoint, on_front: bool, knee: bool) -> list:
+    marker = "front" if on_front else "dominated"
+    if knee:
+        marker = "front+knee"
+    return [point.config,
+            *[value for _, value in point.axis_values],
+            fmt_si(point.time_s, "s"), fmt_si(point.energy_j, "J"),
+            point.area_les, marker]
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Pareto-classified view of one sweep grid."""
+
+    grid: DseGrid
+    title: str = "design-space exploration"
+
+    # -- text ---------------------------------------------------------------
+
+    def render(self, fmt: str = "text") -> str:
+        if fmt == "text":
+            return self.to_text()
+        if fmt == "csv":
+            return self.to_csv()
+        if fmt == "json":
+            return self.to_json()
+        raise ValueError(f"unknown format {fmt!r}; available: {FORMATS}")
+
+    def to_text(self) -> str:
+        grid = self.grid
+        axis_names = grid.axis_names()
+        aggregate = grid.dominated_flags()
+        knee = grid.knee()
+        headers = ("config", *axis_names, "time", "energy", "area LEs",
+                   "pareto")
+        rows = [_point_row(point, on_front, point.config == knee.config)
+                for point, on_front in aggregate]
+        n_front = sum(1 for _, on_front in aggregate if on_front)
+        out = [text_table(
+            headers, rows,
+            title=f"{self.title}: {len(grid.configs())} configs x "
+                  f"{len(grid.workloads())} workloads "
+                  f"({len(grid.points)} points), objectives "
+                  f"(time, energy, area), aggregate over workloads")]
+        out.append(f"aggregate Pareto front: {n_front} of "
+                   f"{len(aggregate)} configs; knee: {knee.config}")
+        front_rows = []
+        for workload in grid.workloads():
+            points = grid.select(workload=workload)
+            front = grid.front(workload)
+            best_time = min(points, key=lambda p: (p.time_s, p.config))
+            best_energy = min(points, key=lambda p: (p.energy_j, p.config))
+            best_area = min(points, key=lambda p: (p.area_les, p.config))
+            front_rows.append((
+                workload, f"{len(front)}/{len(points)}",
+                grid.knee(workload).config, best_time.config,
+                best_energy.config, best_area.config))
+        out.append(text_table(
+            ("workload", "front", "knee", "min time", "min energy",
+             "min area"), front_rows,
+            title="per-workload Pareto fronts and per-objective winners"))
+        return "\n".join(out)
+
+    # -- csv ----------------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Every grid point plus the aggregate rows, one record each."""
+        grid = self.grid
+        axis_names = grid.axis_names()
+        front_by_workload = {
+            workload: {p.config for p in grid.front(workload)}
+            for workload in grid.workloads()}
+        aggregate_front = {p.config for p in grid.front()}
+        headers = ("config", *axis_names, "workload", "build", "time_s",
+                   "energy_j", "area_les", "cycles", "retired", "on_front")
+        rows = []
+        for point in grid.points:
+            rows.append([
+                point.config, *[v for _, v in point.axis_values],
+                point.workload, point.build, point.time_s, point.energy_j,
+                point.area_les,
+                "" if point.cycles is None else point.cycles,
+                point.retired,
+                int(point.config in front_by_workload[point.workload])])
+        for point in grid.aggregate():
+            rows.append([
+                point.config, *[v for _, v in point.axis_values],
+                AGGREGATE, point.build, point.time_s, point.energy_j,
+                point.area_les,
+                "" if point.cycles is None else point.cycles,
+                point.retired, int(point.config in aggregate_front)])
+        return csv_table(headers, rows)
+
+    # -- json ---------------------------------------------------------------
+
+    def to_json(self) -> str:
+        grid = self.grid
+        knee = grid.knee()
+
+        def point_obj(point: DsePoint) -> dict:
+            return {
+                "config": point.config,
+                "axes": dict(point.axis_values),
+                "workload": point.workload,
+                "build": point.build,
+                "time_s": point.time_s,
+                "energy_j": point.energy_j,
+                "area_les": point.area_les,
+                "cycles": point.cycles,
+                "retired": point.retired,
+            }
+
+        return json_blob({
+            "title": self.title,
+            "axes": list(grid.axis_names()),
+            "configs": list(grid.configs()),
+            "workloads": list(grid.workloads()),
+            "points": [point_obj(p) for p in grid.points],
+            "aggregate": [point_obj(p) for p in grid.aggregate()],
+            "pareto": {
+                "aggregate_front": [p.config for p in grid.front()],
+                "knee": knee.config,
+                "per_workload": {
+                    workload: {
+                        "front": [p.config for p in grid.front(workload)],
+                        "knee": grid.knee(workload).config,
+                    } for workload in grid.workloads()},
+            },
+        })

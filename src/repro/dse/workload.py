@@ -1,0 +1,32 @@
+"""Workloads as the design-space exploration consumes them.
+
+A hardware configuration without an FPU cannot run hard-float code, so
+every workload travels as a :class:`WorkloadPair` -- the same kernel in
+its hard-float and soft-float builds -- and the sweep engine picks the
+build that matches each candidate platform (:meth:`WorkloadPair.build_for`).
+
+This module is the canonical home of :class:`WorkloadPair`;
+:mod:`repro.nfp.dse` re-exports it for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.program import Program
+from repro.vm.config import CoreConfig
+
+
+@dataclass(frozen=True)
+class WorkloadPair:
+    """One workload in its two builds (hard-float and soft-float)."""
+
+    name: str
+    float_program: Program
+    fixed_program: Program
+
+    def build_for(self, core: CoreConfig) -> tuple[str, Program]:
+        """The ``(tag, program)`` build that runs on ``core``."""
+        if core.has_fpu:
+            return "float", self.float_program
+        return "fixed", self.fixed_program

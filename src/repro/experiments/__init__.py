@@ -9,23 +9,25 @@ table4      Table IV -- FPU design decision (energy/time/area)
 figure1     Fig. 1 -- simulator landscape (speed vs accuracy)
 figure23    Figs. 2-3 -- instruction flow and morph grouping
 figure4     Fig. 4 -- measurement vs estimation showcase bars
+dse         generalized design-space exploration (``repro dse``)
 ==========  ==========================================================
 
 Every driver exposes ``run(scale)`` returning a result object with a
 ``render()`` method; scales are ``smoke``/``default``/``full`` (see
-:mod:`repro.experiments.scale`).
+:mod:`repro.experiments.scale`).  Driver modules are imported lazily
+(PEP 562): they sit at the top of the dependency graph, and loading all
+of them eagerly would both slow ``import repro.experiments`` down and
+close an import cycle with :mod:`repro.dse` (whose reports render
+through :mod:`repro.experiments.render`).
 """
 
-from repro.experiments import (  # noqa: F401
-    figure1,
-    figure4,
-    figure23,
-    table1,
-    table3,
-    table4,
-)
+from importlib import import_module
+
 from repro.experiments.scale import DEFAULT, FULL, SMOKE, Scale, get_scale
 from repro.experiments.setup import Bench, get_bench, reset_benches
+
+_DRIVERS = ("dse", "figure1", "figure23", "figure4", "table1", "table3",
+            "table4")
 
 __all__ = [
     "Bench",
@@ -33,6 +35,7 @@ __all__ = [
     "FULL",
     "SMOKE",
     "Scale",
+    "dse",
     "figure1",
     "figure23",
     "figure4",
@@ -43,3 +46,13 @@ __all__ = [
     "table3",
     "table4",
 ]
+
+
+def __getattr__(name: str):
+    if name in _DRIVERS:
+        return import_module(f"repro.experiments.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_DRIVERS))

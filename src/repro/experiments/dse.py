@@ -1,0 +1,58 @@
+"""The ``repro dse`` driver: sweep a design space over the workload suite.
+
+The generalized counterpart of Table IV: instead of one FPU bit, a
+multi-dimensional grid of candidate platforms (clock frequency, FPU,
+register windows, memory wait states, ... -- see :mod:`repro.dse.axes`)
+is measured on the metered testbed across every workload pair of the
+scale, through the shared cached parallel runner.  The result is the
+Pareto structure over (time, energy, area): which configurations are
+worth building, and which are dominated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dse.axes import DesignSpace
+from repro.dse.engine import DseGrid, sweep
+from repro.dse.report import SweepReport
+from repro.experiments.scale import Scale, get_scale
+from repro.experiments.setup import metered_blocks_from_env, runner_from_env
+from repro.experiments.workloads import workload_pairs
+from repro.hw.config import HwConfig
+from repro.vm.config import CoreConfig
+
+
+@dataclass
+class DseResult:
+    """Sweep outcome plus the context it ran in."""
+
+    report: SweepReport
+    space: DesignSpace
+    scale_name: str
+
+    @property
+    def grid(self) -> DseGrid:
+        return self.report.grid
+
+    def render(self, fmt: str = "text") -> str:
+        return self.report.render(fmt)
+
+
+def run(scale: Scale | str | None = None,
+        axes: str | None = None) -> DseResult:
+    """Sweep ``axes`` (a ``DesignSpace.from_spec`` string, or the stock
+    space) across the scale's workload suite on the metered testbed."""
+    scale = scale if isinstance(scale, Scale) else get_scale(
+        scale if isinstance(scale, str) else None)
+    space = (DesignSpace.from_spec(axes) if axes
+             else DesignSpace.default())
+    base = HwConfig(
+        name="leon3",
+        core=CoreConfig(metered_blocks_enabled=metered_blocks_from_env()))
+    grid = sweep(space, workload_pairs(scale),
+                 budget=scale.max_instructions,
+                 runner=runner_from_env(), base=base)
+    title = f"design-space exploration ({scale.name} scale)"
+    return DseResult(report=SweepReport(grid, title=title),
+                     space=space, scale_name=scale.name)

@@ -1,7 +1,10 @@
-"""Plain-text rendering helpers for experiment results."""
+"""Rendering helpers for experiment results: text tables, CSV, JSON."""
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from typing import Sequence
 
 
@@ -24,6 +27,27 @@ def text_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
         out.append("|".join(f" {c:<{w}} " for c, w in zip(row, widths)))
     out.append(sep)
     return "\n".join(out)
+
+
+def csv_table(headers: Sequence[str],
+              rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as RFC-4180 CSV text (header line included).
+
+    Floats are written with ``repr`` so they round-trip exactly -- a CSV
+    exported from a sweep reloads to bit-identical objective values.
+    """
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow([repr(c) if isinstance(c, float) else c
+                         for c in row])
+    return out.getvalue()
+
+
+def json_blob(obj: object) -> str:
+    """Canonical JSON rendering (sorted keys, indented, trailing newline)."""
+    return json.dumps(obj, indent=2, sort_keys=True) + "\n"
 
 
 def hbar(value: float, vmax: float, width: int = 40) -> str:

@@ -18,7 +18,7 @@ full      the paper's full set: 24 FSE kernels + 36 HEVC streams
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.fse.params import FseParams
 

@@ -10,9 +10,9 @@ from functools import lru_cache
 
 from repro.asm.program import Program
 from repro.codecs.hevclite import build_decoder_module, encode_spec, stream_specs
+from repro.dse.workload import WorkloadPair
 from repro.fse.kernel import build_fse_kernel
 from repro.kir import compile_module
-from repro.nfp.dse import WorkloadPair
 from repro.experiments.scale import Scale
 
 

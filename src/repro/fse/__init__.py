@@ -1,0 +1,17 @@
+"""FSE image inpainting: the paper's second image-processing workload.
+
+Frequency-selective extrapolation reconstructs masked image blocks from
+their surroundings; the kernel exists in hard-float and soft-float
+builds, making it the other half of the FPU design question (Table IV).
+"""
+
+from repro.fse.images import test_case
+from repro.fse.kernel import build_fse_kernel, build_fse_module
+from repro.fse.params import FseParams
+
+__all__ = [
+    "FseParams",
+    "build_fse_kernel",
+    "build_fse_module",
+    "test_case",
+]

@@ -16,7 +16,6 @@ import struct
 from repro.fse.images import test_case
 from repro.fse.params import FseParams
 from repro.kir import F64, I32, U32, Module
-from repro.kir.builder import Function
 
 
 def build_fse_module(image: list[list[int]], mask: list[list[int]],

@@ -22,6 +22,22 @@ LES_PER_WINDOW = 60
 MULDIV_LES = 270
 #: The GRFPU-lite class floating-point unit.
 FPU_LES = 4633
+#: Memory interface at zero wait states (widest/fastest bus logic).
+MEMCTRL_LES = 1500
+
+
+def memctrl_les(wait_states: int = 0) -> int:
+    """Logic elements of the memory interface for a given stall budget.
+
+    A zero-wait-state interface needs the full-width bus logic; relaxing
+    the interface by allowing wait states lets synthesis share and narrow
+    it, shrinking the footprint.  This is what makes memory wait states a
+    genuine axis in the design-space exploration: they trade time (and
+    the static energy of the longer run) against chip area.
+    """
+    if wait_states < 0:
+        raise ValueError("wait_states must be non-negative")
+    return MEMCTRL_LES // (1 + wait_states)
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,8 @@ mechanism the paper quantifies.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from repro.isa.opcodes import (
     FCC_COND_NAMES,
     ICC_COND_NAMES,
@@ -67,6 +69,33 @@ def default_cycle_table() -> dict[str, int]:
     missing = set(INSTR_SPECS) - set(table)
     if missing:  # defensive: every implemented opcode must be priced
         raise AssertionError(f"cycle table missing {sorted(missing)}")
+    return table
+
+
+#: Mnemonics performing one memory bus transaction.
+MEMORY_SINGLE_MNEMONICS = ("ld", "ldf", "ldub", "ldsb", "lduh", "ldsh",
+                           "st", "stb", "sth", "stf")
+#: Mnemonics performing two bus transactions (double-word accesses).
+MEMORY_DOUBLE_MNEMONICS = ("ldd", "lddf", "std", "stdf")
+
+
+def cycle_table_with_wait_states(base: Mapping[str, int],
+                                 wait_states: int) -> dict[str, int]:
+    """Derive a cycle table with ``wait_states`` extra cycles per bus access.
+
+    The design-space exploration sweeps memory subsystems: each wait
+    state stalls the pipeline for one extra cycle per bus transaction, so
+    single-word accesses pay ``wait_states`` extra cycles and double-word
+    accesses (two transactions) pay twice that.  Non-memory instructions
+    are untouched; ``wait_states=0`` reproduces ``base`` exactly.
+    """
+    if wait_states < 0:
+        raise ValueError("wait_states must be non-negative")
+    table = dict(base)
+    for mnemonic in MEMORY_SINGLE_MNEMONICS:
+        table[mnemonic] += wait_states
+    for mnemonic in MEMORY_DOUBLE_MNEMONICS:
+        table[mnemonic] += 2 * wait_states
     return table
 
 

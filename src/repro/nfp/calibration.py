@@ -25,7 +25,6 @@ from repro.asm import assemble
 from repro.hw.board import Board, Measurement
 from repro.isa.categories import (
     CATEGORY_IDS,
-    NUM_CATEGORIES,
     category_index,
 )
 from repro.nfp.model import MechanisticModel, SpecificCosts

@@ -4,6 +4,13 @@ The model's first application in the paper: simulate a workload compiled
 *with* FP instructions on a core with FPU and compiled *soft-float* on a
 core without, compare estimated time/energy, and weigh the savings against
 the synthesis area increase (Table IV).
+
+Since the generalized exploration engine landed (:mod:`repro.dse`), this
+module is a thin preset over it: :func:`explore_fpu` sweeps the one-axis
+FPU design space on the estimation path
+(:func:`repro.dse.presets.explore_fpu_grid`) and reshapes the grid into
+the classic Table IV report.  The numbers are bit-identical to the
+pre-engine implementation.
 """
 
 from __future__ import annotations
@@ -11,20 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.asm.program import Program
+from repro.dse.presets import FPU_CONFIG, NOFPU_CONFIG, explore_fpu_grid
+from repro.dse.workload import WorkloadPair
 from repro.hw.area import fpu_area_increase
 from repro.nfp.estimator import NFPEstimator
 from repro.vm.config import CoreConfig
 from repro.vm.cpu import DEFAULT_BUDGET
 
-
-@dataclass(frozen=True)
-class WorkloadPair:
-    """One workload in its two builds (hard-float and soft-float)."""
-
-    name: str
-    float_program: Program
-    fixed_program: Program
+__all__ = ["WorkloadPair", "DseRow", "DseReport", "explore_fpu"]
 
 
 @dataclass(frozen=True)
@@ -75,14 +76,12 @@ def explore_fpu(estimator_fpu: NFPEstimator, estimator_nofpu: NFPEstimator,
     its ``fixed`` build on the FPU-less platform; the reported change is
     ``(float - fixed) / fixed``, i.e. what introducing an FPU changes.
     """
+    grid = explore_fpu_grid(estimator_fpu, estimator_nofpu, workloads,
+                            budget=max_instructions)
     rows = []
     for pair in workloads:
-        with_fpu = estimator_fpu.estimate_program(
-            pair.float_program, kernel_name=f"{pair.name}-float",
-            max_instructions=max_instructions)
-        without_fpu = estimator_nofpu.estimate_program(
-            pair.fixed_program, kernel_name=f"{pair.name}-fixed",
-            max_instructions=max_instructions)
+        with_fpu = grid.point(FPU_CONFIG, pair.name)
+        without_fpu = grid.point(NOFPU_CONFIG, pair.name)
         rows.append(DseRow(
             workload=pair.name,
             energy_change=(with_fpu.energy_j - without_fpu.energy_j)

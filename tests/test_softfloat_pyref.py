@@ -10,7 +10,6 @@ from __future__ import annotations
 import math
 import struct
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.softfloat import pyref as sf
