@@ -2,7 +2,7 @@
 """Throughput regression guard over a trimmed ``BENCH_*.json`` report.
 
 CI's bench-smoke job runs ``run_bench.py`` and then this checker.  Two
-kinds of floors keep the PR-1/PR-2 fast paths honest:
+kinds of floors keep the PR-1/PR-2/PR-4 fast paths honest:
 
 * an *absolute* simulated-MIPS floor for the fast ISS loop -- set very
   conservatively (CI runners are slow and noisy), it only catches
@@ -45,6 +45,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-metered-speedup", type=float, default=1.5,
                         help="metered blocks-vs-per-instruction wall "
                              "speedup floor (default: %(default)sx)")
+    parser.add_argument("--min-dse-profile-speedup", type=float,
+                        default=10.0,
+                        help="profiled-vs-metered DSE sweep wall speedup "
+                             "floor (default: %(default)sx)")
     args = parser.parse_args(argv)
 
     suites = json.loads(args.report.read_text())["suites"]
@@ -61,6 +65,8 @@ def main(argv: list[str] | None = None) -> int:
     iss_slow = require("test_iss_throughput_per_instruction")
     metered = require("test_metered_throughput")
     metered_slow = require("test_metered_throughput_per_instruction")
+    dse_profiled = require("test_dse_sweep_throughput_profiled")
+    dse_metered = require("test_dse_sweep_throughput_metered")
 
     if iss is not None:
         mips = float(iss.get("mips", 0.0))
@@ -86,6 +92,14 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"metered-block speedup {speedup:.2f}x is below the "
                 f"{args.min_metered_speedup}x floor")
+    if dse_profiled is not None and dse_metered is not None:
+        speedup = dse_metered["mean_s"] / dse_profiled["mean_s"]
+        print(f"profile-once DSE    : {speedup:8.2f}x vs metered sweep "
+              f"(floor {args.min_dse_profile_speedup}x)")
+        if speedup < args.min_dse_profile_speedup:
+            failures.append(
+                f"profiled DSE sweep speedup {speedup:.2f}x is below the "
+                f"{args.min_dse_profile_speedup}x floor")
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

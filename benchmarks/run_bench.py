@@ -31,12 +31,13 @@ BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 
 #: the default tracked suites: substrate micro-costs + the figure drivers
-#: + the runner-cache warm/cold rungs
+#: + the runner-cache warm/cold rungs + the profile-once DSE sweep pair
 DEFAULT_SUITES = (
     "test_bench_micro.py",
     "test_bench_figure1_landscape.py",
     "test_bench_figure4_showcase.py",
     "test_bench_runner_cache.py",
+    "test_bench_dse_profile.py",
 )
 
 
@@ -59,7 +60,8 @@ def trim(raw: dict) -> dict:
         }
         extra = bench.get("extra_info") or {}
         for key in ("mips", "retired", "cycles", "translated_blocks",
-                    "metered_blocks"):
+                    "metered_blocks", "points", "configs",
+                    "profiled_runs"):
             if key in extra:
                 entry[key] = extra[key]
         suites[bench["fullname"]] = entry

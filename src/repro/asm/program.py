@@ -18,9 +18,9 @@ class Section:
         return self.addr + self.size
 
 
-@dataclass
+@dataclass(frozen=True)
 class Program:
-    """A fully linked bare-metal program.
+    """A fully linked bare-metal program (immutable once linked).
 
     Attributes
     ----------

@@ -65,6 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "names take their registered default values "
                         "(default: the stock clock/fpu/windows/wait-state "
                         "grid)")
+    p.add_argument("--profile", action="store_true",
+                   help="profile each workload build once and price every "
+                        "configuration with the linear NFP evaluator "
+                        "instead of one metered simulation per grid point "
+                        "(identical counters/cycles, energy to 1e-12; "
+                        "self-modifying kernels fall back to full "
+                        "simulation)")
     p.add_argument("--format", choices=("text", "csv", "json"),
                    default="text", dest="fmt",
                    help="output rendering (default: text)")
@@ -101,7 +108,8 @@ def main(argv: list[str] | None = None) -> int:
         scale = get_scale(args.scale)
         if command == "dse":
             from repro.experiments import dse as dse_driver
-            rendered = dse_driver.run(scale, axes=args.axes).render(args.fmt)
+            rendered = dse_driver.run(scale, axes=args.axes,
+                                      profile=args.profile).render(args.fmt)
             if args.fmt == "text":
                 print(rendered)
             else:  # csv/json renderers terminate their own output

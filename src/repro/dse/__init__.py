@@ -31,6 +31,7 @@ from repro.dse.engine import (
     DsePoint,
     sweep,
     sweep_estimated,
+    sweep_profiled,
 )
 from repro.dse.pareto import classify, dominates, knee_point, pareto_front
 from repro.dse.presets import explore_fpu_grid, fpu_design_space
@@ -59,4 +60,5 @@ __all__ = [
     "register_axis",
     "sweep",
     "sweep_estimated",
+    "sweep_profiled",
 ]

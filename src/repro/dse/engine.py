@@ -161,6 +161,33 @@ def _grid_jobs(configs: Sequence[SweepConfig],
     return jobs
 
 
+def _grid_from_jobs(jobs: Sequence[tuple[SweepConfig, WorkloadPair, str,
+                                         object]],
+                    nfps: Sequence[tuple[float, float, int, int | None]]
+                    ) -> DseGrid:
+    """Assemble the grid from per-job ``(time, energy, retired, cycles)``.
+
+    The single construction point shared by the metered and the profiled
+    sweep, so the two paths cannot drift apart structurally -- only the
+    NFP source differs.
+    """
+    points = []
+    for (config, pair, build, _), (time_s, energy_j, retired,
+                                   cycles) in zip(jobs, nfps):
+        points.append(DsePoint(
+            config=config.name,
+            axis_values=config.axis_values,
+            workload=pair.name,
+            build=build,
+            time_s=time_s,
+            energy_j=energy_j,
+            area_les=_config_area_les(config),
+            retired=retired,
+            cycles=cycles,
+        ))
+    return DseGrid(points=tuple(points))
+
+
 def sweep(space: DesignSpace | Sequence[SweepConfig],
           pairs: Sequence[WorkloadPair], *,
           budget: int,
@@ -181,22 +208,48 @@ def sweep(space: DesignSpace | Sequence[SweepConfig],
     tasks = [SimTask(mode="metered", program=program, budget=budget,
                      hw=config.hw)
              for config, _, _, program in jobs]
-    payloads = runner.run_tasks(tasks)
-    points = []
-    for (config, pair, build, _), payload in zip(jobs, payloads):
-        raw = raw_from_payload(payload)
-        points.append(DsePoint(
-            config=config.name,
-            axis_values=config.axis_values,
-            workload=pair.name,
-            build=build,
-            time_s=raw.true_time_s,
-            energy_j=raw.true_energy_j,
-            area_les=_config_area_les(config),
-            retired=raw.sim.retired,
-            cycles=raw.cycles,
-        ))
-    return DseGrid(points=tuple(points))
+    raws = [raw_from_payload(payload)
+            for payload in runner.run_tasks(tasks)]
+    return _grid_from_jobs(jobs, [
+        (raw.true_time_s, raw.true_energy_j, raw.sim.retired, raw.cycles)
+        for raw in raws])
+
+
+def sweep_profiled(space: DesignSpace | Sequence[SweepConfig],
+                   pairs: Sequence[WorkloadPair], *,
+                   budget: int,
+                   runner: ExperimentRunner | None = None,
+                   base: HwConfig | None = None) -> DseGrid:
+    """Profile once per workload build, evaluate every config linearly.
+
+    The profile-once twin of :func:`sweep`: instead of one metered
+    simulation per grid point, each distinct workload build is profiled
+    once (parallel, content-cached) and every candidate platform is then
+    priced by the linear evaluator (:mod:`repro.dse.evaluate`) -- the
+    sweep's cost drops from ``O(configs x workloads)`` simulations to
+    ``O(workloads)`` simulations plus ``O(configs x workloads)`` dot
+    products.  Retired counts and cycles are bit-identical to
+    :func:`sweep`; times are bit-identical (same integer cycles, same
+    conversion) and energies agree to the metered accumulator's own
+    float-rounding drift (<= 1e-12 relative across the smoke suite; the
+    drift grows as the square root of the retired count, see
+    :mod:`repro.nfp.linear`).  Self-modifying workloads fall back to
+    metered simulation per point, so the grid is always exact.
+    """
+    # deferred: repro.dse.evaluate reaches repro.nfp, whose package
+    # import reaches back into this module through the presets
+    from repro.dse.evaluate import profiled_points
+
+    configs = (space.configs(base) if isinstance(space, DesignSpace)
+               else tuple(space))
+    runner = runner if runner is not None else ExperimentRunner()
+    jobs = _grid_jobs(configs, pairs)
+    nfps = profiled_points([(config.hw, program)
+                            for config, _, _, program in jobs],
+                           budget=budget, runner=runner)
+    return _grid_from_jobs(jobs, [
+        (nfp.time_s, nfp.energy_j, nfp.retired, nfp.cycles)
+        for nfp in nfps])
 
 
 def sweep_estimated(space: DesignSpace | Sequence[SweepConfig],

@@ -1,0 +1,123 @@
+"""Profile-once evaluation of sweep grids.
+
+The metered sweep pays one instrumented simulation per (configuration,
+workload) point even though every configuration executes the same
+instruction stream; this module implements the profile-once alternative:
+
+1. every distinct ``(program, functional-core essentials)`` of the grid
+   is profiled exactly once (``profile`` :class:`~repro.runner.tasks.SimTask`
+   through the shared cached/parallel runner -- a 36-config sweep over
+   6 workload pairs needs 12 profiled runs instead of 216 metered ones);
+2. every grid point is then priced by the linear evaluator
+   (:class:`repro.nfp.linear.LinearNfpEngine`) as a dot product of its
+   configuration's cost vectors against the workload's profile.
+
+Integer counters and cycles are bit-identical to the metered sweep;
+dynamic energy agrees to the metered accumulator's own float-rounding
+drift (``<= 1e-12`` relative across the smoke suite; grows as the
+square root of the retired count, see :mod:`repro.nfp.linear`).
+Profiles of runs that wrote into their own code (self-modifying
+kernels) are flagged unclean and their grid points transparently fall
+back to full metered simulation, point by point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.asm.program import Program
+from repro.hw.config import HwConfig
+from repro.nfp.linear import ExecutionProfile, LinearNfpEngine
+from repro.runner import ExperimentRunner
+from repro.runner.tasks import SimTask, raw_from_payload, task_key
+from repro.vm.config import CoreConfig
+
+
+@dataclass(frozen=True)
+class PointNfp:
+    """The NFPs of one evaluated grid point (profile or fallback path)."""
+
+    time_s: float
+    energy_j: float
+    cycles: int
+    retired: int
+    profiled: bool  #: False when the point fell back to full simulation
+
+
+def profile_core(core: CoreConfig) -> CoreConfig:
+    """The canonical functional core a profile of ``core`` is keyed by.
+
+    Only parameters that influence the *functional* execution survive:
+    FPU presence (build selection / fp-disabled traps) and the RAM
+    geometry (addresses and stack placement feed the data-dependent
+    energy hash).  Window count and block sizes are architecturally
+    invariant, so normalising them lets every configuration of a sweep
+    share one profile per workload build.  ``metered_blocks_enabled``
+    is preserved: it selects profile-fused blocks vs per-instruction
+    observation (the ``--no-metered-blocks`` A/B knob), which record
+    identical profiles but are worth keying apart, exactly like the
+    metered path.
+    """
+    return CoreConfig(has_fpu=core.has_fpu, ram_size=core.ram_size,
+                      ram_base=core.ram_base,
+                      stack_reserve=core.stack_reserve,
+                      metered_blocks_enabled=core.metered_blocks_enabled)
+
+
+def profile_task(program: Program, budget: int,
+                 core: CoreConfig) -> SimTask:
+    """The profile task pricing any configuration over ``core``'s stream."""
+    return SimTask(mode="profile", program=program, budget=budget,
+                   core=profile_core(core))
+
+
+def profiled_points(items: Sequence[tuple[HwConfig, Program]], *,
+                    budget: int,
+                    runner: ExperimentRunner) -> list[PointNfp]:
+    """Evaluate every ``(configuration, program)`` grid point.
+
+    One batch of deduplicating profile tasks (the runner's content
+    addressing collapses the grid onto its distinct workload builds),
+    one linear evaluation per point, and -- only where a profile came
+    back unclean -- one batch of exact metered fallback simulations.
+    """
+    tasks = [profile_task(program, budget, hw.core)
+             for hw, program in items]
+    keys = [task_key(task) for task in tasks]
+    payloads = runner.run_tasks(tasks)
+    profiles: dict[str, ExecutionProfile] = {}
+    for key, payload in zip(keys, payloads):
+        if key not in profiles:
+            profiles[key] = ExecutionProfile.from_payload(payload["profile"])
+
+    # fallback: self-modifying workloads are re-simulated per point on
+    # the metered path (bit-identical to the plain metered sweep, and
+    # shared with it through the result cache)
+    dirty = [i for i, key in enumerate(keys) if not profiles[key].clean]
+    fallback: dict[int, dict] = {}
+    if dirty:
+        mtasks = [SimTask(mode="metered", program=items[i][1],
+                          budget=budget, hw=items[i][0]) for i in dirty]
+        for i, payload in zip(dirty, runner.run_tasks(mtasks)):
+            fallback[i] = payload
+
+    engines: dict[int, LinearNfpEngine] = {}
+    points: list[PointNfp] = []
+    for i, ((hw, _), key) in enumerate(zip(items, keys)):
+        payload = fallback.get(i)
+        if payload is not None:
+            raw = raw_from_payload(payload)
+            points.append(PointNfp(
+                time_s=raw.true_time_s, energy_j=raw.true_energy_j,
+                cycles=raw.cycles, retired=raw.sim.retired,
+                profiled=False))
+            continue
+        engine = engines.get(id(hw))
+        if engine is None:
+            engine = engines[id(hw)] = LinearNfpEngine(hw)
+        nfp = engine.evaluate(profiles[key])
+        points.append(PointNfp(
+            time_s=nfp.true_time_s, energy_j=nfp.true_energy_j,
+            cycles=nfp.cycles, retired=nfp.retired, profiled=True))
+    return points

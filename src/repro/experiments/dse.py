@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dse.axes import DesignSpace
-from repro.dse.engine import DseGrid, sweep
+from repro.dse.engine import DseGrid, sweep, sweep_profiled
 from repro.dse.report import SweepReport
 from repro.experiments.scale import Scale, get_scale
 from repro.experiments.setup import metered_blocks_from_env, runner_from_env
@@ -40,9 +40,17 @@ class DseResult:
 
 
 def run(scale: Scale | str | None = None,
-        axes: str | None = None) -> DseResult:
+        axes: str | None = None,
+        profile: bool = False) -> DseResult:
     """Sweep ``axes`` (a ``DesignSpace.from_spec`` string, or the stock
-    space) across the scale's workload suite on the metered testbed."""
+    space) across the scale's workload suite on the metered testbed.
+
+    With ``profile`` (the ``repro dse --profile`` flag) each workload
+    build is simulated once in profile mode and every candidate platform
+    is priced by the linear evaluator instead -- same grid, same Pareto
+    structure, a fraction of the simulations (see
+    :func:`repro.dse.engine.sweep_profiled` for the exactness contract).
+    """
     scale = scale if isinstance(scale, Scale) else get_scale(
         scale if isinstance(scale, str) else None)
     space = (DesignSpace.from_spec(axes) if axes
@@ -50,9 +58,11 @@ def run(scale: Scale | str | None = None,
     base = HwConfig(
         name="leon3",
         core=CoreConfig(metered_blocks_enabled=metered_blocks_from_env()))
-    grid = sweep(space, workload_pairs(scale),
-                 budget=scale.max_instructions,
-                 runner=runner_from_env(), base=base)
-    title = f"design-space exploration ({scale.name} scale)"
+    sweep_fn = sweep_profiled if profile else sweep
+    grid = sweep_fn(space, workload_pairs(scale),
+                    budget=scale.max_instructions,
+                    runner=runner_from_env(), base=base)
+    mode = ", profile-once" if profile else ""
+    title = f"design-space exploration ({scale.name} scale{mode})"
     return DseResult(report=SweepReport(grid, title=title),
                      space=space, scale_name=scale.name)

@@ -84,26 +84,13 @@ class HwConfig:
         ``cached_property`` write lands in the instance ``__dict__``
         directly, which is legal on frozen dataclasses.
         """
-        from repro.isa.opcodes import INSTR_SPECS
-        from repro.vm.blocks import (
-            FLAG_BRANCH,
-            FLAG_INTDIV,
-            FLAG_NORMAL,
-            FLAG_WINDOW,
-        )
+        from repro.vm.blocks import cost_flags
 
-        table: dict[str, tuple[int, float, int]] = {}
-        for mnemonic, spec in INSTR_SPECS.items():
-            flag = FLAG_NORMAL
-            if mnemonic in ("udiv", "udivcc", "sdiv", "sdivcc"):
-                flag = FLAG_INTDIV
-            elif spec.morph_group in ("doBranch", "doFBranch"):
-                flag = FLAG_BRANCH
-            elif mnemonic in ("save", "restore"):
-                flag = FLAG_WINDOW
-            table[mnemonic] = (self.cycle_table[mnemonic],
-                               self.dyn_energy_nj[mnemonic], flag)
-        return table
+        # the flag classification is shared with the metered block
+        # compiler and the execution profiler via cost_flags()
+        return {mnemonic: (self.cycle_table[mnemonic],
+                           self.dyn_energy_nj[mnemonic], flag)
+                for mnemonic, flag in cost_flags().items()}
 
     # -- pickling (the experiment runner ships configs to worker processes) --
 

@@ -25,6 +25,7 @@ from repro.nfp.calibration import (
 )
 from repro.nfp.dse import DseReport, DseRow, WorkloadPair, explore_fpu
 from repro.nfp.estimator import EstimationReport, NFPEstimator
+from repro.nfp.linear import ExecutionProfile, LinearNfp, LinearNfpEngine
 from repro.nfp.metrics import (
     ErrorSummary,
     KernelError,
@@ -50,8 +51,11 @@ __all__ = [
     "ErrorSummary",
     "Estimate",
     "EstimationReport",
+    "ExecutionProfile",
     "KernelError",
     "KernelPair",
+    "LinearNfp",
+    "LinearNfpEngine",
     "MechanisticModel",
     "NFPEstimator",
     "NUM_CATEGORIES",

@@ -1,0 +1,212 @@
+"""Linear NFP evaluation: price any hardware config from one profile.
+
+This is Eq. 1 taken to its logical end.  A profiled run
+(:class:`repro.vm.profiler.ProfileMeter`) captures the execution counts
+the retire-cost algebra of :class:`repro.hw.board.CostMeter` consumes;
+:class:`LinearNfpEngine` then reproduces the metered accumulation for an
+arbitrary :class:`~repro.hw.config.HwConfig` as dot products against
+config-derived cost vectors:
+
+``cycles``
+    ``sum(count[m] * cycle_table[m]) - untaken * discount - div_refund
+    + traps(nwindows) * trap_cycles`` -- pure integer arithmetic, so the
+    result is *bit-identical* to the metered run's accumulator.  The
+    cycle table itself already encodes the wait-state axis, the window
+    axis enters through the depth histograms, and the clock only scales
+    the time conversion.
+
+``dynamic energy``
+    Every metered retire adds ``dyn[m] * (1 + amp * (idx/32768 - 1))``.
+    Summed per mnemonic this is ``dyn[m] * (count[m] + amp * J[m])``
+    with ``J[m] = (jsum[m] - count[m] * 2**15) * 2**-15`` recovered
+    *exactly* from the profile's integer index sums; untaken branches
+    contribute an extra ``(factor - 1)`` share and window traps an
+    extra ``trap_nj`` share.  The per-mnemonic terms are combined with
+    ``math.fsum``, so the only deviation from the metered run is the
+    metered run's own float-accumulation drift -- a random walk that
+    grows roughly with the square root of the retired count (measured
+    <= 1e-12 relative across the stock smoke sweep at ~2e6 retires per
+    point; budget the tolerance accordingly for much longer runs).  The
+    DVFS axis scales ``dyn`` uniformly and drops straight through.
+
+The evaluator is deterministic and order-independent (integer sums plus
+a correctly-rounded float sum), so warm-cache, cold-cache and parallel
+evaluations of the same profile are byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.hw.config import HwConfig
+from repro.vm.blocks import FLAG_BRANCH
+
+#: Exact scale of the centred jitter index: ``idx * 2**-15 - 1``.
+_SCALE = 2.0 ** -15
+
+
+@dataclass(frozen=True)
+class ExecutionProfile:
+    """One run's config-independent cost basis (see ``ProfileMeter``).
+
+    ``mnemonics`` maps each retired mnemonic to
+    ``(count, jsum, untaken_count, untaken_jsum)``; the site and depth
+    tables carry the branch/divide/window detail described in
+    :mod:`repro.vm.profiler`.  Instances are plain data: they travel as
+    JSON payloads through the result cache and worker pool.
+    """
+
+    retired: int
+    clean: bool
+    mnemonics: Mapping[str, tuple[int, int, int, int]]
+    branch_sites: Mapping[int, tuple[int, int]]
+    div_sites: Mapping[int, tuple[int, int]]
+    save_depths: Mapping[int, tuple[int, int]]
+    restore_depths: Mapping[int, tuple[int, int]]
+    #: entry pc -> (executions, length, ((category, count), ...)) --
+    #: dispatch-path diagnostics, unused by the evaluator.
+    blocks: Mapping[int, tuple]
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "ExecutionProfile":
+        """Rebuild a profile from its JSON payload (cache/pool format)."""
+        from repro.vm.profiler import PROFILE_VERSION
+        version = data.get("version")
+        if version != PROFILE_VERSION:
+            # belt and braces behind the task-schema key: a structure
+            # change must never be deserialised as the current one
+            raise ValueError(
+                f"execution-profile payload version {version!r} does not "
+                f"match PROFILE_VERSION {PROFILE_VERSION}")
+
+        def intkeys(table: dict) -> dict[int, tuple[int, ...]]:
+            return {int(k): tuple(v) for k, v in table.items()}
+
+        return cls(
+            retired=data["retired"],
+            clean=bool(data["clean"]),
+            mnemonics={m: tuple(v) for m, v in data["mnemonics"].items()},
+            branch_sites=intkeys(data["branch_sites"]),
+            div_sites=intkeys(data["div_sites"]),
+            save_depths=intkeys(data["save_depths"]),
+            restore_depths=intkeys(data["restore_depths"]),
+            blocks={int(pc): (count, length,
+                              tuple((cat, n) for cat, n in cats))
+                    for pc, (count, length, cats)
+                    in data.get("blocks", {}).items()},
+        )
+
+    @property
+    def div_refund_cycles(self) -> int:
+        """Total divide bit-length cycle refund (config-independent)."""
+        return sum(cell[1] for cell in self.div_sites.values())
+
+    def window_events(self, nwindows: int) -> tuple[int, int, int]:
+        """``(spills, fills, trap index sum)`` under ``nwindows`` windows.
+
+        A save spills iff its post-increment depth is ``>= nwindows - 1``
+        and a restore fills symmetrically (pre-decrement depth) -- the
+        morpher's exact trap conditions applied to the recorded depth
+        histogram, so any candidate window count is priced from one run.
+        """
+        spills = fills = jsum = 0
+        for depth, (count, j) in self.save_depths.items():
+            if depth >= nwindows - 1:
+                spills += count
+                jsum += j
+        for depth, (count, j) in self.restore_depths.items():
+            if depth >= nwindows - 1:
+                fills += count
+                jsum += j
+        return spills, fills, jsum
+
+
+@dataclass(frozen=True)
+class LinearNfp:
+    """NFPs of one (profile, configuration) point, metered-equivalent."""
+
+    cycles: int
+    dyn_energy_nj: float
+    true_time_s: float
+    true_energy_j: float
+    spills: int
+    fills: int
+    retired: int
+
+
+def _jit_sum(amp: float, count: int, jsum: int) -> float:
+    """``sum(1 + amp * (idx/32768 - 1))`` over retires, exactly.
+
+    ``jsum - count * 2**15`` is the integer sum of centred indices; the
+    power-of-two scale makes the float conversion exact for any run that
+    fits a double's mantissa (2**38 retires).
+    """
+    return count + amp * ((jsum - (count << 15)) * _SCALE)
+
+
+class LinearNfpEngine:
+    """Per-configuration cost vectors, applied to profiles as dot products.
+
+    Build one engine per candidate :class:`HwConfig` and call
+    :meth:`evaluate` for every workload profile -- the sweep's hot loop
+    is a few dozen multiply-adds per point instead of a simulation.
+    """
+
+    __slots__ = ("hw", "table", "amp", "untaken_discount", "untaken_extra",
+                 "trap_cycles", "trap_nj", "cycle_seconds", "static_power_w",
+                 "nwindows")
+
+    def __init__(self, hw: HwConfig):
+        self.hw = hw
+        self.table = hw.cost_table
+        self.amp = hw.jitter_amplitude
+        self.untaken_discount = hw.untaken_branch_discount
+        #: untaken retires already contribute ``dyn * S`` through the
+        #: total accumulators; only the ``(factor - 1)`` share is extra
+        self.untaken_extra = hw.untaken_branch_energy_factor - 1.0
+        self.trap_cycles = hw.window_trap_cycles
+        self.trap_nj = hw.window_trap_energy_nj
+        self.cycle_seconds = hw.cycle_seconds
+        self.static_power_w = hw.static_power_w
+        self.nwindows = hw.core.nwindows
+
+    def evaluate(self, profile: ExecutionProfile) -> LinearNfp:
+        """Price ``profile`` under this engine's configuration."""
+        table = self.table
+        amp = self.amp
+        cycles = 0
+        terms: list[float] = []
+        # sorted: the term order is canonical regardless of payload
+        # round-trips (fsum is order-independent anyway; belt and braces)
+        for m in sorted(profile.mnemonics):
+            count, jsum, uc, uj = profile.mnemonics[m]
+            base, dyn, flag = table[m]
+            cycles += count * base
+            terms.append(dyn * _jit_sum(amp, count, jsum))
+            if flag == FLAG_BRANCH and uc:
+                cycles -= uc * self.untaken_discount
+                terms.append(dyn * self.untaken_extra
+                             * _jit_sum(amp, uc, uj))
+        cycles -= profile.div_refund_cycles
+        spills, fills, trap_jsum = profile.window_events(self.nwindows)
+        traps = spills + fills
+        if traps:
+            cycles += traps * self.trap_cycles
+            terms.append(self.trap_nj * _jit_sum(amp, traps, trap_jsum))
+        dyn_energy_nj = math.fsum(terms)
+        # exactly the expressions of Board.measure_raw, applied to the
+        # bit-identical cycle count
+        true_time_s = cycles * self.cycle_seconds
+        true_energy_j = (dyn_energy_nj * 1e-9
+                         + self.static_power_w * true_time_s)
+        return LinearNfp(
+            cycles=cycles,
+            dyn_energy_nj=dyn_energy_nj,
+            true_time_s=true_time_s,
+            true_energy_j=true_energy_j,
+            spills=spills,
+            fills=fills,
+            retired=profile.retired,
+        )

@@ -6,7 +6,10 @@ and the schema version -- see :func:`repro.runner.tasks.task_key`).
 Content addressing is the whole invalidation story: changing the kernel,
 the cost tables or the result schema changes the key, so stale entries
 are never *read*, only left behind (and can be deleted wholesale at any
-time without correctness impact).
+time without correctness impact).  Execution-profile payloads (the
+``profile`` task mode) ride the same mechanism under the bumped
+:data:`~repro.runner.tasks.SCHEMA_VERSION`, so pre-profile entries of
+any mode can never alias them.
 
 Writes are atomic (temp file + ``os.replace``), so concurrent processes
 -- pool workers, parallel pytest sessions -- can share one directory.

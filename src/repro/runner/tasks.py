@@ -2,11 +2,13 @@
 
 A :class:`SimTask` describes everything a worker process needs to
 reproduce one simulation bit-for-bit: the linked program image, the
-functional core (``fast`` mode, the ISS counts run) or the fully priced
-hardware configuration (``metered`` mode, the testbed cycle/energy run),
-and the watchdog budget.  :func:`task_key` hashes exactly those inputs
-(plus :data:`SCHEMA_VERSION`), so the disk cache can never return a
-result for different content, regardless of kernel names or call sites.
+functional core (``fast`` mode, the ISS counts run; ``profile`` mode,
+the execution-profile run of the profile-once DSE path) or the fully
+priced hardware configuration (``metered`` mode, the testbed
+cycle/energy run), and the watchdog budget.  :func:`task_key` hashes
+exactly those inputs (plus :data:`SCHEMA_VERSION`), so the disk cache
+can never return a result for different content, regardless of kernel
+names or call sites.
 
 Results travel as plain JSON dicts.  Python's ``repr``-based float
 serialisation round-trips exactly, so a payload loaded from a warm cache
@@ -27,24 +29,27 @@ from repro.vm.config import CoreConfig
 from repro.vm.simulator import SimulationResult, Simulator
 
 #: Bump when result payloads or simulation cost semantics change: old
-#: cache entries then simply stop being addressed.
-SCHEMA_VERSION = 1
+#: cache entries then simply stop being addressed.  2: the ``profile``
+#: task mode and its execution-profile payloads joined the schema --
+#: pre-profile entries (metered included) address different keys, so a
+#: stale cache can never alias across the schema change.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
 class SimTask:
     """One deterministic simulation to run (and cache) somewhere."""
 
-    mode: str  #: ``"fast"`` (ISS counts) or ``"metered"`` (testbed costs)
+    mode: str  #: ``"fast"`` / ``"profile"`` (ISS) or ``"metered"`` (testbed)
     program: Program
     budget: int
-    core: CoreConfig | None = None  #: fast mode platform
+    core: CoreConfig | None = None  #: fast/profile mode platform
     hw: HwConfig | None = None      #: metered mode platform
 
     def __post_init__(self) -> None:
-        if self.mode == "fast":
+        if self.mode in ("fast", "profile"):
             if self.core is None:
-                raise ValueError("fast tasks need a CoreConfig")
+                raise ValueError(f"{self.mode} tasks need a CoreConfig")
         elif self.mode == "metered":
             if self.hw is None:
                 raise ValueError("metered tasks need a HwConfig")
@@ -53,14 +58,25 @@ class SimTask:
 
 
 def program_digest(program: Program) -> str:
-    """SHA-256 over everything execution can observe of ``program``."""
-    h = hashlib.sha256()
-    h.update(f"{program.origin}|{program.entry}|{program.data_addr}|"
-             f"{program.bss_addr}|{program.bss_size}|".encode())
-    h.update(program.text)
-    h.update(b"|")
-    h.update(program.data)
-    return h.hexdigest()
+    """SHA-256 over everything execution can observe of ``program``.
+
+    Memoised on the program object (:class:`Program` is a frozen
+    dataclass, so the hashed content cannot change underneath the
+    memo): a DSE sweep keys hundreds of tasks against the same handful
+    of images, so each image is hashed once rather than once per task
+    key.
+    """
+    cached = getattr(program, "_content_digest", None)
+    if cached is None:
+        h = hashlib.sha256()
+        h.update(f"{program.origin}|{program.entry}|{program.data_addr}|"
+                 f"{program.bss_addr}|{program.bss_size}|".encode())
+        h.update(program.text)
+        h.update(b"|")
+        h.update(program.data)
+        cached = h.hexdigest()
+        object.__setattr__(program, "_content_digest", cached)
+    return cached
 
 
 def _core_fingerprint(core: CoreConfig) -> list:
@@ -141,6 +157,14 @@ def run_task(task: SimTask) -> dict:
         raw = Board(task.hw).measure_raw(task.program,
                                          max_instructions=task.budget)
         return raw_to_payload(raw)
+    if task.mode == "profile":
+        from repro.vm.profiler import ProfileMeter
+        meter = ProfileMeter()
+        simulator = Simulator(task.program, task.core)
+        sim = simulator.run_profiled(meter, max_instructions=task.budget)
+        clean = simulator.cpu.invalidations == 0
+        return {"sim": sim_to_dict(sim),
+                "profile": meter.snapshot(sim, clean=clean)}
     sim = Simulator(task.program, task.core).run(
         max_instructions=task.budget)
     return {"sim": sim_to_dict(sim)}

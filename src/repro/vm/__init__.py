@@ -26,6 +26,7 @@ from repro.vm.errors import (
 )
 from repro.vm.memory import Memory
 from repro.vm.morpher import Morpher
+from repro.vm.profiler import ProfileMeter
 from repro.vm.simulator import SimulationResult, Simulator, simulate
 from repro.vm.state import CpuState
 from repro.vm.syscalls import (
@@ -51,6 +52,7 @@ __all__ = [
     "Memory",
     "MemoryFault",
     "Morpher",
+    "ProfileMeter",
     "RetireObserver",
     "SYS_CLOCK",
     "SYS_EXIT",

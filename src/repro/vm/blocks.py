@@ -93,6 +93,48 @@ FLAG_BRANCH = 1   #: untaken branches are discounted
 FLAG_INTDIV = 2   #: divide latency shortens with the result bit length
 FLAG_WINDOW = 3   #: save/restore may charge window-trap spill/fill costs
 
+
+def cost_flags() -> dict[str, int]:
+    """``mnemonic -> FLAG_*`` for every implemented instruction.
+
+    The single source of the retire-cost flag classification shared by
+    the hardware cost tables (:attr:`repro.hw.config.HwConfig.cost_table`),
+    the metered block compiler and the execution profiler
+    (:class:`repro.vm.profiler.ProfileMeter`) -- all consumers must
+    classify retires identically or estimated and measured NFPs drift.
+    """
+    global _COST_FLAGS
+    if _COST_FLAGS is None:
+        from repro.isa.opcodes import INSTR_SPECS
+        flags: dict[str, int] = {}
+        for mnemonic, spec in INSTR_SPECS.items():
+            flag = FLAG_NORMAL
+            if mnemonic in _DIV_MNEMONICS:
+                flag = FLAG_INTDIV
+            elif spec.morph_group in ("doBranch", "doFBranch"):
+                flag = FLAG_BRANCH
+            elif mnemonic in ("save", "restore"):
+                flag = FLAG_WINDOW
+            flags[mnemonic] = flag
+        _COST_FLAGS = flags
+    return _COST_FLAGS
+
+
+_COST_FLAGS: dict[str, int] | None = None
+
+
+def pc_fold16(pc: int) -> int:
+    """The 16-bit pc contribution to the jitter index.
+
+    ``(h ^ (h >> 15)) & 0xFFFF`` with ``h = (v*K1) ^ (pc*K2)`` splits
+    (xor distributes over shifts and masks) into a value part and this
+    compile-time constant, and only bits 0..30 of the unmasked hash ever
+    reach the extract -- so neither the 32-bit mask nor the pc xor need
+    to happen at run time.
+    """
+    p = pc * 0x9E3779B1
+    return (p ^ (p >> 15)) & 0xFFFF
+
 #: Instruction kinds the code generator can fuse into a block body.
 FUSIBLE_KINDS = frozenset(
     {"arith", "sethi", "nop", "load", "store", "rdy", "wry", "fpop", "fcmp"})
@@ -1004,17 +1046,7 @@ def compile_metered_block(cpu: "Cpu", entry: int, meter) -> Block:
             ns[name] = scaled_jitter_table(meter.amp, dyn)
         return name
 
-    def pc_fold(pc: int) -> int:
-        """The 16-bit pc contribution to the jitter index.
-
-        ``(h ^ (h >> 15)) & 0xFFFF`` with ``h = (v*K1) ^ (pc*K2)`` splits
-        (xor distributes over shifts and masks) into a value part and
-        this compile-time constant, and only bits 0..30 of the unmasked
-        hash ever reach the extract -- so neither the 32-bit mask nor the
-        pc xor need to happen at run time.
-        """
-        p = pc * 0x9E3779B1
-        return (p ^ (p >> 15)) & 0xFFFF
+    pc_fold = pc_fold16
 
     def emit_energy(dyn: float, val: str, pc: int, ind: str, out: list,
                     fresh: bool = False) -> None:
@@ -1429,6 +1461,416 @@ def compile_metered_block(cpu: "Cpu", entry: int, meter) -> Block:
     code = _compile_source(source, f"<mblock 0x{entry:08x}>")
     exec(code, ns)  # noqa: S102 - the source is generated above, not input
     fn = ns["_mblock"]
+    fn.__block_source__ = source  # debugging aid
+    return Block(fn, max(length, 1), entry, end)
+
+
+def compile_profiled_block(cpu: "Cpu", entry: int, profiler) -> Block:
+    """Translate the superblock at ``entry`` with *fused profiling*.
+
+    ``profiler`` is the configuration-independent accumulator of the
+    profile-once DSE path (:class:`repro.vm.profiler.ProfileMeter`).
+    Where the metered compiler bakes one hardware configuration's costs
+    into the generated code, the profiled compiler records the *operands
+    of the cost algebra* instead, so any configuration can be priced
+    later by :mod:`repro.nfp.linear` without re-running the simulation:
+
+    * per-mnemonic retire counts ride the existing batched counters;
+    * each retire adds its 16-bit jitter index -- exactly the subscript a
+      cost meter would look up -- onto an *integer* per-mnemonic
+      accumulator.  ``sum(jit[idx]) == count + amp * J`` with ``J``
+      recovered exactly from the integer sum (a 16-bit index scaled by a
+      power of two), so the data-dependent energy term is captured with
+      no float rounding in the hot path;
+    * branch terminators bump per-site taken/untaken cells and mirror
+      untaken retires into per-mnemonic untaken accumulators (the
+      untaken cycle discount and energy factor are config parameters);
+    * divide retires bank the result-bit-length cycle refund per site
+      (the refund itself is configuration-independent);
+    * ``save``/``restore`` run through their closures and tally window
+      *depth* events, from which spill/fill counts and trap-energy
+      indices for any candidate ``nwindows`` fall out of the single run.
+
+    Control flow, fault recovery, self-modifying-code bail-outs and
+    self-loop counter deferral mirror :func:`compile_metered_block`; the
+    architectural results stay bit-identical to every other loop
+    (``tests/test_profile.py``).  Because the accumulators are plain
+    integer adds (no premultiplied float tables), a profiled run costs
+    about the same as a metered one -- and replaces one run per
+    configuration with one run per workload.
+    """
+    state = cpu.state
+    mem = state.mem
+    morpher = cpu.morpher
+    index = profiler.index
+    flags = cost_flags()
+    sentinel = "st.last_value"
+
+    fused, term, term_pc, inline, delay, mode, expr = _scan(cpu, entry)
+    n = len(fused)
+
+    sentinel_used = False
+    #: emission-time CSE state for the value hash held by local ``hv``
+    hv_state: list = [None]
+    body_serial = [0]
+    site_cells: dict[str, object] = {}
+
+    def site(prefix: str, pc: int, cell) -> str:
+        name = f"_{prefix}{pc:x}"
+        site_cells[name] = cell
+        return name
+
+    def emit_hash(val: str, ind: str, out: list, fresh: bool = False) -> None:
+        nonlocal sentinel_used
+        if val == sentinel:
+            sentinel_used = True
+        key = (val, body_serial[0])
+        if fresh or hv_state[0] != key:
+            out.append(f"{ind}w = ({val}) * 2654435761")
+            out.append(f"{ind}hv = (w ^ (w >> 15)) & 65535")
+            hv_state[0] = None if fresh else key
+
+    def idx_expr(pc: int) -> str:
+        q = pc_fold16(pc)
+        return f"hv ^ {q}" if q else "hv"
+
+    def emit_profile(m: str, pc: int, ind: str, out: list, val: str,
+                     untaken: bool = False, fresh: bool = False) -> None:
+        """Profile lines of one retire whose flag resolves at compile time."""
+        emit_hash(val, ind, out, fresh=fresh)
+        idx = idx_expr(pc)
+        out.append(f"{ind}_js[{index[m]}] += {idx}")
+        if untaken:
+            out.append(f"{ind}_uc[{index[m]}] += 1")
+            out.append(f"{ind}_us[{index[m]}] += {idx}")
+        if flags[m] == FLAG_INTDIV:
+            cell = site("dv", pc, profiler.div_cell(pc))
+            out.append(f"{ind}{cell}[0] += 1")
+            out.append(f"{ind}{cell}[1] += (32 - ({val}).bit_length()) >> 1")
+
+    def emit_retire_profile(m: str, pc: int, ind: str, out: list) -> None:
+        """Standalone profile replay reading post-retire ``st`` state.
+
+        Used where the instruction ran through its per-instruction
+        closure (delayed-control entries and closure terminators): the
+        flag behaviour is resolved at run time from ``st``.
+        """
+        flag = flags[m]
+        emit_hash(sentinel, ind, out, fresh=True)
+        out.append(f"{ind}_ix = {idx_expr(pc)}")
+        out.append(f"{ind}_js[{index[m]}] += _ix")
+        if flag == FLAG_BRANCH:
+            cell = site("bs", pc, profiler.branch_cell(pc))
+            out.append(f"{ind}if st.taken:")
+            out.append(f"{ind}    {cell}[0] += 1")
+            out.append(f"{ind}else:")
+            out.append(f"{ind}    {cell}[1] += 1")
+            out.append(f"{ind}    _uc[{index[m]}] += 1")
+            out.append(f"{ind}    _us[{index[m]}] += _ix")
+        elif flag == FLAG_INTDIV:
+            cell = site("dv", pc, profiler.div_cell(pc))
+            out.append(f"{ind}{cell}[0] += 1")
+            out.append(f"{ind}{cell}[1] += "
+                       f"(32 - st.last_value.bit_length()) >> 1")
+        elif flag == FLAG_WINDOW:
+            # the closure already moved the window: save's spill test
+            # reads the post-increment depth, restore's fill test the
+            # pre-decrement depth (see the morpher's save/restore)
+            hist = "_sdep" if m == "save" else "_rdep"
+            depth = "st.wdepth" if m == "save" else "st.wdepth + 1"
+            out.append(f"{ind}_d = {depth}")
+            out.append(f"{ind}_c = {hist}.get(_d)")
+            out.append(f"{ind}if _c is None:")
+            out.append(f"{ind}    _c = {hist}[_d] = [0, 0]")
+            out.append(f"{ind}_c[0] += 1")
+            out.append(f"{ind}_c[1] += _ix")
+
+    # -- bookkeeping ---------------------------------------------------------
+    acct = _Accounting(morpher)
+    for _, ins in fused:
+        acct.account(ins)
+        acct.meta.append((category_of(ins), morpher.mn_cells[ins.mnemonic]))
+    if term is not None and inline:
+        acct.account(term)
+    #: a non-annulled fused delay slot retires on every arm: batch it
+    delay_batched = delay is not None and not term.annul
+    delay_cell = None
+    if delay is not None:
+        delay_cell = acct.account(delay, batched=delay_batched)
+
+    guarded = any(_can_raise(ins) for _, ins in fused)
+    use_f = any(_uses_fregs(ins) for _, ins in fused) or (
+        delay is not None and _uses_fregs(delay))
+
+    target = (term_pc + term.imm) & M32 if (term is not None and inline) \
+        else None
+    taken_count = n + (1 if delay is None else 2)
+    self_loop = (inline and mode in ("always", "cond")
+                 and target == entry and term.kind != "call")
+    term_is_branch = (term is not None and inline
+                      and flags[term.mnemonic] == FLAG_BRANCH)
+    bs_cell = site("bs", term_pc, profiler.branch_cell(term_pc)) \
+        if term_is_branch else None
+
+    def scaled(count: int, factor: str) -> str:
+        return factor if count == 1 else f"{count} * {factor}"
+
+    #: self-loops keep the condition codes in locals across iterations and
+    #: materialise them at every exit (see compile_metered_block)
+    mats = [f"\x00st.{f} = {f}_" for f in ("n", "z", "v", "c", "fcc")] \
+        if self_loop else []
+
+    #: recover completed self-loop iterations: counters, the back-edge
+    #: branch-site taken count and the block execution count
+    flush_lines: list[str] = []
+    if self_loop:
+        flush_lines.append(f"_it = _n // {taken_count}")
+        for cat in sorted(acct.cat_totals):
+            flush_lines.append(
+                f"cc[{cat}] += {scaled(acct.cat_totals[cat], '_it')}")
+        for i, (_, _, count) in enumerate(acct.cell_order):
+            if count:
+                flush_lines.append(f"_mc{i}[0] += {scaled(count, '_it')}")
+        if term_is_branch:
+            flush_lines.append(f"{bs_cell}[0] += _it")
+        flush_lines.append("_bx[0] += _it")
+        flush_lines.append("if _n:")
+        flush_lines.append("    st.taken = 1")
+
+    ns: dict[str, object] = {
+        "_first": cpu.closure_at(entry),
+        "_fix": _make_fixup(entry, acct.meta),
+        "_bget": cpu.pblocks_get,
+        "_ram": mem.ram,
+        "_MF": MemoryFault,
+        "_ifb": int.from_bytes,
+        "_udiv": _udiv, "_sdiv": _sdiv, "_umul": _umul, "_smul": _smul,
+        "_getd": get_d, "_putd": put_d, "_getf": get_f, "_putf": put_f,
+        "_fdivh": ieee_div, "_fsqrth": ieee_sqrt, "_f2i": f64_to_i32_trunc,
+        "_js": profiler.jsum,
+        "_uc": profiler.untaken_counts,
+        "_us": profiler.untaken_jsum,
+        "_sdep": profiler.save_depths,
+        "_rdep": profiler.restore_depths,
+    }
+
+    mbase, msize = mem.base, mem.size
+    first_instr = fused[0][1] if fused else term
+    out: list[str] = ["def _pblock(st, _rem):",
+                      "    r = st.regs"]
+    if use_f:
+        out.append("    f = st.fregs")
+    out.append("    cc = st.cat_counts")
+    # Delayed-control entry (pc == entry, npc elsewhere): execute exactly
+    # one instruction through its closure, then profile it.  A raise
+    # inside _first propagates unprofiled, like the stepping loop.
+    out.append(f"    if st.npc != {entry + 4}:")
+    out.append("        _first(st)")
+    emit_retire_profile(first_instr.mnemonic, entry, "        ", out)
+    out.append("        return 1")
+    # the entry path always hashes st.last_value; that must not force
+    # back-edge materialisation inside the loop body
+    sentinel_used = False
+
+    li = "    "
+    if self_loop:
+        out.append("    _n = 0")
+        out.append(f"    _limit = _rem - {taken_count}")
+        out.append("    while True:")
+        li = "        "
+    else:
+        out.append("    _bx[0] += 1")
+    acc_prefix = "_n + " if self_loop else ""
+
+    body_ind = li + "    " if guarded else li
+    if guarded:
+        out.append(f"{li}i = 0")
+        out.append(f"{li}try:")
+
+    def emit_body_tracked(ins: DecodedInstr, ipc: int, k: int, ind: str,
+                          flush: list | None = None) -> str | None:
+        """_emit_body + hash-CSE invalidation when state may have moved."""
+        before = len(out)
+        lv = _emit_body(ins, ipc, k, ind, out, mbase, msize,
+                        acc=acc_prefix, flush=flush)
+        if len(out) != before:
+            body_serial[0] += 1
+        return lv
+
+    cur = sentinel
+    for k, (ipc, ins) in enumerate(fused):
+        out.append(f"{body_ind}# 0x{ipc:08x} {ins.mnemonic}")
+        if _can_raise(ins):
+            out.append(f"{body_ind}i = {k}")
+        flush = None
+        if ins.kind == "store":
+            # self-modifying-code early exit: profile the store itself
+            # (its last_value is already set by the SMC branch), then let
+            # _fix retire the prefix counters
+            flush = []
+            emit_hash(sentinel, "", flush, fresh=True)
+            flush.append(f"_js[{index[ins.mnemonic]}] += {idx_expr(ipc)}")
+            flush += flush_lines
+            flush += mats
+        lv = emit_body_tracked(ins, ipc, k, body_ind, flush)
+        if lv is not None:
+            cur = lv
+        emit_profile(ins.mnemonic, ipc, body_ind, out, cur)
+    if guarded:
+        out.append(f"{li}except BaseException:")
+        for line in flush_lines + mats:
+            out.append(f"{li}    {line}")
+        out.append(f"{li}    _fix(st, i)")
+        out.append(f"{li}    raise")
+
+    end = entry + 4 * n
+    length = n
+    cur_prelude = cur  # last-value expression after the fused run
+
+    def emit_delay(ind: str) -> str:
+        """Delay-slot body + profile/counters; returns the new cur."""
+        out.append(f"{ind}# 0x{term_pc + 4:08x} {delay.mnemonic} (delay)")
+        dlv = emit_body_tracked(delay, term_pc + 4, 0, ind)
+        val = dlv if dlv is not None else cur_prelude
+        emit_profile(delay.mnemonic, term_pc + 4, ind, out, val)
+        if not delay_batched:
+            out.append(f"{ind}cc[{category_of(delay)}] += 1")
+            out.append(f"{ind}{delay_cell}[0] += 1")
+        return val
+
+    def emit_materialize(ind: str, value: str) -> None:
+        if value != sentinel:
+            out.append(f"{ind}st.last_value = {value}")
+
+    def emit_mats(ind: str) -> None:
+        for line in mats:
+            out.append(f"{ind}{line}")
+
+    if term is None:
+        # fall-through end: chain to the successor profiled block if ready
+        acct.emit_batch("    ", out)
+        emit_materialize("    ", cur)
+        out.append(f"    st.pc = {end}")
+        out.append(f"    st.npc = {end + 4}")
+        out.append(f"    _nxt = _bget({end})")
+        out.append(f"    if _nxt is not None and _nxt[1] <= _rem - {n}:")
+        out.append(f"        return {n} + _nxt[0](st, _nxt[1])")
+        out.append(f"    return {n}")
+    elif not inline:
+        # terminator via its per-instruction closure (which retires its
+        # own counters); a raise inside it profiles nothing, like stepping
+        acct.emit_batch("    ", out)
+        emit_materialize("    ", cur)
+        out.append(f"    st.pc = {term_pc}")
+        out.append(f"    st.npc = {term_pc + 4}")
+        out.append("    _term(st)")
+        emit_retire_profile(term.mnemonic, term_pc, "    ", out)
+        out.append(f"    return {n + 1}")
+        ns["_term"] = cpu.closure_at(term_pc)
+        end = term_pc + 4
+        length = n + 1
+    else:
+        if not self_loop:
+            # per-dispatch blocks retire their counters once; self-loops
+            # defer them to the flush at their exits
+            acct.emit_batch(li, out)
+        if term.kind == "call":
+            out.append(f"{li}r[15] = {term_pc}")
+
+        def emit_chain(ind: str, dest: int, count: int) -> None:
+            """Tail-chain into the already-translated successor block."""
+            out.append(f"{ind}_nxt = _bget({dest})")
+            out.append(f"{ind}if _nxt is not None "
+                       f"and _nxt[1] <= _rem - {count}:")
+            out.append(f"{ind}    return {count} + _nxt[0](st, _nxt[1])")
+            out.append(f"{ind}return {count}")
+
+        def emit_taken(ind: str) -> None:
+            emit_profile(term.mnemonic, term_pc, ind, out, cur_prelude)
+            if term_is_branch and not self_loop:
+                out.append(f"{ind}{bs_cell}[0] += 1")
+            count = n + 1
+            cur = cur_prelude
+            if delay is not None:
+                cur = emit_delay(ind)
+                count = taken_count
+            if self_loop:
+                out.append(f"{ind}_n += {taken_count}")
+                out.append(f"{ind}if _n <= _limit:")
+                if sentinel_used and cur != sentinel:
+                    # the next pass hashes st.last_value before its first
+                    # producer: keep it fresh across the back edge
+                    out.append(f"{ind}    st.last_value = {cur}")
+                out.append(f"{ind}    continue")
+                for line in flush_lines[:-2]:  # taken exit: set st.taken
+                    out.append(f"{ind}{line}")
+            out.append(f"{ind}st.taken = 1")
+            emit_materialize(ind, cur)
+            out.append(f"{ind}st.pc = {target}")
+            out.append(f"{ind}st.npc = {target + 4}")
+            emit_mats(ind)
+            if self_loop:
+                out.append(f"{ind}return _n")
+            else:
+                emit_chain(ind, target, count)
+
+        def emit_untaken(ind: str) -> None:
+            if self_loop:
+                for line in flush_lines[:-2]:  # st.taken set explicitly
+                    out.append(f"{ind}{line}")
+                acct.emit_batch(ind, out)
+                out.append(f"{ind}_bx[0] += 1")
+            out.append(f"{ind}st.taken = 0")
+            emit_profile(term.mnemonic, term_pc, ind, out, cur_prelude,
+                         untaken=term_is_branch)
+            if term_is_branch:
+                out.append(f"{ind}{bs_cell}[1] += 1")
+            count = n + 1
+            cur = cur_prelude
+            if not term.annul and delay is not None:
+                cur = emit_delay(ind)
+                count = taken_count
+            emit_materialize(ind, cur)
+            out.append(f"{ind}st.pc = {term_pc + 8}")
+            out.append(f"{ind}st.npc = {term_pc + 12}")
+            emit_mats(ind)
+            if self_loop:
+                out.append(f"{ind}return _n + {count}")
+            else:
+                emit_chain(ind, term_pc + 8, count)
+
+        if mode == "always":
+            emit_taken(li)
+        elif mode == "never":
+            emit_untaken(li)
+        else:
+            out.append(f"{li}if {expr}:")
+            # the arms are alternative control paths: hash-CSE state from
+            # inside the taken arm must not leak into the untaken arm
+            saved = (hv_state[0], body_serial[0])
+            emit_taken(li + "    ")
+            hv_state[0], body_serial[0] = saved
+            emit_untaken(li)
+        end = term_pc + 4 + (4 if delay is not None else 0)
+        length = taken_count if (delay is not None or mode != "never") \
+            else n + 1
+
+    if self_loop:
+        delay_writes_flags = delay is not None and (
+            delay.kind == "fcmp" or (delay.kind == "arith"
+                                     and delay.mnemonic in CC_FAMILY))
+        out = _localize_flags(
+            out, defer_dead=not guarded
+            and not any(ins.kind == "store" for _, ins in fused)
+            and not delay_writes_flags)
+
+    acct.fill_ns(ns)
+    ns.update(site_cells)
+    ns["_bx"] = profiler.block_cell(entry, length, dict(acct.cat_totals))
+    source = "\n".join(out) + "\n"
+    code = _compile_source(source, f"<pblock 0x{entry:08x}>")
+    exec(code, ns)  # noqa: S102 - the source is generated above, not input
+    fn = ns["_pblock"]
     fn.__block_source__ = source  # debugging aid
     return Block(fn, max(length, 1), entry, end)
 

@@ -70,6 +70,12 @@ BLOCK_COMPILE_THRESHOLD = 16
 #: with a few dozen dispatches.
 METERED_COMPILE_THRESHOLD = 32
 
+#: Dispatches of an entry PC before its *profiled* superblock is
+#: compiled.  The cold profiled path observes through a Python method per
+#: retire (no strip -- cold code is rare by definition), so profiled
+#: blocks pay off as quickly as fast blocks do.
+PROFILED_COMPILE_THRESHOLD = 16
+
 
 class RetireObserver(Protocol):
     """Receives every retired instruction in :meth:`Cpu.run_metered`."""
@@ -123,9 +129,21 @@ class Cpu:
         #: cost constants), the cheap tier below compiled metered blocks.
         self._mcost: dict[int, tuple] = {}
         self._meter = None
+        #: the profiled triplet of caches: profile-fused blocks are
+        #: specialised to one profiler (see :meth:`run_profiled`).
+        self._pblocks: dict[int, tuple[Callable, int]] = {}
+        self._pblock_info: dict[int, "_blocks_mod.Block"] = {}
+        self._pblock_pages: dict[int, set[int]] = {}
+        self._pheat: dict[int, int] = {}
+        self._profiler = None
+        #: stores/host writes that landed inside translated code (self-
+        #: modifying-code events); the profile-once DSE path refuses to
+        #: reuse profiles of unclean runs (see :mod:`repro.dse.evaluate`).
+        self.invalidations = 0
         #: bound methods handed to generated code for successor chaining.
         self.blocks_get = self._blocks.get
         self.mblocks_get = self._mblocks.get
+        self.pblocks_get = self._pblocks.get
         state.on_code_write = self.invalidate_range
         state.mem.on_write = self._host_write
 
@@ -168,27 +186,34 @@ class Cpu:
         self._watch(pc, pc + 4)
         return closure
 
-    def _translate_block(self, pc: int) -> tuple[Callable, int]:
-        block = _blocks_mod.compile_block(self, pc)
+    def _register_block(self, pc: int, block: "_blocks_mod.Block",
+                        blocks: dict, info: dict,
+                        pages: dict) -> tuple[Callable, int]:
+        """File a freshly compiled block into one cache tier's triple."""
         entry = (block.fn, block.length)
-        self._blocks[pc] = entry
-        self._block_info[pc] = block
+        blocks[pc] = entry
+        info[pc] = block
         self._watch(block.start, block.end)
         for page in range(block.start >> _PAGE_SHIFT,
                           ((block.end - 1) >> _PAGE_SHIFT) + 1):
-            self._block_pages.setdefault(page, set()).add(pc)
+            pages.setdefault(page, set()).add(pc)
         return entry
 
+    def _translate_block(self, pc: int) -> tuple[Callable, int]:
+        return self._register_block(
+            pc, _blocks_mod.compile_block(self, pc),
+            self._blocks, self._block_info, self._block_pages)
+
     def _translate_metered_block(self, pc: int, meter) -> tuple[Callable, int]:
-        block = _blocks_mod.compile_metered_block(self, pc, meter)
-        entry = (block.fn, block.length)
-        self._mblocks[pc] = entry
-        self._mblock_info[pc] = block
-        self._watch(block.start, block.end)
-        for page in range(block.start >> _PAGE_SHIFT,
-                          ((block.end - 1) >> _PAGE_SHIFT) + 1):
-            self._mblock_pages.setdefault(page, set()).add(pc)
-        return entry
+        return self._register_block(
+            pc, _blocks_mod.compile_metered_block(self, pc, meter),
+            self._mblocks, self._mblock_info, self._mblock_pages)
+
+    def _translate_profiled_block(self, pc: int,
+                                  profiler) -> tuple[Callable, int]:
+        return self._register_block(
+            pc, _blocks_mod.compile_profiled_block(self, pc, profiler),
+            self._pblocks, self._pblock_info, self._pblock_pages)
 
     def _watch(self, lo: int, hi: int) -> None:
         state = self.state
@@ -206,6 +231,7 @@ class Cpu:
         host-side memory writes when they land inside translated text;
         also available to tooling that patches code behind the CPU's back.
         """
+        self.invalidations += 1
         lo = addr & ~3
         hi = addr + size
         for pc in range(lo, hi, 4):
@@ -221,6 +247,9 @@ class Cpu:
         if self._mblocks:
             self._drop_block_pages(lo, hi, self._mblock_pages,
                                    self._mblocks, self._mblock_info)
+        if self._pblocks:
+            self._drop_block_pages(lo, hi, self._pblock_pages,
+                                   self._pblocks, self._pblock_info)
 
     @staticmethod
     def _drop_block_pages(lo: int, hi: int, pages: dict, blocks: dict,
@@ -474,6 +503,94 @@ class Cpu:
                 break
         return executed
 
+    def run_profiled(self, profiler,
+                     max_instructions: int = DEFAULT_BUDGET) -> int:
+        """Run while recording a configuration-independent profile.
+
+        ``profiler`` (:class:`repro.vm.profiler.ProfileMeter`) observes
+        every retired instruction; observers advertising
+        ``supports_block_profiling`` are dispatched on profile-fused
+        superblocks compiled by
+        :func:`repro.vm.blocks.compile_profiled_block` when
+        ``metered_blocks_enabled`` is set (the instrumented-block knob
+        governs both instrumented loops).  The recorded profile is
+        identical either way.
+        """
+        if (self.metered_blocks_enabled
+                and getattr(profiler, "supports_block_profiling", False)):
+            return self._run_profiled_blocks(profiler, max_instructions)
+        return self._run_metered_stepwise(profiler, max_instructions)
+
+    def _run_profiled_blocks(self, profiler, max_instructions: int) -> int:
+        """Dispatch profile-fused superblocks compiled against ``profiler``.
+
+        Mirrors :meth:`_run_metered_blocks`; cold entries step through
+        the per-instruction closures observed by ``profiler.on_retire``
+        (no strip tier -- the integer profile accumulators have no
+        per-pc constants worth prefetching).
+        """
+        if self._profiler is not profiler:
+            if self._profiler is not None:
+                # blocks are specialised to one profiler: drop stale ones
+                self._pblocks.clear()
+                self._pblock_info.clear()
+                self._pblock_pages.clear()
+                self._pheat.clear()
+            self._profiler = profiler
+        state = self.state
+        pblocks_get = self.pblocks_get
+        cache_get = self._cache.get
+        mnemonics = self._mnemonics
+        on_retire = profiler.on_retire
+        heat = self._pheat
+        heat_get = heat.get
+        executed = 0
+        budget = max_instructions
+        while state.running:
+            pc = state.pc
+            entry = pblocks_get(pc)
+            if entry is None:
+                count = heat_get(pc, 0) + 1
+                if count < PROFILED_COMPILE_THRESHOLD:
+                    # cold entry: walk the straight-line run through the
+                    # per-instruction closures, observing every retire
+                    heat[pc] = count
+                    while True:
+                        f = cache_get(pc)
+                        if f is None:
+                            f = self._translate(pc)
+                        f(state)
+                        on_retire(pc, mnemonics[pc], state)
+                        executed += 1
+                        if executed >= budget or not state.running:
+                            break
+                        if state.pc != pc + 4:
+                            break  # branch/trap redirected control
+                        pc = state.pc
+                    if executed >= budget:
+                        if state.running:
+                            raise WatchdogTimeout(budget, state.pc)
+                        break
+                    continue
+                heat.pop(pc, None)
+                entry = self._translate_profiled_block(pc, profiler)
+            if executed + entry[1] <= budget:
+                executed += entry[0](state, budget - executed)
+            else:
+                # the whole block no longer fits the watchdog budget:
+                # single-step (observed) to the edge for exact accounting
+                f = cache_get(pc)
+                if f is None:
+                    f = self._translate(pc)
+                f(state)
+                on_retire(pc, mnemonics[pc], state)
+                executed += 1
+            if executed >= budget:
+                if state.running:
+                    raise WatchdogTimeout(budget, state.pc)
+                break
+        return executed
+
     def _mcost_fill(self, pc: int, meter) -> tuple:
         """Build the metering-strip entry for ``pc``.
 
@@ -506,16 +623,20 @@ class Cpu:
         """Number of distinct PCs decoded so far (code-cache footprint)."""
         return len(self._decoded)
 
-    def block_stats(self) -> tuple[int, float]:
-        """``(translated_blocks, mean retired instructions per block)``."""
-        info = self._block_info
+    @staticmethod
+    def _stats(info: dict) -> tuple[int, float]:
         if not info:
             return 0, 0.0
         return len(info), sum(b.length for b in info.values()) / len(info)
 
+    def block_stats(self) -> tuple[int, float]:
+        """``(translated_blocks, mean retired instructions per block)``."""
+        return self._stats(self._block_info)
+
     def mblock_stats(self) -> tuple[int, float]:
         """``(translated metered blocks, mean retired per block)``."""
-        info = self._mblock_info
-        if not info:
-            return 0, 0.0
-        return len(info), sum(b.length for b in info.values()) / len(info)
+        return self._stats(self._mblock_info)
+
+    def pblock_stats(self) -> tuple[int, float]:
+        """``(translated profiled blocks, mean retired per block)``."""
+        return self._stats(self._pblock_info)

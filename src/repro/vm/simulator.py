@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.asm.program import Program
 from repro.isa import encoder
@@ -48,9 +49,14 @@ class SimulationResult:
     fill_count: int
     extras: dict[str, float] = field(default_factory=dict)
 
-    @property
-    def counts_vector(self) -> list[int]:
-        return [self.category_counts[cid] for cid in CATEGORY_IDS]
+    @cached_property
+    def counts_vector(self) -> tuple[int, ...]:
+        """Category counts in Table-I order.
+
+        Cached as a tuple: sweeps and reports hit this once per
+        estimate, and the counts never change after the run.
+        """
+        return tuple(self.category_counts[cid] for cid in CATEGORY_IDS)
 
     @property
     def mips(self) -> float:
@@ -129,6 +135,27 @@ class Simulator:
         self.cpu.run_metered(observer, max_instructions=max_instructions)
         elapsed = time.perf_counter() - start
         return self._result(elapsed)
+
+    def run_profiled(self, profiler,
+                     max_instructions: int = DEFAULT_BUDGET
+                     ) -> SimulationResult:
+        """Execute while ``profiler`` records the execution profile.
+
+        One such run per (program, input) supplies everything the linear
+        NFP evaluator (:mod:`repro.nfp.linear`) needs to price *any*
+        hardware configuration without further simulation; see
+        :class:`repro.vm.profiler.ProfileMeter`.
+        """
+        self._claim()
+        start = time.perf_counter()
+        self.cpu.run_profiled(profiler, max_instructions=max_instructions)
+        elapsed = time.perf_counter() - start
+        result = self._result(elapsed)
+        n_pblocks, avg_plen = self.cpu.pblock_stats()
+        result.extras["profiled_blocks"] = float(n_pblocks)
+        result.extras["avg_profiled_block_len"] = avg_plen
+        result.extras["smc_invalidations"] = float(self.cpu.invalidations)
+        return result
 
     def _claim(self) -> None:
         if self._consumed:
