@@ -2,7 +2,9 @@
 """Throughput regression guard over a trimmed ``BENCH_*.json`` report.
 
 CI's bench-smoke job runs ``run_bench.py`` and then this checker.  Two
-kinds of floors keep the PR-1/PR-2/PR-4 fast paths honest:
+kinds of floors keep the PR-1/PR-2/PR-4 fast paths honest (the
+profile-once floor is enforced twice: over the Table III preset and
+over the PR-5 imaging-family rung):
 
 * an *absolute* simulated-MIPS floor for the fast ISS loop -- set very
   conservatively (CI runners are slow and noisy), it only catches
@@ -67,6 +69,8 @@ def main(argv: list[str] | None = None) -> int:
     metered_slow = require("test_metered_throughput_per_instruction")
     dse_profiled = require("test_dse_sweep_throughput_profiled")
     dse_metered = require("test_dse_sweep_throughput_metered")
+    img_profiled = require("test_imaging_sweep_throughput_profiled")
+    img_metered = require("test_imaging_sweep_throughput_metered")
 
     if iss is not None:
         mips = float(iss.get("mips", 0.0))
@@ -92,14 +96,18 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"metered-block speedup {speedup:.2f}x is below the "
                 f"{args.min_metered_speedup}x floor")
-    if dse_profiled is not None and dse_metered is not None:
-        speedup = dse_metered["mean_s"] / dse_profiled["mean_s"]
-        print(f"profile-once DSE    : {speedup:8.2f}x vs metered sweep "
-              f"(floor {args.min_dse_profile_speedup}x)")
+    for tag, rung_metered, rung_profiled in (
+            ("DSE", dse_metered, dse_profiled),
+            ("imaging", img_metered, img_profiled)):
+        if rung_metered is None or rung_profiled is None:
+            continue
+        speedup = rung_metered["mean_s"] / rung_profiled["mean_s"]
+        print(f"{f'profile-once {tag}':<20}: {speedup:8.2f}x vs metered "
+              f"sweep (floor {args.min_dse_profile_speedup}x)")
         if speedup < args.min_dse_profile_speedup:
             failures.append(
-                f"profiled DSE sweep speedup {speedup:.2f}x is below the "
-                f"{args.min_dse_profile_speedup}x floor")
+                f"profiled {tag} sweep speedup {speedup:.2f}x is below "
+                f"the {args.min_dse_profile_speedup}x floor")
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

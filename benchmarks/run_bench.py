@@ -31,13 +31,15 @@ BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 
 #: the default tracked suites: substrate micro-costs + the figure drivers
-#: + the runner-cache warm/cold rungs + the profile-once DSE sweep pair
+#: + the runner-cache warm/cold rungs + the profile-once DSE sweep pairs
+#: (Table III preset and the imaging-family rung)
 DEFAULT_SUITES = (
     "test_bench_micro.py",
     "test_bench_figure1_landscape.py",
     "test_bench_figure4_showcase.py",
     "test_bench_runner_cache.py",
     "test_bench_dse_profile.py",
+    "test_bench_workloads.py",
 )
 
 

@@ -9,6 +9,7 @@ table1          calibrate and print Table I
 table3          estimation-error evaluation (Table III)
 table4          FPU design-space exploration (Table IV)
 dse             multi-dimensional design-space exploration (Pareto)
+workloads       inspect the workload registry (``workloads list``)
 figure1         simulator landscape (Figure 1)
 figure2         trace one instruction through the simulator (Fig. 2)
 figure3         morph-function grouping (Figure 3)
@@ -72,9 +73,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "(identical counters/cycles, energy to 1e-12; "
                         "self-modifying kernels fall back to full "
                         "simulation)")
+    p.add_argument("--workloads", default=None, metavar="FILTER",
+                   help="workload suite: comma-separated registry "
+                        "presets, families or name globs, e.g. "
+                        "'img:*' or 'table3,img:sobel3x3' "
+                        "(default: the paper's table3 preset; see "
+                        "'repro workloads list')")
     p.add_argument("--format", choices=("text", "csv", "json"),
                    default="text", dest="fmt",
                    help="output rendering (default: text)")
+    p = sub.add_parser(
+        "workloads", help="inspect the workload registry")
+    p.add_argument("action", choices=("list",),
+                   help="'list': print the workload catalogue")
+    p.add_argument("--workloads", default=None, metavar="FILTER",
+                   help="restrict the listing to a registry filter "
+                        "(same syntax as 'dse --workloads')")
+    p.add_argument("--scale", choices=("smoke", "default", "full"),
+                   default=None,
+                   help="restrict the listing to one scale's suite")
     sub.add_parser("figure2")
     sub.add_parser("figure3")
     p = sub.add_parser("asm")
@@ -108,8 +125,14 @@ def main(argv: list[str] | None = None) -> int:
         scale = get_scale(args.scale)
         if command == "dse":
             from repro.experiments import dse as dse_driver
-            rendered = dse_driver.run(scale, axes=args.axes,
-                                      profile=args.profile).render(args.fmt)
+            try:
+                rendered = dse_driver.run(scale, axes=args.axes,
+                                          profile=args.profile,
+                                          workloads=args.workloads
+                                          ).render(args.fmt)
+            except ValueError as exc:  # bad --axes / --workloads filter
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
             if args.fmt == "text":
                 print(rendered)
             else:  # csv/json renderers terminate their own output
@@ -134,6 +157,24 @@ def main(argv: list[str] | None = None) -> int:
             print(result.render(per_kernel=True))
         else:
             print(result.render())
+        return 0
+
+    if command == "workloads":
+        from repro.experiments.render import text_table
+        from repro.experiments.scale import get_scale
+        from repro.workloads import select
+        scale = get_scale(args.scale) if args.scale else None
+        try:
+            specs = select(args.workloads or "all", scale)
+        except ValueError as exc:  # filter matching nothing
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        rows = [(spec.name, spec.family, ",".join(sorted(spec.tags)),
+                 ",".join(spec.scales())) for spec in specs]
+        suite = (f" at {scale.name} scale" if scale else "")
+        print(text_table(
+            ("workload", "family", "tags", "scales"), rows,
+            title=f"workload registry: {len(rows)} workloads{suite}"))
         return 0
 
     if command == "figure2":

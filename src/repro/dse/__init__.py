@@ -36,7 +36,7 @@ from repro.dse.engine import (
 from repro.dse.pareto import classify, dominates, knee_point, pareto_front
 from repro.dse.presets import explore_fpu_grid, fpu_design_space
 from repro.dse.report import SweepReport
-from repro.dse.workload import WorkloadPair
+from repro.dse.workload import WorkloadPair, resolve_pairs
 
 __all__ = [
     "AGGREGATE",
@@ -58,6 +58,7 @@ __all__ = [
     "knee_point",
     "pareto_front",
     "register_axis",
+    "resolve_pairs",
     "sweep",
     "sweep_estimated",
     "sweep_profiled",

@@ -6,7 +6,10 @@ its hard-float and soft-float builds -- and the sweep engine picks the
 build that matches each candidate platform (:meth:`WorkloadPair.build_for`).
 
 This module is the canonical home of :class:`WorkloadPair`;
-:mod:`repro.nfp.dse` re-exports it for backwards compatibility.
+:mod:`repro.nfp.dse` re-exports it for backwards compatibility.  Pairs
+come from the workload registry: :func:`resolve_pairs` turns a
+``repro dse --workloads`` filter (presets, families, name globs) into
+the compiled pair list a sweep consumes.
 """
 
 from __future__ import annotations
@@ -30,3 +33,15 @@ class WorkloadPair:
         if core.has_fpu:
             return "float", self.float_program
         return "fixed", self.fixed_program
+
+
+def resolve_pairs(workloads: str | None, scale) -> list[WorkloadPair]:
+    """Pairs for a ``--workloads`` filter (default: the Table III preset).
+
+    ``workloads`` is a comma-separated registry filter -- preset names,
+    families, or globs over workload names (``img:*``); ``None`` selects
+    the paper's evaluated set.  See :func:`repro.workloads.select`.
+    """
+    # deferred: the registry sits above this module (it compiles pairs)
+    from repro.workloads import select_pairs
+    return select_pairs(workloads if workloads else "table3", scale)

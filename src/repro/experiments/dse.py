@@ -3,10 +3,12 @@
 The generalized counterpart of Table IV: instead of one FPU bit, a
 multi-dimensional grid of candidate platforms (clock frequency, FPU,
 register windows, memory wait states, ... -- see :mod:`repro.dse.axes`)
-is measured on the metered testbed across every workload pair of the
-scale, through the shared cached parallel runner.  The result is the
-Pareto structure over (time, energy, area): which configurations are
-worth building, and which are dominated.
+is measured on the metered testbed across a workload suite resolved
+from the registry (default: the paper's Table III preset; the
+``--workloads`` flag selects any preset/family/glob combination),
+through the shared cached parallel runner.  The result is the Pareto
+structure over (time, energy, area): which configurations are worth
+building, and which are dominated.
 """
 
 from __future__ import annotations
@@ -16,9 +18,9 @@ from dataclasses import dataclass
 from repro.dse.axes import DesignSpace
 from repro.dse.engine import DseGrid, sweep, sweep_profiled
 from repro.dse.report import SweepReport
+from repro.dse.workload import resolve_pairs
 from repro.experiments.scale import Scale, get_scale
 from repro.experiments.setup import metered_blocks_from_env, runner_from_env
-from repro.experiments.workloads import workload_pairs
 from repro.hw.config import HwConfig
 from repro.vm.config import CoreConfig
 
@@ -41,9 +43,15 @@ class DseResult:
 
 def run(scale: Scale | str | None = None,
         axes: str | None = None,
-        profile: bool = False) -> DseResult:
+        profile: bool = False,
+        workloads: str | None = None) -> DseResult:
     """Sweep ``axes`` (a ``DesignSpace.from_spec`` string, or the stock
-    space) across the scale's workload suite on the metered testbed.
+    space) across a workload suite on the metered testbed.
+
+    ``workloads`` is a registry filter (``repro dse --workloads``):
+    preset names, families or globs over workload names, comma-combined
+    (``img:*,fse:00``); ``None`` runs the paper's Table III preset,
+    rendering exactly as before the registry existed.
 
     With ``profile`` (the ``repro dse --profile`` flag) each workload
     build is simulated once in profile mode and every candidate platform
@@ -59,10 +67,11 @@ def run(scale: Scale | str | None = None,
         name="leon3",
         core=CoreConfig(metered_blocks_enabled=metered_blocks_from_env()))
     sweep_fn = sweep_profiled if profile else sweep
-    grid = sweep_fn(space, workload_pairs(scale),
+    grid = sweep_fn(space, resolve_pairs(workloads, scale),
                     budget=scale.max_instructions,
                     runner=runner_from_env(), base=base)
     mode = ", profile-once" if profile else ""
-    title = f"design-space exploration ({scale.name} scale{mode})"
+    suite = f", workloads {workloads}" if workloads else ""
+    title = f"design-space exploration ({scale.name} scale{mode}{suite})"
     return DseResult(report=SweepReport(grid, title=title),
                      space=space, scale_name=scale.name)

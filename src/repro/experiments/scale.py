@@ -9,10 +9,18 @@ records which scale produced the recorded numbers.
 ========  ==========================================================
 scale     contents
 ========  ==========================================================
-smoke     2 FSE kernels + 4 HEVC streams, short calibration (tests)
-default   8 FSE kernels + 12 HEVC streams (benchmarks)
-full      the paper's full set: 24 FSE kernels + 36 HEVC streams
+smoke     2 FSE kernels + 4 HEVC streams, 12x12 images, short
+          calibration (tests)
+default   8 FSE kernels + 12 HEVC streams, 16x16 images (benchmarks)
+full      the paper's full set: 24 FSE kernels + 36 HEVC streams,
+          24x24 images
 ========  ==========================================================
+
+A scale only sizes the suite; *which* workloads exist is the registry's
+business (:mod:`repro.workloads`): each registered spec carries an
+``in_scale`` predicate over these fields plus a ``scale_key`` naming the
+fields its build actually reads, so growing a family here (or adding a
+field for a new family) never touches the experiment drivers.
 """
 
 from __future__ import annotations
@@ -35,6 +43,8 @@ class Scale:
     calibration_iterations: int
     calibration_unroll: int = 32
     max_instructions: int = 400_000_000
+    #: square side of the imaging-family input pictures (always even)
+    image_size: int = 16
 
 
 SMOKE = Scale(
@@ -44,6 +54,7 @@ SMOKE = Scale(
     fse_size=8,
     hevc_indices=(0, 13, 22, 31),
     calibration_iterations=800,
+    image_size=12,
 )
 
 DEFAULT = Scale(
@@ -54,6 +65,7 @@ DEFAULT = Scale(
     # every third stream: covers all 4 configs and all 3 QPs
     hevc_indices=tuple(range(0, 36, 3)),
     calibration_iterations=4000,
+    image_size=16,
 )
 
 FULL = Scale(
@@ -63,9 +75,15 @@ FULL = Scale(
     fse_size=8,
     hevc_indices=tuple(range(36)),
     calibration_iterations=20000,
+    image_size=24,
 )
 
 _SCALES = {s.name: s for s in (SMOKE, DEFAULT, FULL)}
+
+
+def iter_scales() -> tuple[Scale, ...]:
+    """The registered scale presets, smallest first."""
+    return (SMOKE, DEFAULT, FULL)
 
 
 def get_scale(name: str | None = None) -> Scale:

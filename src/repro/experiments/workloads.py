@@ -1,49 +1,31 @@
-"""Compiled workload kernels, cached per (workload, build, scale).
+"""The experiment drivers' view of the workload registry.
 
-Compiling a kernel module and assembling it takes a noticeable fraction of
-a second; experiment drivers and benchmarks share one in-process cache.
+Thin, order-preserving wrappers over :mod:`repro.workloads`: the Table
+III kernel set and the Table IV / Figure 4 pair list enumerate exactly
+as they did before the registry existed (HEVC-then-FSE for the kernel
+set, FSE-then-HEVC for the pairs), so rendered experiment output is
+bit-identical.  Program builds are memoised in the registry's single
+build cache (``repro.workloads.clear_build_cache`` drops it).
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.asm.program import Program
-from repro.codecs.hevclite import build_decoder_module, encode_spec, stream_specs
 from repro.dse.workload import WorkloadPair
-from repro.fse.kernel import build_fse_kernel
-from repro.kir import compile_module
 from repro.experiments.scale import Scale
-
-
-@lru_cache(maxsize=None)
-def _fse_program(index: int, abi: str, size: int, block: int,
-                 iterations: int) -> Program:
-    from repro.fse.params import FseParams
-    params = FseParams(block=block, iterations=iterations)
-    module = build_fse_kernel(index, params, size=size)
-    return compile_module(module, float_abi=abi)
+from repro.workloads import get_spec, select, select_pairs
 
 
 def fse_program(index: int, abi: str, scale: Scale) -> Program:
     """The FSE kernel ``index`` compiled for ``abi`` at ``scale``."""
-    return _fse_program(index, abi, scale.fse_size, scale.fse_params.block,
-                        scale.fse_params.iterations)
-
-
-@lru_cache(maxsize=None)
-def _hevc_program(stream_index: int, abi: str) -> Program:
-    spec = stream_specs()[stream_index]
-    enc = encode_spec(spec)
-    module = build_decoder_module(enc.bitstream,
-                                  name=f"hevc_{spec.name}")
-    return compile_module(module, float_abi=abi)
+    return get_spec(f"fse:{index:02d}").program(abi, scale)
 
 
 def hevc_program(stream_index: int, abi: str, scale: Scale) -> Program:
     """The HEVC-lite decoder for stream ``stream_index`` built for ``abi``."""
-    del scale  # stream geometry is fixed; scale picks the subset only
-    return _hevc_program(stream_index, abi)
+    from repro.codecs.hevclite import stream_specs
+    name = stream_specs()[stream_index].name
+    return get_spec(f"hevc:{name}").program(abi, scale)
 
 
 def kernel_set(scale: Scale) -> list[tuple[str, str, Program]]:
@@ -53,33 +35,13 @@ def kernel_set(scale: Scale) -> list[tuple[str, str, Program]]:
     FSE test image, each in both float (hard-FP) and fixed (soft-FP)
     builds -- the set Table III aggregates over.
     """
-    kernels: list[tuple[str, str, Program]] = []
-    specs = stream_specs()
-    for abi in ("hard", "soft"):
-        tag = "float" if abi == "hard" else "fixed"
-        for idx in scale.hevc_indices:
-            kernels.append((f"hevc:{specs[idx].name}:{tag}", abi,
-                            hevc_program(idx, abi, scale)))
-        for idx in scale.fse_indices:
-            kernels.append((f"fse:{idx:02d}:{tag}", abi,
-                            fse_program(idx, abi, scale)))
-    return kernels
+    specs = select("hevc", scale) + select("fse", scale)
+    return [(f"{spec.name}:{'float' if abi == 'hard' else 'fixed'}", abi,
+             spec.program(abi, scale))
+            for abi in ("hard", "soft")
+            for spec in specs]
 
 
 def workload_pairs(scale: Scale) -> list[WorkloadPair]:
     """Float/fixed program pairs per workload family (Table IV rows)."""
-    pairs: list[WorkloadPair] = []
-    for idx in scale.fse_indices:
-        pairs.append(WorkloadPair(
-            name=f"fse:{idx:02d}",
-            float_program=fse_program(idx, "hard", scale),
-            fixed_program=fse_program(idx, "soft", scale),
-        ))
-    specs = stream_specs()
-    for idx in scale.hevc_indices:
-        pairs.append(WorkloadPair(
-            name=f"hevc:{specs[idx].name}",
-            float_program=hevc_program(idx, "hard", scale),
-            fixed_program=hevc_program(idx, "soft", scale),
-        ))
-    return pairs
+    return select_pairs("table3", scale)

@@ -1,0 +1,41 @@
+"""Workloads as a first-class, pluggable layer.
+
+The registry (:mod:`repro.workloads.registry`) is the single source of
+truth for every kernel the reproduction can evaluate; the family modules
+(:mod:`~repro.workloads.fse`, :mod:`~repro.workloads.hevc`,
+:mod:`~repro.workloads.imaging`) register their specs on import.  See
+README "Workload catalogue" for the full table and the guide to adding
+a workload.
+"""
+
+from repro.workloads.registry import (
+    ABIS,
+    PRESETS,
+    WorkloadSpec,
+    build_cache_size,
+    clear_build_cache,
+    ensure_builtin,
+    families,
+    get_spec,
+    register,
+    select,
+    select_pairs,
+    specs,
+    workload,
+)
+
+__all__ = [
+    "ABIS",
+    "PRESETS",
+    "WorkloadSpec",
+    "build_cache_size",
+    "clear_build_cache",
+    "ensure_builtin",
+    "families",
+    "get_spec",
+    "register",
+    "select",
+    "select_pairs",
+    "specs",
+    "workload",
+]

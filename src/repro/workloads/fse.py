@@ -1,0 +1,46 @@
+"""The FSE workload family, registered per test image.
+
+Each spec wraps :func:`repro.fse.kernel.build_fse_kernel` for one of the
+24 deterministic test pictures; the golden oracle is the host-side
+reference reconstruction (:mod:`repro.fse.reference`) -- the kernel
+prints the rolling checksum of its reconstruction, which must match the
+reference in both the hard- and soft-float builds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scale import Scale
+from repro.fse import reference as ref
+from repro.fse.images import NUM_TEST_IMAGES, test_case
+from repro.fse.kernel import build_fse_kernel
+from repro.fse.params import FseParams
+from repro.kir import Module
+from repro.workloads.registry import workload
+
+
+def _scale_key(scale: Scale) -> tuple:
+    return (scale.fse_size, scale.fse_params.block,
+            scale.fse_params.iterations)
+
+
+def _golden(index: int, scale: Scale) -> str:
+    image, mask = test_case(index, scale.fse_size)
+    params = FseParams(block=scale.fse_params.block,
+                       iterations=scale.fse_params.iterations)
+    return f"{ref.checksum(ref.reconstruct(image, mask, params))}\n"
+
+
+def _register(index: int) -> None:
+    @workload(f"fse:{index:02d}", "fse",
+              scale_key=_scale_key,
+              golden=lambda scale: _golden(index, scale),
+              in_scale=lambda scale: index in scale.fse_indices,
+              tags=("float", "fft", "extrapolation"))
+    def _build(scale: Scale, index: int = index) -> Module:
+        params = FseParams(block=scale.fse_params.block,
+                           iterations=scale.fse_params.iterations)
+        return build_fse_kernel(index, params, size=scale.fse_size)
+
+
+for _index in range(NUM_TEST_IMAGES):
+    _register(_index)

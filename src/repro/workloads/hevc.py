@@ -1,0 +1,49 @@
+"""The HEVC-lite workload family, registered per evaluation bitstream.
+
+Each spec embeds one of the 36 encoded streams (4 configurations x 3
+QPs x 3 sequences) into the bare-metal decoder kernel; the golden oracle
+is the host-side reference decoder (:mod:`repro.codecs.hevclite
+.decoder_ref`), whose console output (checksum + the two FP statistics)
+both ABI builds must reproduce exactly.  Stream geometry is fixed, so
+the builds are scale-independent (``scale_key`` is empty): every scale
+shares one build per stream and ABI.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.codecs.hevclite import (
+    build_decoder_module,
+    encode_spec,
+    stream_specs,
+)
+from repro.codecs.hevclite.decoder_ref import decode
+from repro.experiments.scale import Scale
+from repro.kir import Module
+from repro.workloads.registry import workload
+
+
+@lru_cache(maxsize=None)
+def _golden(stream_index: int) -> str:
+    spec = stream_specs()[stream_index]
+    return decode(encode_spec(spec).bitstream).console
+
+
+def _register(stream_index: int) -> None:
+    spec = stream_specs()[stream_index]
+
+    @workload(f"hevc:{spec.name}", "hevc",
+              scale_key=lambda scale: (),
+              golden=lambda scale: _golden(stream_index),
+              in_scale=lambda scale: stream_index in scale.hevc_indices,
+              tags=("video", "decode", spec.config, f"qp{spec.qp}"))
+    def _build(scale: Scale, stream_index: int = stream_index) -> Module:
+        del scale  # stream geometry is fixed; scale picks the subset only
+        spec = stream_specs()[stream_index]
+        return build_decoder_module(encode_spec(spec).bitstream,
+                                    name=f"hevc_{spec.name}")
+
+
+for _index in range(len(stream_specs())):
+    _register(_index)

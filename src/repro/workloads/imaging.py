@@ -1,0 +1,328 @@
+"""The image-processing workload family (filter + statistics kernels).
+
+Seven bare-metal kernels written against the kernel-IR builder, spanning
+the classic embedded image pipeline: 3x3 convolutions (Sobel gradient,
+unsharp mask), a separable Gaussian blur, a 3x3 median filter, a 256-bin
+histogram with min/max/mean/stddev, an integral image with ROI sums and
+centre of mass, and a bilinear 2x downscale.  Each is parameterized by
+``Scale.image_size``, compiled in both float ABIs, and prints a rolling
+digest of its output that must match the host-side reference
+(:mod:`repro.workloads.imaging_ref`) bit-for-bit -- the mixed
+integer/double arithmetic makes the family a genuine third column next
+to FSE (FP-dominated) and HEVC-lite (integer-dominated) in the FPU
+trade-off experiments.
+
+Every kernel follows the same shape: operate on an embedded
+deterministic test picture, fold the output stream into
+``h = h * 31 + value (mod 2**32)``, print ``h`` and exit 0.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scale import Scale
+from repro.kir import F64, I32, U32, Module
+from repro.workloads.imaging_ref import (
+    GAUSS_W,
+    IMAGE_INDEX,
+    REFERENCES,
+    SHARPEN_ALPHA,
+    roi_boxes,
+    source_image,
+)
+from repro.workloads.registry import workload
+
+#: the median-of-9 compare-exchange network (19 exchanges); after
+#: applying it to v0..v8 the median sits in v4
+MEDIAN9_NETWORK = (
+    (1, 2), (4, 5), (7, 8), (0, 1), (3, 4), (6, 7), (1, 2), (4, 5),
+    (7, 8), (0, 3), (5, 8), (4, 7), (3, 6), (1, 4), (2, 5), (4, 7),
+    (4, 2), (6, 4), (4, 2),
+)
+
+
+def _new_module(kernel: str, size: int) -> Module:
+    m = Module(f"img_{kernel}_{size}")
+    flat = bytes(p for row in source_image(kernel, size)
+                 for p in row)
+    m.global_bytes("img", flat, align=4)
+    return m
+
+
+def _fold(f, h, value) -> None:
+    """``h = h * 31 + value`` (u32 wrap-around)."""
+    f.assign(h, h * 31 + value)
+
+
+def _digest_u8_buffer(f, m, h, buf_name: str, count: int) -> None:
+    buf = m.addr_of(buf_name)
+    with f.for_range("di", 0, count) as di:
+        _fold(f, h, f.load_u8(buf + di))
+
+
+def _finish(f, h) -> None:
+    f.sys_write_u32(h)
+    f.ret(0)
+
+
+def _build_sobel(size: int) -> Module:
+    m = _new_module("sobel3x3", size)
+    img = m.addr_of("img")
+    m.global_zeros("out", size * size, align=4)
+    out = m.addr_of("out")
+    f = m.function("main", ret=I32)
+    mag = f.local(I32, "mag")
+    with f.for_range("y", 1, size - 1) as y:
+        with f.for_range("x", 1, size - 1) as x:
+            off = f.local(I32, "off", init=y * size + x)
+            nw = f.local(I32, "nw", init=f.load_u8(img + off - size - 1))
+            no = f.local(I32, "no", init=f.load_u8(img + off - size))
+            ne = f.local(I32, "ne", init=f.load_u8(img + off - size + 1))
+            we = f.local(I32, "we", init=f.load_u8(img + off - 1))
+            ea = f.local(I32, "ea", init=f.load_u8(img + off + 1))
+            sw = f.local(I32, "sw", init=f.load_u8(img + off + size - 1))
+            so = f.local(I32, "so", init=f.load_u8(img + off + size))
+            se = f.local(I32, "se", init=f.load_u8(img + off + size + 1))
+            gx = f.local(I32, "gx", init=ne + 2 * ea + se - nw - 2 * we - sw)
+            gy = f.local(I32, "gy", init=sw + 2 * so + se - nw - 2 * no - ne)
+            f.assign(mag, f.dtoi(f.fsqrt(f.itod(gx * gx + gy * gy))
+                                 + f.f64const(0.5)))
+            with f.if_(mag > 255):
+                f.assign(mag, 255)
+            f.store8(out + off, mag)
+    h = f.local(U32, "h", init=0)
+    _digest_u8_buffer(f, m, h, "out", size * size)
+    _finish(f, h)
+    return m
+
+
+def _build_sharpen(size: int) -> Module:
+    m = _new_module("sharpen3x3", size)
+    img = m.addr_of("img")
+    # the output starts as a copy of the input (borders pass through)
+    m.global_bytes("out", bytes(p for row in source_image("sharpen3x3", size)
+                                for p in row), align=4)
+    out = m.addr_of("out")
+    f = m.function("main", ret=I32)
+    v = f.local(F64, "v")
+    pix = f.local(I32, "pix")
+    with f.for_range("y", 1, size - 1) as y:
+        with f.for_range("x", 1, size - 1) as x:
+            off = f.local(I32, "off", init=y * size + x)
+            c = f.local(I32, "c", init=f.load_u8(img + off))
+            lap = f.local(I32, "lap", init=(
+                4 * c - f.load_u8(img + off - size)
+                - f.load_u8(img + off + size)
+                - f.load_u8(img + off - 1) - f.load_u8(img + off + 1)))
+            f.assign(v, f.itod(c) + f.f64const(SHARPEN_ALPHA) * f.itod(lap))
+            with f.if_(v < f.f64const(0.0)) as cneg:
+                f.assign(pix, 0)
+            with cneg.else_():
+                with f.if_(v > f.f64const(255.0)) as cbig:
+                    f.assign(pix, 255)
+                with cbig.else_():
+                    f.assign(pix, f.dtoi(v + f.f64const(0.5)))
+            f.store8(out + off, pix)
+    h = f.local(U32, "h", init=0)
+    _digest_u8_buffer(f, m, h, "out", size * size)
+    _finish(f, h)
+    return m
+
+
+def _build_gauss(size: int) -> Module:
+    m = _new_module("gauss5x5", size)
+    img = m.addr_of("img")
+    m.global_f64s("w5", list(GAUSS_W))
+    w5 = m.addr_of("w5")
+    m.global_zeros("tmp", size * size * 8, align=8)
+    tmp = m.addr_of("tmp")
+    f = m.function("main", ret=I32)
+    h = f.local(U32, "h", init=0)
+    acc = f.local(F64, "acc")
+    # horizontal pass: clamp-to-edge taps into the f64 working buffer
+    with f.for_range("y", 0, size) as y:
+        with f.for_range("x", 0, size) as x:
+            f.assign(acc, f.f64const(0.0))
+            with f.for_range("k", 0, 5) as k:
+                xi = f.local(I32, "xi", init=x + k - 2)
+                with f.if_(xi < 0):
+                    f.assign(xi, 0)
+                with f.if_(xi > size - 1):
+                    f.assign(xi, size - 1)
+                f.assign(acc, acc + f.loadf(w5 + (k << 3))
+                         * f.itod(f.load_u8(img + y * size + xi)))
+            f.storef(tmp + ((y * size + x) << 3), acc)
+    # vertical pass folds straight into the digest (row-major order)
+    with f.for_range("vy", 0, size) as vy:
+        with f.for_range("vx", 0, size) as vx:
+            f.assign(acc, f.f64const(0.0))
+            with f.for_range("vk", 0, 5) as vk:
+                yi = f.local(I32, "yi", init=vy + vk - 2)
+                with f.if_(yi < 0):
+                    f.assign(yi, 0)
+                with f.if_(yi > size - 1):
+                    f.assign(yi, size - 1)
+                f.assign(acc, acc + f.loadf(w5 + (vk << 3))
+                         * f.loadf(tmp + ((yi * size + vx) << 3)))
+            _fold(f, h, f.dtoi(acc + f.f64const(0.5)))
+    _finish(f, h)
+    return m
+
+
+def _build_median(size: int) -> Module:
+    m = _new_module("median3x3", size)
+    img = m.addr_of("img")
+    m.global_bytes("out", bytes(p for row in source_image("median3x3", size)
+                                for p in row), align=4)
+    out = m.addr_of("out")
+    f = m.function("main", ret=I32)
+    v = [f.local(I32, f"v{i}") for i in range(9)]
+    t = f.local(I32, "t")
+    with f.for_range("y", 1, size - 1) as y:
+        with f.for_range("x", 1, size - 1) as x:
+            off = f.local(I32, "off", init=y * size + x)
+            for i, (dy, dx) in enumerate((dy, dx) for dy in (-1, 0, 1)
+                                         for dx in (-1, 0, 1)):
+                f.assign(v[i], f.load_u8(img + off + dy * size + dx))
+            for a, b in MEDIAN9_NETWORK:
+                with f.if_(v[a] > v[b]):
+                    f.assign(t, v[a])
+                    f.assign(v[a], v[b])
+                    f.assign(v[b], t)
+            f.store8(out + off, v[4])
+    h = f.local(U32, "h", init=0)
+    _digest_u8_buffer(f, m, h, "out", size * size)
+    # f64 mean of the filtered picture, folded in scaled by 16
+    total = f.local(F64, "total", init=f.f64const(0.0))
+    with f.for_range("mi", 0, size * size) as mi:
+        f.assign(total, total + f.itod(f.load_u8(out + mi)))
+    _fold(f, h, f.dtoi(total / f.f64const(float(size * size))
+                       * f.f64const(16.0)))
+    _finish(f, h)
+    return m
+
+
+def _build_histstats(size: int) -> Module:
+    m = _new_module("histstats", size)
+    img = m.addr_of("img")
+    m.global_zeros("hist", 256 * 4, align=4)
+    hist = m.addr_of("hist")
+    f = m.function("main", ret=I32)
+    mn = f.local(I32, "mn", init=255)
+    mx = f.local(I32, "mx", init=0)
+    fsum = f.local(F64, "fsum", init=f.f64const(0.0))
+    fsq = f.local(F64, "fsq", init=f.f64const(0.0))
+    fv = f.local(F64, "fv")
+    with f.for_range("i", 0, size * size) as i:
+        pv = f.local(I32, "pv", init=f.load_u8(img + i))
+        slot = f.local(U32, "slot", init=hist + (pv << 2))
+        f.store(slot, f.load(slot) + 1)
+        with f.if_(pv < mn):
+            f.assign(mn, pv)
+        with f.if_(pv > mx):
+            f.assign(mx, pv)
+        f.assign(fv, f.itod(pv))
+        f.assign(fsum, fsum + fv)
+        f.assign(fsq, fsq + fv * fv)
+    n = f.local(F64, "n", init=f.f64const(float(size * size)))
+    mean = f.local(F64, "mean", init=fsum / n)
+    var = f.local(F64, "var", init=fsq / n - mean * mean)
+    with f.if_(var < f.f64const(0.0)):
+        f.assign(var, f.f64const(0.0))
+    sd = f.local(F64, "sd", init=f.fsqrt(var))
+    h = f.local(U32, "h", init=0)
+    with f.for_range("b", 0, 256) as b:
+        _fold(f, h, f.load(hist + (b << 2)))
+    _fold(f, h, mn)
+    _fold(f, h, mx)
+    _fold(f, h, f.dtoi(mean * f.f64const(1000.0)))
+    _fold(f, h, f.dtoi(sd * f.f64const(1000.0)))
+    _finish(f, h)
+    return m
+
+
+def _build_integral(size: int) -> Module:
+    m = _new_module("integral", size)
+    img = m.addr_of("img")
+    m.global_zeros("ii", size * size * 4, align=4)
+    ii = m.addr_of("ii")
+    f = m.function("main", ret=I32)
+    with f.for_range("y", 0, size) as y:
+        rs = f.local(I32, "rs", init=0)
+        with f.for_range("x", 0, size) as x:
+            off = f.local(I32, "off", init=y * size + x)
+            f.assign(rs, rs + f.load_u8(img + off))
+            above = f.local(I32, "above", init=0)
+            with f.if_(y > 0):
+                f.assign(above, f.load(ii + ((off - size) << 2)))
+            f.store(ii + (off << 2), rs + above)
+    h = f.local(U32, "h", init=0)
+    with f.for_range("di", 0, size * size) as di:
+        _fold(f, h, f.load(ii + (di << 2)))
+    # ROI sums via the four-corner trick (boxes are compile-time)
+    for x0, y0, x1, y1 in roi_boxes(size):
+        def corner(cy: int, cx: int):
+            return f.load(ii + ((cy * size + cx) << 2))
+        _fold(f, h, corner(y1 - 1, x1 - 1) - corner(y1 - 1, x0 - 1)
+              - corner(y0 - 1, x1 - 1) + corner(y0 - 1, x0 - 1))
+    # centre of mass in f64 (per-axis first moments over total mass)
+    cx = f.local(F64, "cx", init=f.f64const(0.0))
+    cy = f.local(F64, "cy", init=f.f64const(0.0))
+    ct = f.local(F64, "ct", init=f.f64const(0.0))
+    fv = f.local(F64, "fv")
+    with f.for_range("my", 0, size) as my:
+        with f.for_range("mx", 0, size) as mx:
+            f.assign(fv, f.itod(f.load_u8(img + my * size + mx)))
+            f.assign(cx, cx + f.itod(mx) * fv)
+            f.assign(cy, cy + f.itod(my) * fv)
+            f.assign(ct, ct + fv)
+    _fold(f, h, f.dtoi(cx / ct * f.f64const(100.0)))
+    _fold(f, h, f.dtoi(cy / ct * f.f64const(100.0)))
+    _finish(f, h)
+    return m
+
+
+def _build_downscale(size: int) -> Module:
+    m = _new_module("downscale2x", size)
+    img = m.addr_of("img")
+    half = size // 2
+    f = m.function("main", ret=I32)
+    h = f.local(U32, "h", init=0)
+    with f.for_range("y", 0, half) as y:
+        with f.for_range("x", 0, half) as x:
+            off = f.local(I32, "off", init=(y * size + x) * 2)
+            s4 = f.local(I32, "s4", init=(
+                f.load_u8(img + off) + f.load_u8(img + off + 1)
+                + f.load_u8(img + off + size)
+                + f.load_u8(img + off + size + 1)))
+            _fold(f, h, f.dtoi(f.f64const(0.25) * f.itod(s4)
+                               + f.f64const(0.5)))
+    _finish(f, h)
+    return m
+
+
+_BUILDERS = {
+    "sobel3x3": (_build_sobel, ("conv", "gradient", "float")),
+    "sharpen3x3": (_build_sharpen, ("conv", "enhance", "float")),
+    "gauss5x5": (_build_gauss, ("conv", "separable", "float")),
+    "median3x3": (_build_median, ("rank", "denoise", "integer")),
+    "histstats": (_build_histstats, ("statistics", "histogram", "float")),
+    "integral": (_build_integral, ("statistics", "roi", "float")),
+    "downscale2x": (_build_downscale, ("resample", "float")),
+}
+
+assert set(_BUILDERS) == set(IMAGE_INDEX) == set(REFERENCES)
+
+
+def _register(kernel: str) -> None:
+    builder, tags = _BUILDERS[kernel]
+
+    @workload(f"img:{kernel}", "img",
+              scale_key=lambda scale: (scale.image_size,),
+              golden=lambda scale: REFERENCES[kernel](scale.image_size),
+              tags=tags)
+    def _build(scale: Scale, builder=builder) -> Module:
+        return builder(scale.image_size)
+
+
+for _kernel in _BUILDERS:
+    _register(_kernel)

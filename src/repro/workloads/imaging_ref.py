@@ -1,0 +1,229 @@
+"""Host-side reference for the imaging workload family.
+
+Every kernel in :mod:`repro.workloads.imaging` has its counterpart here,
+mirrored operation-for-operation -- the same visit order, the same
+double-precision accumulation order, the same truncations -- so the
+reference digest and both ABI builds of the simulated kernel print the
+same number bit-for-bit (Python floats are IEEE doubles, exactly like
+the simulated FPU and the bit-exact soft-float runtime).
+
+Each function returns the expected console output of the kernel: the
+decimal rolling digest (``h = h * 31 + value`` over the kernel's output
+stream, modulo 2**32) plus newline.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fse.images import make_image
+
+MASK32 = 0xFFFFFFFF
+
+#: source picture per kernel (diverse content, all deterministic)
+IMAGE_INDEX = {
+    "sobel3x3": 2,
+    "sharpen3x3": 3,
+    "gauss5x5": 5,
+    "median3x3": 7,
+    "histstats": 11,
+    "integral": 13,
+    "downscale2x": 17,
+}
+
+#: separable 5-tap binomial kernel (all exact binary fractions)
+GAUSS_W = (1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16)
+
+#: unsharp coefficient of the sharpen kernel
+SHARPEN_ALPHA = 0.6
+
+#: inclusive-exclusive ROI boxes of the integral kernel, for side n:
+#: four quadrants (inset one pixel so every corner lookup is in range)
+#: plus the centre box
+def roi_boxes(n: int) -> list[tuple[int, int, int, int]]:
+    q = n // 2
+    return [(1, 1, q, q), (q, 1, n - 1, q),
+            (1, q, q, n - 1), (q, q, n - 1, n - 1),
+            (2, 2, n - 2, n - 2)]
+
+
+def source_image(kernel: str, size: int) -> list[list[int]]:
+    """The deterministic input picture of ``kernel`` at ``size``."""
+    return make_image(IMAGE_INDEX[kernel], size)
+
+
+def _digest(values) -> int:
+    h = 0
+    for v in values:
+        h = (h * 31 + v) & MASK32
+    return h
+
+
+def _console(h: int) -> str:
+    return f"{h}\n"
+
+
+def sobel3x3(size: int) -> str:
+    """Gradient magnitude: |G| = round(sqrt(gx^2 + gy^2)), clamp 255."""
+    p = source_image("sobel3x3", size)
+    out = [[0] * size for _ in range(size)]
+    for y in range(1, size - 1):
+        for x in range(1, size - 1):
+            gx = (p[y - 1][x + 1] + 2 * p[y][x + 1] + p[y + 1][x + 1]
+                  - p[y - 1][x - 1] - 2 * p[y][x - 1] - p[y + 1][x - 1])
+            gy = (p[y + 1][x - 1] + 2 * p[y + 1][x] + p[y + 1][x + 1]
+                  - p[y - 1][x - 1] - 2 * p[y - 1][x] - p[y - 1][x + 1])
+            mag = int(math.sqrt(float(gx * gx + gy * gy)) + 0.5)
+            out[y][x] = min(mag, 255)
+    return _console(_digest(v for row in out for v in row))
+
+
+def sharpen3x3(size: int) -> str:
+    """Unsharp mask: c + alpha * (4c - n - s - e - w), clamped."""
+    p = source_image("sharpen3x3", size)
+    out = [row[:] for row in p]
+    for y in range(1, size - 1):
+        for x in range(1, size - 1):
+            lap = (4 * p[y][x] - p[y - 1][x] - p[y + 1][x]
+                   - p[y][x - 1] - p[y][x + 1])
+            v = float(p[y][x]) + SHARPEN_ALPHA * float(lap)
+            if v < 0.0:
+                out[y][x] = 0
+            elif v > 255.0:
+                out[y][x] = 255
+            else:
+                out[y][x] = int(v + 0.5)
+    return _console(_digest(v for row in out for v in row))
+
+
+def gauss5x5(size: int) -> str:
+    """Separable 5x5 binomial blur with clamp-to-edge borders."""
+    p = source_image("gauss5x5", size)
+    tmp = [[0.0] * size for _ in range(size)]
+    for y in range(size):
+        for x in range(size):
+            acc = 0.0
+            for k in range(5):
+                xi = x + k - 2
+                if xi < 0:
+                    xi = 0
+                if xi > size - 1:
+                    xi = size - 1
+                acc = acc + GAUSS_W[k] * float(p[y][xi])
+            tmp[y][x] = acc
+    out = [[0] * size for _ in range(size)]
+    for y in range(size):
+        for x in range(size):
+            acc = 0.0
+            for k in range(5):
+                yi = y + k - 2
+                if yi < 0:
+                    yi = 0
+                if yi > size - 1:
+                    yi = size - 1
+                acc = acc + GAUSS_W[k] * tmp[yi][x]
+            out[y][x] = int(acc + 0.5)
+    return _console(_digest(v for row in out for v in row))
+
+
+def median3x3(size: int) -> str:
+    """3x3 median filter plus the f64 mean of the filtered picture."""
+    p = source_image("median3x3", size)
+    out = [row[:] for row in p]
+    for y in range(1, size - 1):
+        for x in range(1, size - 1):
+            window = sorted(p[y + dy][x + dx]
+                            for dy in (-1, 0, 1) for dx in (-1, 0, 1))
+            out[y][x] = window[4]
+    h = _digest(v for row in out for v in row)
+    total = 0.0
+    for row in out:
+        for v in row:
+            total = total + float(v)
+    mean = total / float(size * size)
+    h = (h * 31 + int(mean * 16.0)) & MASK32
+    return _console(h)
+
+
+def histstats(size: int) -> str:
+    """256-bin histogram + min/max/mean/stddev over the picture."""
+    p = source_image("histstats", size)
+    hist = [0] * 256
+    mn, mx = 255, 0
+    fsum = 0.0
+    fsq = 0.0
+    for y in range(size):
+        for x in range(size):
+            v = p[y][x]
+            hist[v] += 1
+            if v < mn:
+                mn = v
+            if v > mx:
+                mx = v
+            fv = float(v)
+            fsum = fsum + fv
+            fsq = fsq + fv * fv
+    n = float(size * size)
+    mean = fsum / n
+    var = fsq / n - mean * mean
+    if var < 0.0:
+        var = 0.0
+    sd = math.sqrt(var)
+    h = _digest(hist)
+    for v in (mn, mx, int(mean * 1000.0), int(sd * 1000.0)):
+        h = (h * 31 + v) & MASK32
+    return _console(h)
+
+
+def integral(size: int) -> str:
+    """Integral image, ROI sums over it, and the f64 centre of mass."""
+    p = source_image("integral", size)
+    ii = [[0] * size for _ in range(size)]
+    for y in range(size):
+        rs = 0
+        for x in range(size):
+            rs += p[y][x]
+            ii[y][x] = rs + (ii[y - 1][x] if y > 0 else 0)
+    h = _digest(v for row in ii for v in row)
+    for x0, y0, x1, y1 in roi_boxes(size):
+        s = (ii[y1 - 1][x1 - 1] - ii[y1 - 1][x0 - 1]
+             - ii[y0 - 1][x1 - 1] + ii[y0 - 1][x0 - 1])
+        h = (h * 31 + s) & MASK32
+    cx = 0.0
+    cy = 0.0
+    ct = 0.0
+    for y in range(size):
+        for x in range(size):
+            fv = float(p[y][x])
+            cx = cx + float(x) * fv
+            cy = cy + float(y) * fv
+            ct = ct + fv
+    h = (h * 31 + int((cx / ct) * 100.0)) & MASK32
+    h = (h * 31 + int((cy / ct) * 100.0)) & MASK32
+    return _console(h)
+
+
+def downscale2x(size: int) -> str:
+    """Bilinear 2x downscale (2x2 box average, rounded)."""
+    p = source_image("downscale2x", size)
+    half = size // 2
+    h = 0
+    for y in range(half):
+        for x in range(half):
+            s4 = (p[2 * y][2 * x] + p[2 * y][2 * x + 1]
+                  + p[2 * y + 1][2 * x] + p[2 * y + 1][2 * x + 1])
+            v = int(0.25 * float(s4) + 0.5)
+            h = (h * 31 + v) & MASK32
+    return _console(h)
+
+
+#: kernel name -> reference oracle
+REFERENCES = {
+    "sobel3x3": sobel3x3,
+    "sharpen3x3": sharpen3x3,
+    "gauss5x5": gauss5x5,
+    "median3x3": median3x3,
+    "histstats": histstats,
+    "integral": integral,
+    "downscale2x": downscale2x,
+}

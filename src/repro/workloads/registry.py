@@ -1,0 +1,252 @@
+"""The declarative workload registry.
+
+Every workload the experiments evaluate is described exactly once as a
+:class:`WorkloadSpec`: a scale-aware kernel-IR builder, the scale fields
+the build depends on (the build-cache key), a golden-output oracle for
+self-checking, and the membership predicate that ties the workload into
+the named experiment scales.  Specs are registered with the
+:func:`workload` decorator at import of their family module
+(:mod:`repro.workloads.fse`, :mod:`repro.workloads.hevc`,
+:mod:`repro.workloads.imaging`); everything downstream -- the Table III
+kernel set, the Table IV / Figure 4 pair lists, the DSE sweeps and the
+``repro workloads`` CLI -- resolves workloads through this module, so
+adding a scenario to the whole reproduction is one new builder function
+in one file.
+
+Selection supports named presets (``table3`` is the paper's evaluated
+set), family names (``fse``/``hevc``/``img``) and shell-style globs over
+workload names (``img:*``, ``fse:0?``), comma-combinable: the
+``repro dse --workloads`` flag feeds straight into :func:`select`.
+
+Compiled programs are memoised in a single registry-level build cache
+keyed by ``(workload name, float ABI, the spec's scale fields)`` --
+two scales that agree on the fields a builder actually reads share one
+build.  :func:`clear_build_cache` drops it (tests use this to assert
+cold-build behaviour); the cache only ever holds one entry per distinct
+key, so its size is bounded by the registry itself.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.asm.program import Program
+from repro.dse.workload import WorkloadPair
+from repro.experiments.scale import Scale, iter_scales
+from repro.kir import Module, compile_module
+
+#: the two float ABIs every workload compiles under
+ABIS = ("hard", "soft")
+
+#: preset name -> the families it spans, in suite order.  ``table3`` is
+#: the paper's evaluated set (FSE + HEVC-lite, exactly the pre-registry
+#: suite); ``imaging`` is the PR-5 image-processing kernel family.  The
+#: ``all`` preset is resolved dynamically by :func:`select` to every
+#: registered family, so user-registered families are included too.
+PRESETS: dict[str, tuple[str, ...]] = {
+    "table3": ("fse", "hevc"),
+    "imaging": ("img",),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered workload: how to build it, check it, and scale it.
+
+    Attributes
+    ----------
+    name:
+        Registry key, ``family:kernel`` (``fse:00``, ``img:sobel3x3``).
+    family:
+        Workload family (groups Table IV rows, selection, rendering).
+    build_module:
+        ``scale -> kir Module``; compiled per ABI by :meth:`program`.
+    scale_key:
+        ``scale -> tuple`` of the scale fields the build depends on
+        (the build-cache key; scales agreeing on it share builds).
+    golden:
+        ``scale -> str`` expected console output of a correct run, from
+        an independent host-side reference (both ABI builds must match
+        it bit-for-bit).
+    in_scale:
+        ``scale -> bool``: is this workload part of the scale's suite?
+    tags:
+        Free-form labels (``float``, ``conv``, ``statistics``, ...).
+    """
+
+    name: str
+    family: str
+    build_module: Callable[[Scale], Module]
+    scale_key: Callable[[Scale], tuple]
+    golden: Callable[[Scale], str]
+    in_scale: Callable[[Scale], bool] = lambda scale: True
+    tags: frozenset[str] = field(default_factory=frozenset)
+
+    def program(self, abi: str, scale: Scale) -> Program:
+        """The compiled program for ``abi`` at ``scale`` (build-cached)."""
+        if abi not in ABIS:
+            raise ValueError(f"unknown float ABI {abi!r}; expected "
+                             f"one of {ABIS}")
+        key = (self.name, abi, self.scale_key(scale))
+        program = _BUILD_CACHE.get(key)
+        if program is None:
+            program = compile_module(self.build_module(scale), float_abi=abi)
+            _BUILD_CACHE[key] = program
+        return program
+
+    def pair(self, scale: Scale) -> WorkloadPair:
+        """Both builds of the workload, as the DSE engine consumes them."""
+        return WorkloadPair(name=self.name,
+                            float_program=self.program("hard", scale),
+                            fixed_program=self.program("soft", scale))
+
+    def scales(self) -> tuple[str, ...]:
+        """Names of the registered scales whose suite includes this spec."""
+        return tuple(s.name for s in iter_scales() if self.in_scale(s))
+
+
+_REGISTRY: dict[str, WorkloadSpec] = {}
+_BUILD_CACHE: dict[tuple, Program] = {}
+_BUILTIN_LOADED = False
+
+
+def register(spec: WorkloadSpec) -> WorkloadSpec:
+    """Add ``spec`` to the registry (duplicate names are an error)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"workload {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def workload(name: str, family: str, *,
+             scale_key: Callable[[Scale], tuple],
+             golden: Callable[[Scale], str],
+             in_scale: Callable[[Scale], bool] = lambda scale: True,
+             tags: Iterable[str] = ()) -> Callable:
+    """Decorator registering a ``scale -> Module`` builder as a workload."""
+    def decorate(build_module: Callable[[Scale], Module]):
+        register(WorkloadSpec(
+            name=name, family=family, build_module=build_module,
+            scale_key=scale_key, golden=golden, in_scale=in_scale,
+            tags=frozenset(tags)))
+        return build_module
+    return decorate
+
+
+def ensure_builtin() -> None:
+    """Import the built-in family modules (idempotent)."""
+    global _BUILTIN_LOADED
+    if _BUILTIN_LOADED:
+        return
+    # registration order defines suite order: fse, hevc, then imaging
+    # (the table3 preset must enumerate exactly like the pre-registry
+    # workload lists did).  Each family imports atomically: on failure
+    # its partial registrations are rolled back and the error re-raised,
+    # so the next call retries that family (Python drops failed modules
+    # from sys.modules) instead of serving -- or tripping over -- a
+    # half-registered one.
+    import importlib
+    import sys
+    for module in ("fse", "hevc", "imaging"):
+        qualified = f"repro.workloads.{module}"
+        if qualified in sys.modules:
+            continue
+        before = set(_REGISTRY)
+        try:
+            importlib.import_module(qualified)
+        except BaseException:
+            for name in set(_REGISTRY) - before:
+                del _REGISTRY[name]
+            raise
+    _BUILTIN_LOADED = True
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """Look up one workload by exact name."""
+    ensure_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}; try "
+                         f"'repro workloads list'") from None
+
+
+def specs(family: str | None = None,
+          scale: Scale | None = None) -> tuple[WorkloadSpec, ...]:
+    """Registered specs in registration order, optionally filtered."""
+    ensure_builtin()
+    out = []
+    for spec in _REGISTRY.values():
+        if family is not None and spec.family != family:
+            continue
+        if scale is not None and not spec.in_scale(scale):
+            continue
+        out.append(spec)
+    return tuple(out)
+
+
+def families() -> tuple[str, ...]:
+    """Registered family names, in registration order."""
+    ensure_builtin()
+    seen: dict[str, None] = {}
+    for spec in _REGISTRY.values():
+        seen.setdefault(spec.family)
+    return tuple(seen)
+
+
+def select(patterns: str | Sequence[str],
+           scale: Scale | None = None) -> tuple[WorkloadSpec, ...]:
+    """Resolve a workload filter to specs, in registry order per pattern.
+
+    ``patterns`` is a comma-separated string (or sequence) where each
+    item is a preset name (``table3``, or ``all`` for every registered
+    family), a family name (``img``) or an fnmatch glob over workload
+    names (``img:*``, ``fse:00``).  Items
+    accumulate left to right; duplicates keep their first position.  An
+    item matching nothing raises ``ValueError`` -- a filter that
+    silently selects an empty suite would render an empty report.
+    """
+    ensure_builtin()
+    if isinstance(patterns, str):
+        patterns = [p.strip() for p in patterns.split(",")]
+    patterns = [p for p in patterns if p]
+    if not patterns:
+        raise ValueError("empty workload filter")
+    chosen: dict[str, WorkloadSpec] = {}
+    for pattern in patterns:
+        if pattern == "all":
+            matched = list(specs())
+        elif pattern in PRESETS:
+            matched = [s for fam in PRESETS[pattern] for s in specs(fam)]
+        elif pattern in families():
+            matched = list(specs(pattern))
+        else:
+            matched = [s for s in specs()
+                       if fnmatch.fnmatchcase(s.name, pattern)]
+        if scale is not None:
+            matched = [s for s in matched if s.in_scale(scale)]
+        if not matched:
+            raise ValueError(
+                f"workload filter {pattern!r} matches nothing"
+                + (f" at scale {scale.name!r}" if scale is not None else ""))
+        for spec in matched:
+            chosen.setdefault(spec.name, spec)
+    return tuple(chosen.values())
+
+
+def select_pairs(patterns: str | Sequence[str],
+                 scale: Scale) -> list[WorkloadPair]:
+    """:func:`select`, resolved to compiled float/fixed program pairs."""
+    return [spec.pair(scale) for spec in select(patterns, scale)]
+
+
+def clear_build_cache() -> None:
+    """Drop every memoised program build (test isolation hook)."""
+    _BUILD_CACHE.clear()
+
+
+def build_cache_size() -> int:
+    """Number of memoised program builds (diagnostics/tests)."""
+    return len(_BUILD_CACHE)

@@ -67,6 +67,13 @@ def test_table1_smoke(capsys):
     assert "Instruction category" in capsys.readouterr().out
 
 
+def test_workloads_requires_action():
+    with pytest.raises(SystemExit):
+        main(["workloads"])
+    with pytest.raises(SystemExit):
+        main(["workloads", "frobnicate"])
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])

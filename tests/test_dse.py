@@ -318,13 +318,16 @@ def test_cli_parser_dse():
     parser = build_parser()
     args = parser.parse_args(
         ["dse", "--scale", "smoke", "--axes", "fpu,wait_states=0:1",
-         "--format", "json", "--workers", "2"])
+         "--format", "json", "--workers", "2",
+         "--workloads", "table3,img:*"])
     assert args.command == "dse"
     assert args.scale == "smoke"
     assert args.axes == "fpu,wait_states=0:1"
     assert args.fmt == "json"
     assert args.workers == 2
+    assert args.workloads == "table3,img:*"
     defaults = parser.parse_args(["dse"])
     assert defaults.axes is None and defaults.fmt == "text"
+    assert defaults.workloads is None
     with pytest.raises(SystemExit):
         parser.parse_args(["dse", "--format", "xml"])
