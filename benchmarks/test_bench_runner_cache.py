@@ -71,3 +71,29 @@ def test_runner_cache_warm(benchmark, tmp_path):
     warm = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
     assert json.dumps(warm, sort_keys=True) == \
         json.dumps(cold, sort_keys=True)
+
+
+def test_runner_cache_integrity_verify(benchmark, tmp_path):
+    """The cost of the envelope checksum on every warm read.
+
+    Same replay as the warm rung but measured over many reads of one
+    entry, so the recorded time is dominated by ``ResultCache.get``'s
+    parse-and-verify (the price PR 6's integrity contract added to every
+    hit).  Recomputing after quarantine is covered by the tests; this
+    rung keeps the verify overhead visible in the bench history.
+    """
+    from repro.runner import ResultCache, task_key
+
+    cache = ResultCache(tmp_path / "verify")
+    task = _tasks()[0]
+    key = task_key(task)
+    payload = ExperimentRunner(cache_dir=tmp_path / "verify",
+                               workers=1).run_tasks([task])[0]
+
+    def read():
+        return cache.get(key)
+
+    got = benchmark.pedantic(read, rounds=3, iterations=50)
+    assert json.dumps(got, sort_keys=True) == \
+        json.dumps(payload, sort_keys=True)
+    assert cache.quarantined == 0

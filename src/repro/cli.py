@@ -82,6 +82,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("text", "csv", "json"),
                    default="text", dest="fmt",
                    help="output rendering (default: text)")
+    p.add_argument("--resume", default=None, metavar="RUN_ID",
+                   help="continue an interrupted sweep from its "
+                        "checkpoint (run ids are printed on interrupt; "
+                        "the resumed report is byte-identical to an "
+                        "uninterrupted run)")
+    p.add_argument("--run-id", default=None, metavar="RUN_ID",
+                   help="name this sweep's checkpoint explicitly "
+                        "(default: a hash of the sweep parameters)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print the resolved runner/resilience settings "
+                        "(workers, cache, retries, timeouts, chaos) to "
+                        "stderr before sweeping")
     p = sub.add_parser(
         "workloads", help="inspect the workload registry")
     p.add_argument("action", choices=("list",),
@@ -108,6 +120,56 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_dse(scale, args) -> int:
+    """The ``repro dse`` branch: sweep, render, and handle interrupts.
+
+    A Ctrl-C (or a killed terminal) flushes the sweep checkpoint,
+    renders the partial report to a file under the runs directory
+    (noted on stderr, together with the ``--resume`` command line that
+    continues the sweep) and exits 130; the worker pool is torn down by
+    the executor, so no orphaned processes survive.  Malformed flags or
+    ``REPRO_*`` environment values exit 2 with a one-line error.
+    """
+    from repro.experiments import dse as dse_driver
+    try:
+        if args.verbose:
+            from repro.experiments.setup import effective_settings
+            for knob, value in effective_settings():
+                print(f"# {knob:<20} {value}", file=sys.stderr)
+        rendered = dse_driver.run(scale, axes=args.axes,
+                                  profile=args.profile,
+                                  workloads=args.workloads,
+                                  resume=args.resume,
+                                  run_id=args.run_id).render(args.fmt)
+    except dse_driver.DseInterrupted as exc:
+        partial = exc.result
+        root = dse_driver.checkpoint_root()
+        root.mkdir(parents=True, exist_ok=True)
+        ext = {"text": "txt", "csv": "csv", "json": "json"}[args.fmt]
+        path = root / f"{partial.run_id or 'unnamed'}.partial.{ext}"
+        rendered = partial.render(args.fmt)
+        path.write_text(
+            rendered if rendered.endswith("\n") else rendered + "\n",
+            encoding="utf-8")
+        print(f"interrupted at {exc.completed}/{exc.total} cells; "
+              f"partial report written to {path}", file=sys.stderr)
+        if partial.run_id:
+            print(f"resume with: repro dse --resume {partial.run_id}",
+                  file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except ValueError as exc:  # bad flags, filters or REPRO_* environment
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.fmt == "text":
+        print(rendered)
+    else:  # csv/json renderers terminate their own output
+        sys.stdout.write(rendered)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     command = args.command
@@ -124,35 +186,30 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.scale import get_scale
         scale = get_scale(args.scale)
         if command == "dse":
-            from repro.experiments import dse as dse_driver
-            try:
-                rendered = dse_driver.run(scale, axes=args.axes,
-                                          profile=args.profile,
-                                          workloads=args.workloads
-                                          ).render(args.fmt)
-            except ValueError as exc:  # bad --axes / --workloads filter
-                print(f"error: {exc}", file=sys.stderr)
-                return 2
-            if args.fmt == "text":
-                print(rendered)
-            else:  # csv/json renderers terminate their own output
-                sys.stdout.write(rendered)
-            return 0
+            return _run_dse(scale, args)
+        from repro.runner.resilience import UsageError
         from repro.experiments import (figure1, figure4, table1, table3,
                                        table4)
-        if command == "all":
-            from repro.experiments import figure23
-            print(table1.run(scale).render(), "\n")
-            print(table3.run(scale).render(), "\n")
-            print(table4.run(scale).render(), "\n")
-            print(figure1.run(scale).render(), "\n")
-            print(figure23.run_figure2().render(), "\n")
-            print(figure23.run_figure3().render(), "\n")
-            print(figure4.run(scale).render())
-            return 0
-        driver = {"table1": table1, "table3": table3, "table4": table4,
-                  "figure1": figure1, "figure4": figure4}[command]
-        result = driver.run(scale)
+        try:
+            if command == "all":
+                from repro.experiments import figure23
+                print(table1.run(scale).render(), "\n")
+                print(table3.run(scale).render(), "\n")
+                print(table4.run(scale).render(), "\n")
+                print(figure1.run(scale).render(), "\n")
+                print(figure23.run_figure2().render(), "\n")
+                print(figure23.run_figure3().render(), "\n")
+                print(figure4.run(scale).render())
+                return 0
+            driver = {"table1": table1, "table3": table3, "table4": table4,
+                      "figure1": figure1, "figure4": figure4}[command]
+            result = driver.run(scale)
+        except UsageError as exc:  # malformed REPRO_* environment
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except KeyboardInterrupt:
+            print("interrupted", file=sys.stderr)
+            return 130
         if command == "table3" and args.per_kernel:
             print(result.render(per_kernel=True))
         else:

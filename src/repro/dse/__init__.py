@@ -29,7 +29,10 @@ from repro.dse.engine import (
     OBJECTIVES,
     DseGrid,
     DsePoint,
+    FailedCell,
+    SweepInterrupted,
     sweep,
+    sweep_checkpointed,
     sweep_estimated,
     sweep_profiled,
 )
@@ -46,8 +49,10 @@ __all__ = [
     "DesignSpace",
     "DseGrid",
     "DsePoint",
+    "FailedCell",
     "OBJECTIVES",
     "SweepConfig",
+    "SweepInterrupted",
     "SweepReport",
     "WorkloadPair",
     "classify",
@@ -60,6 +65,7 @@ __all__ = [
     "register_axis",
     "resolve_pairs",
     "sweep",
+    "sweep_checkpointed",
     "sweep_estimated",
     "sweep_profiled",
 ]

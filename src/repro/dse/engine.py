@@ -13,6 +13,15 @@ and parallel sweeps produce identical floats.
 The estimation-based variant (:func:`sweep_estimated`) runs the paper's
 fast Eq.-1 path instead of the metered testbed; it exists for presets
 such as the Table IV FPU exploration (:mod:`repro.dse.presets`).
+
+Sweeps are fault-tolerant: a grid cell whose task retries ran out
+becomes a :class:`FailedCell` on :attr:`DseGrid.failures` (excluded
+from Pareto structure, marked in reports) instead of aborting the
+campaign, and :func:`sweep_checkpointed` persists completed cells
+through a :class:`~repro.runner.resilience.SweepCheckpoint` after every
+chunk, so an interrupted ``repro dse`` resumes from its last checkpoint
+(:class:`SweepInterrupted` carries the partial grid out of a
+``KeyboardInterrupt``).
 """
 
 from __future__ import annotations
@@ -26,6 +35,12 @@ from repro.dse.workload import WorkloadPair
 from repro.hw.area import memctrl_les, synthesize
 from repro.hw.config import HwConfig
 from repro.runner import ExperimentRunner
+from repro.runner.resilience import (
+    SweepCheckpoint,
+    TaskFailure,
+    is_failure,
+    log_event,
+)
 from repro.runner.tasks import SimTask, raw_from_payload
 
 #: Objective names, in the order :attr:`DsePoint.objectives` reports them.
@@ -62,10 +77,37 @@ class DsePoint:
 
 
 @dataclass(frozen=True)
+class FailedCell:
+    """One grid cell whose task retries ran out (kept out of Pareto)."""
+
+    config: str
+    workload: str
+    build: str
+    attempts: int
+    error: str
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """A sweep was interrupted; carries the partial grid built so far."""
+
+    def __init__(self, grid: "DseGrid", completed: int, total: int):
+        super().__init__(f"sweep interrupted at {completed}/{total} cells")
+        self.grid = grid
+        self.completed = completed
+        self.total = total
+
+
+@dataclass(frozen=True)
 class DseGrid:
-    """The full sweep result: every point, in deterministic order."""
+    """The full sweep result: every point, in deterministic order.
+
+    ``failures`` records cells that never produced a result (attempt
+    budget exhausted); they are excluded from points, aggregates and
+    Pareto views, and rendered as explicitly failed by the report.
+    """
 
     points: tuple[DsePoint, ...]
+    failures: tuple[FailedCell, ...] = ()
 
     def workloads(self) -> tuple[str, ...]:
         seen: dict[str, None] = {}
@@ -101,11 +143,17 @@ class DseGrid:
 
         Time, energy and retired counts sum over workloads (every
         configuration runs the full suite, so the sums are comparable);
-        area is a property of the configuration itself.
+        area is a property of the configuration itself.  Configurations
+        with failed cells cover less of the suite, so their sums would
+        not be comparable -- they are left out of the aggregate (and the
+        report marks them).
         """
+        expected = len(self.workloads())
         out = []
         for config in self.configs():
             points = self.select(config=config)
+            if len(points) != expected:
+                continue
             cycles: int | None = None
             if all(p.cycles is not None for p in points):
                 cycles = sum(p.cycles for p in points)
@@ -163,17 +211,25 @@ def _grid_jobs(configs: Sequence[SweepConfig],
 
 def _grid_from_jobs(jobs: Sequence[tuple[SweepConfig, WorkloadPair, str,
                                          object]],
-                    nfps: Sequence[tuple[float, float, int, int | None]]
+                    nfps: Sequence[tuple[float, float, int, int | None]
+                                   | TaskFailure]
                     ) -> DseGrid:
     """Assemble the grid from per-job ``(time, energy, retired, cycles)``.
 
-    The single construction point shared by the metered and the profiled
-    sweep, so the two paths cannot drift apart structurally -- only the
-    NFP source differs.
+    The single construction point shared by the metered, profiled and
+    checkpointed sweeps, so the paths cannot drift apart structurally --
+    only the NFP source differs.  A :class:`TaskFailure` in an NFP slot
+    becomes a :class:`FailedCell` instead of a point.
     """
     points = []
-    for (config, pair, build, _), (time_s, energy_j, retired,
-                                   cycles) in zip(jobs, nfps):
+    failures = []
+    for (config, pair, build, _), nfp in zip(jobs, nfps):
+        if isinstance(nfp, TaskFailure):
+            failures.append(FailedCell(
+                config=config.name, workload=pair.name, build=build,
+                attempts=nfp.attempts, error=nfp.error))
+            continue
+        time_s, energy_j, retired, cycles = nfp
         points.append(DsePoint(
             config=config.name,
             axis_values=config.axis_values,
@@ -185,7 +241,42 @@ def _grid_from_jobs(jobs: Sequence[tuple[SweepConfig, WorkloadPair, str,
             retired=retired,
             cycles=cycles,
         ))
-    return DseGrid(points=tuple(points))
+    return DseGrid(points=tuple(points), failures=tuple(failures))
+
+
+def _job_nfps(jobs: Sequence[tuple[SweepConfig, WorkloadPair, str, object]],
+              *, budget: int, runner: ExperimentRunner,
+              profile: bool) -> list[tuple[float, float, int, int | None]
+                                    | TaskFailure]:
+    """Per-job deterministic NFPs -- the one place both sweep paths
+    actually execute anything.  Failed tasks surface as
+    :class:`TaskFailure` records in their slots, never as exceptions."""
+    if profile:
+        # deferred: repro.dse.evaluate reaches repro.nfp, whose package
+        # import reaches back into this module through the presets
+        from repro.dse.evaluate import profiled_points
+        out: list[tuple[float, float, int, int | None] | TaskFailure] = []
+        for nfp in profiled_points(
+                [(config.hw, program) for config, _, _, program in jobs],
+                budget=budget, runner=runner):
+            if isinstance(nfp, TaskFailure):
+                out.append(nfp)
+            else:
+                out.append((nfp.time_s, nfp.energy_j, nfp.retired,
+                            nfp.cycles))
+        return out
+    tasks = [SimTask(mode="metered", program=program, budget=budget,
+                     hw=config.hw)
+             for config, _, _, program in jobs]
+    out = []
+    for payload in runner.run_tasks(tasks):
+        if is_failure(payload):
+            out.append(TaskFailure.from_payload(payload))
+        else:
+            raw = raw_from_payload(payload)
+            out.append((raw.true_time_s, raw.true_energy_j,
+                        raw.sim.retired, raw.cycles))
+    return out
 
 
 def sweep(space: DesignSpace | Sequence[SweepConfig],
@@ -205,14 +296,8 @@ def sweep(space: DesignSpace | Sequence[SweepConfig],
                else tuple(space))
     runner = runner if runner is not None else ExperimentRunner()
     jobs = _grid_jobs(configs, pairs)
-    tasks = [SimTask(mode="metered", program=program, budget=budget,
-                     hw=config.hw)
-             for config, _, _, program in jobs]
-    raws = [raw_from_payload(payload)
-            for payload in runner.run_tasks(tasks)]
-    return _grid_from_jobs(jobs, [
-        (raw.true_time_s, raw.true_energy_j, raw.sim.retired, raw.cycles)
-        for raw in raws])
+    return _grid_from_jobs(jobs, _job_nfps(jobs, budget=budget,
+                                           runner=runner, profile=False))
 
 
 def sweep_profiled(space: DesignSpace | Sequence[SweepConfig],
@@ -236,20 +321,80 @@ def sweep_profiled(space: DesignSpace | Sequence[SweepConfig],
     :mod:`repro.nfp.linear`).  Self-modifying workloads fall back to
     metered simulation per point, so the grid is always exact.
     """
-    # deferred: repro.dse.evaluate reaches repro.nfp, whose package
-    # import reaches back into this module through the presets
-    from repro.dse.evaluate import profiled_points
-
     configs = (space.configs(base) if isinstance(space, DesignSpace)
                else tuple(space))
     runner = runner if runner is not None else ExperimentRunner()
     jobs = _grid_jobs(configs, pairs)
-    nfps = profiled_points([(config.hw, program)
-                            for config, _, _, program in jobs],
-                           budget=budget, runner=runner)
-    return _grid_from_jobs(jobs, [
-        (nfp.time_s, nfp.energy_j, nfp.retired, nfp.cycles)
-        for nfp in nfps])
+    return _grid_from_jobs(jobs, _job_nfps(jobs, budget=budget,
+                                           runner=runner, profile=True))
+
+
+def _cell_key(config: SweepConfig, pair: WorkloadPair) -> str:
+    return f"{config.name}\t{pair.name}"
+
+
+def _cell_to_json(nfp) -> list | dict:
+    if isinstance(nfp, TaskFailure):
+        return {"failed": {"key": nfp.key, "mode": nfp.mode,
+                           "attempts": nfp.attempts, "error": nfp.error}}
+    return list(nfp)
+
+
+def _cell_from_json(cell) -> tuple | TaskFailure:
+    if isinstance(cell, dict):
+        return TaskFailure(**cell["failed"])
+    time_s, energy_j, retired, cycles = cell
+    return (time_s, energy_j, retired, cycles)
+
+
+def sweep_checkpointed(space: DesignSpace | Sequence[SweepConfig],
+                       pairs: Sequence[WorkloadPair], *,
+                       budget: int,
+                       runner: ExperimentRunner | None = None,
+                       base: HwConfig | None = None,
+                       profile: bool = False,
+                       checkpoint: SweepCheckpoint | None = None,
+                       chunk: int = 32) -> DseGrid:
+    """:func:`sweep`/:func:`sweep_profiled` with periodic checkpoints.
+
+    The grid is computed in chunks of ``chunk`` cells; after each chunk
+    the completed cells' deterministic NFPs are flushed into
+    ``checkpoint`` (atomic JSON; floats round-trip exactly), so a
+    re-opened checkpoint resumes with only the missing cells and the
+    resumed report is byte-identical to an uninterrupted run.  A
+    ``KeyboardInterrupt`` flushes the checkpoint and re-raises as
+    :class:`SweepInterrupted` carrying the partial grid, with no cell
+    half-recorded.  With ``checkpoint=None`` the chunked execution (and
+    the partial grid on interrupt) remains; only persistence is off.
+    """
+    configs = (space.configs(base) if isinstance(space, DesignSpace)
+               else tuple(space))
+    runner = runner if runner is not None else ExperimentRunner()
+    jobs = _grid_jobs(configs, pairs)
+    cells = checkpoint.cells if checkpoint is not None else {}
+    keys = [_cell_key(config, pair) for config, pair, _, _ in jobs]
+    missing = [i for i, key in enumerate(keys) if key not in cells]
+    try:
+        for start in range(0, len(missing), max(1, chunk)):
+            ids = missing[start:start + max(1, chunk)]
+            nfps = _job_nfps([jobs[i] for i in ids], budget=budget,
+                             runner=runner, profile=profile)
+            for i, nfp in zip(ids, nfps):
+                cells[keys[i]] = _cell_to_json(nfp)
+            if checkpoint is not None:
+                checkpoint.flush(total=len(jobs))
+    except KeyboardInterrupt:
+        if checkpoint is not None:
+            checkpoint.flush(total=len(jobs))
+        done = [i for i, key in enumerate(keys) if key in cells]
+        grid = _grid_from_jobs(
+            [jobs[i] for i in done],
+            [_cell_from_json(cells[keys[i]]) for i in done])
+        log_event("interrupted", completed=len(done), total=len(jobs))
+        raise SweepInterrupted(grid, completed=len(done),
+                               total=len(jobs)) from None
+    return _grid_from_jobs(jobs, [_cell_from_json(cells[key])
+                                  for key in keys])
 
 
 def sweep_estimated(space: DesignSpace | Sequence[SweepConfig],

@@ -30,6 +30,7 @@ from repro.asm.program import Program
 from repro.hw.config import HwConfig
 from repro.nfp.linear import ExecutionProfile, LinearNfpEngine
 from repro.runner import ExperimentRunner
+from repro.runner.resilience import TaskFailure, is_failure, log_event
 from repro.runner.tasks import SimTask, raw_from_payload, task_key
 from repro.vm.config import CoreConfig
 
@@ -74,13 +75,18 @@ def profile_task(program: Program, budget: int,
 
 def profiled_points(items: Sequence[tuple[HwConfig, Program]], *,
                     budget: int,
-                    runner: ExperimentRunner) -> list[PointNfp]:
+                    runner: ExperimentRunner
+                    ) -> list[PointNfp | TaskFailure]:
     """Evaluate every ``(configuration, program)`` grid point.
 
     One batch of deduplicating profile tasks (the runner's content
     addressing collapses the grid onto its distinct workload builds),
     one linear evaluation per point, and -- only where a profile came
-    back unclean -- one batch of exact metered fallback simulations.
+    back unclean *or never came back at all* -- one batch of exact
+    metered fallback simulations.  A grid point whose profile *and*
+    metered fallback both exhausted their retries surfaces as the
+    fallback's :class:`~repro.runner.resilience.TaskFailure` in its
+    slot; nothing here raises for a failed task.
     """
     tasks = [profile_task(program, budget, hw.core)
              for hw, program in items]
@@ -88,13 +94,19 @@ def profiled_points(items: Sequence[tuple[HwConfig, Program]], *,
     payloads = runner.run_tasks(tasks)
     profiles: dict[str, ExecutionProfile] = {}
     for key, payload in zip(keys, payloads):
-        if key not in profiles:
+        if key not in profiles and not is_failure(payload):
             profiles[key] = ExecutionProfile.from_payload(payload["profile"])
 
-    # fallback: self-modifying workloads are re-simulated per point on
+    # fallback: self-modifying workloads (unclean profiles) and points
+    # whose profile task failed outright are re-simulated per point on
     # the metered path (bit-identical to the plain metered sweep, and
     # shared with it through the result cache)
-    dirty = [i for i, key in enumerate(keys) if not profiles[key].clean]
+    dirty = [i for i, key in enumerate(keys)
+             if key not in profiles or not profiles[key].clean]
+    failed_profiles = sum(1 for key in set(keys) if key not in profiles)
+    if failed_profiles:
+        log_event("profile-fallback", profiles=failed_profiles,
+                  points=sum(1 for key in keys if key not in profiles))
     fallback: dict[int, dict] = {}
     if dirty:
         mtasks = [SimTask(mode="metered", program=items[i][1],
@@ -103,10 +115,13 @@ def profiled_points(items: Sequence[tuple[HwConfig, Program]], *,
             fallback[i] = payload
 
     engines: dict[int, LinearNfpEngine] = {}
-    points: list[PointNfp] = []
+    points: list[PointNfp | TaskFailure] = []
     for i, ((hw, _), key) in enumerate(zip(items, keys)):
         payload = fallback.get(i)
         if payload is not None:
+            if is_failure(payload):
+                points.append(TaskFailure.from_payload(payload))
+                continue
             raw = raw_from_payload(payload)
             points.append(PointNfp(
                 time_s=raw.true_time_s, energy_j=raw.true_energy_j,

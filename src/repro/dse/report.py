@@ -2,7 +2,10 @@
 
 The report is a pure function of the grid, so a warm re-run of a sweep
 renders byte-identical output -- the property the determinism tests (and
-the CI gate) lean on.
+the CI gate) lean on.  Failed cells (:attr:`DseGrid.failures`) are
+rendered explicitly in every format -- a partial report after an
+exhausted attempt budget (or an interrupt) marks exactly what is
+missing instead of silently shrinking the grid.
 """
 
 from __future__ import annotations
@@ -48,20 +51,27 @@ class SweepReport:
         grid = self.grid
         axis_names = grid.axis_names()
         aggregate = grid.dominated_flags()
-        knee = grid.knee()
-        headers = ("config", *axis_names, "time", "energy", "area LEs",
-                   "pareto")
-        rows = [_point_row(point, on_front, point.config == knee.config)
-                for point, on_front in aggregate]
-        n_front = sum(1 for _, on_front in aggregate if on_front)
-        out = [text_table(
-            headers, rows,
-            title=f"{self.title}: {len(grid.configs())} configs x "
-                  f"{len(grid.workloads())} workloads "
-                  f"({len(grid.points)} points), objectives "
-                  f"(time, energy, area), aggregate over workloads")]
-        out.append(f"aggregate Pareto front: {n_front} of "
-                   f"{len(aggregate)} configs; knee: {knee.config}")
+        out = []
+        if aggregate:
+            knee = grid.knee()
+            headers = ("config", *axis_names, "time", "energy", "area LEs",
+                       "pareto")
+            rows = [_point_row(point, on_front,
+                               point.config == knee.config)
+                    for point, on_front in aggregate]
+            n_front = sum(1 for _, on_front in aggregate if on_front)
+            out.append(text_table(
+                headers, rows,
+                title=f"{self.title}: {len(grid.configs())} configs x "
+                      f"{len(grid.workloads())} workloads "
+                      f"({len(grid.points)} points), objectives "
+                      f"(time, energy, area), aggregate over workloads"))
+            out.append(f"aggregate Pareto front: {n_front} of "
+                       f"{len(aggregate)} configs; knee: {knee.config}")
+        else:
+            out.append(f"{self.title}: no complete configurations to "
+                       f"aggregate ({len(grid.points)} points, "
+                       f"{len(grid.failures)} failed cells)")
         front_rows = []
         for workload in grid.workloads():
             points = grid.select(workload=workload)
@@ -73,10 +83,21 @@ class SweepReport:
                 workload, f"{len(front)}/{len(points)}",
                 grid.knee(workload).config, best_time.config,
                 best_energy.config, best_area.config))
-        out.append(text_table(
-            ("workload", "front", "knee", "min time", "min energy",
-             "min area"), front_rows,
-            title="per-workload Pareto fronts and per-objective winners"))
+        if front_rows:
+            out.append(text_table(
+                ("workload", "front", "knee", "min time", "min energy",
+                 "min area"), front_rows,
+                title="per-workload Pareto fronts and per-objective "
+                      "winners"))
+        if grid.failures:
+            out.append(text_table(
+                ("config", "workload", "build", "attempts", "error"),
+                [(f.config, f.workload, f.build, f.attempts,
+                  f.error[:48]) for f in grid.failures],
+                title=f"failed cells: {len(grid.failures)} of "
+                      f"{len(grid.points) + len(grid.failures)} "
+                      f"(attempt budget exhausted; excluded from "
+                      f"Pareto structure)"))
         return "\n".join(out)
 
     # -- csv ----------------------------------------------------------------
@@ -107,13 +128,17 @@ class SweepReport:
                 point.area_les,
                 "" if point.cycles is None else point.cycles,
                 point.retired, int(point.config in aggregate_front)])
+        for cell in grid.failures:
+            rows.append([
+                cell.config, *[""] * len(axis_names), cell.workload,
+                cell.build, "", "", "", "", "", "failed"])
         return csv_table(headers, rows)
 
     # -- json ---------------------------------------------------------------
 
     def to_json(self) -> str:
         grid = self.grid
-        knee = grid.knee()
+        aggregate = grid.aggregate()
 
         def point_obj(point: DsePoint) -> dict:
             return {
@@ -134,14 +159,22 @@ class SweepReport:
             "configs": list(grid.configs()),
             "workloads": list(grid.workloads()),
             "points": [point_obj(p) for p in grid.points],
-            "aggregate": [point_obj(p) for p in grid.aggregate()],
+            "aggregate": [point_obj(p) for p in aggregate],
             "pareto": {
-                "aggregate_front": [p.config for p in grid.front()],
-                "knee": knee.config,
+                "aggregate_front": [p.config for p in grid.front()]
+                if aggregate else [],
+                "knee": grid.knee().config if aggregate else None,
                 "per_workload": {
                     workload: {
                         "front": [p.config for p in grid.front(workload)],
                         "knee": grid.knee(workload).config,
                     } for workload in grid.workloads()},
             },
+            "failures": [{
+                "config": cell.config,
+                "workload": cell.workload,
+                "build": cell.build,
+                "attempts": cell.attempts,
+                "error": cell.error,
+            } for cell in grid.failures],
         })

@@ -9,20 +9,54 @@ from the registry (default: the paper's Table III preset; the
 through the shared cached parallel runner.  The result is the Pareto
 structure over (time, energy, area): which configurations are worth
 building, and which are dominated.
+
+Long sweeps are fault-tolerant: completed cells are checkpointed
+periodically under ``<cache root>/runs/<run id>.json``, an interrupted
+sweep raises :class:`DseInterrupted` carrying the partial result, and
+``repro dse --resume RUN_ID`` continues from the last checkpoint with a
+byte-identical final report.  Checkpointing is on whenever the result
+cache is (or when a run id is named explicitly), so ``REPRO_CACHE=off``
+runs stay fully stateless by default.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.dse.axes import DesignSpace
-from repro.dse.engine import DseGrid, sweep, sweep_profiled
+from repro.dse.engine import DseGrid, SweepInterrupted, sweep_checkpointed
 from repro.dse.report import SweepReport
 from repro.dse.workload import resolve_pairs
 from repro.experiments.scale import Scale, get_scale
 from repro.experiments.setup import metered_blocks_from_env, runner_from_env
 from repro.hw.config import HwConfig
+from repro.runner.resilience import (
+    CheckpointStore,
+    SweepCheckpoint,
+    UsageError,
+    cache_base_dir,
+)
 from repro.vm.config import CoreConfig
+
+
+def checkpoint_root() -> Path:
+    """Where sweep checkpoint manifests live (``<cache root>/runs``)."""
+    return cache_base_dir() / "runs"
+
+
+def default_run_id(spec: dict) -> str:
+    """The content-derived run id of a sweep: same sweep, same id.
+
+    Hashed over the checkpoint spec (scale, axes with their values,
+    profile mode, workload filter, metering mode), so re-invoking an
+    interrupted command line resumes its own checkpoint without the
+    user naming anything.
+    """
+    blob = json.dumps(spec, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:12]
 
 
 @dataclass
@@ -32,6 +66,8 @@ class DseResult:
     report: SweepReport
     space: DesignSpace
     scale_name: str
+    run_id: str | None = None   #: checkpoint id (None: checkpointing off)
+    partial: bool = False       #: True when the sweep was interrupted
 
     @property
     def grid(self) -> DseGrid:
@@ -41,10 +77,24 @@ class DseResult:
         return self.report.render(fmt)
 
 
+class DseInterrupted(KeyboardInterrupt):
+    """``repro dse`` was interrupted; carries the partial result."""
+
+    def __init__(self, result: DseResult, completed: int, total: int):
+        super().__init__(
+            f"dse sweep interrupted at {completed}/{total} cells")
+        self.result = result
+        self.completed = completed
+        self.total = total
+
+
 def run(scale: Scale | str | None = None,
         axes: str | None = None,
         profile: bool = False,
-        workloads: str | None = None) -> DseResult:
+        workloads: str | None = None,
+        resume: str | None = None,
+        run_id: str | None = None,
+        checkpoint_every: int = 8) -> DseResult:
     """Sweep ``axes`` (a ``DesignSpace.from_spec`` string, or the stock
     space) across a workload suite on the metered testbed.
 
@@ -58,6 +108,12 @@ def run(scale: Scale | str | None = None,
     is priced by the linear evaluator instead -- same grid, same Pareto
     structure, a fraction of the simulations (see
     :func:`repro.dse.engine.sweep_profiled` for the exactness contract).
+
+    ``resume`` continues a previous run's checkpoint by id (it must
+    exist, and the current sweep parameters must match the ones it was
+    taken under); ``run_id`` names a fresh run explicitly.  An
+    interruption (Ctrl-C) flushes the checkpoint and raises
+    :class:`DseInterrupted` with the partial result attached.
     """
     scale = scale if isinstance(scale, Scale) else get_scale(
         scale if isinstance(scale, str) else None)
@@ -66,12 +122,42 @@ def run(scale: Scale | str | None = None,
     base = HwConfig(
         name="leon3",
         core=CoreConfig(metered_blocks_enabled=metered_blocks_from_env()))
-    sweep_fn = sweep_profiled if profile else sweep
-    grid = sweep_fn(space, resolve_pairs(workloads, scale),
-                    budget=scale.max_instructions,
-                    runner=runner_from_env(), base=base)
+    runner = runner_from_env()
+    spec = {
+        "scale": scale.name,
+        "axes": [[name, list(values)] for name, values in space.axes],
+        "profile": profile,
+        "workloads": workloads or "",
+        "metered_blocks": metered_blocks_from_env(),
+    }
+    checkpoint = None
+    rid = None
+    if runner.cache is not None or resume is not None or run_id is not None:
+        store = CheckpointStore(checkpoint_root())
+        if resume is not None:
+            rid = resume
+            if store.load(rid) is None:
+                raise UsageError(
+                    f"no checkpoint {rid!r} under {store.root} -- "
+                    f"run ids are printed when a sweep is interrupted")
+        else:
+            rid = run_id or default_run_id(spec)
+        checkpoint = SweepCheckpoint.open(store, rid, spec)
+
     mode = ", profile-once" if profile else ""
     suite = f", workloads {workloads}" if workloads else ""
     title = f"design-space exploration ({scale.name} scale{mode}{suite})"
+    try:
+        grid = sweep_checkpointed(
+            space, resolve_pairs(workloads, scale),
+            budget=scale.max_instructions, runner=runner, base=base,
+            profile=profile, checkpoint=checkpoint,
+            chunk=checkpoint_every)
+    except SweepInterrupted as exc:
+        partial = DseResult(
+            report=SweepReport(exc.grid, title=f"{title} [partial]"),
+            space=space, scale_name=scale.name, run_id=rid, partial=True)
+        raise DseInterrupted(partial, completed=exc.completed,
+                             total=exc.total) from None
     return DseResult(report=SweepReport(grid, title=title),
-                     space=space, scale_name=scale.name)
+                     space=space, scale_name=scale.name, run_id=rid)

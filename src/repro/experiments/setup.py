@@ -18,13 +18,21 @@ Environment knobs (the CLI flags set these too):
     Worker processes per batch (default ``min(cpu_count, 8)``).
 ``REPRO_METERED_BLOCKS=0``
     Meter per-instruction instead of on cost-fused superblocks (A/B).
+``REPRO_RETRIES`` / ``REPRO_BACKOFF_S`` / ``REPRO_TIMEOUT_S`` /
+``REPRO_POOL_FAILURES``
+    Resilience knobs (see :mod:`repro.runner.resilience`).
+``REPRO_CHAOS=<seed>:<spec>``
+    Deterministic fault injection for testing the above.
+
+All knobs are validated on first read; a malformed value raises
+:class:`~repro.runner.resilience.UsageError` (a one-line CLI error)
+instead of surfacing a traceback from deep inside a sweep.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Iterable
 
 from repro.asm.program import Program
@@ -33,19 +41,46 @@ from repro.hw.config import leon3_fpu, leon3_nofpu
 from repro.hw.powermeter import InstrumentModel
 from repro.nfp.calibration import CalibrationResult, Calibrator
 from repro.nfp.estimator import EstimationReport, NFPEstimator
-from repro.runner import ExperimentRunner, SimTask, program_digest
+from repro.runner import (
+    ChaosPolicy,
+    ExperimentRunner,
+    RetryPolicy,
+    SimTask,
+    default_workers,
+    program_digest,
+)
+from repro.runner.resilience import cache_base_dir, cache_dir_from_env
 from repro.experiments.scale import Scale
 
 
 def runner_from_env() -> ExperimentRunner:
-    """Build the shared runner according to the ``REPRO_*`` environment."""
-    cache_mode = os.environ.get("REPRO_CACHE", "").strip().lower()
-    if cache_mode in ("off", "0", "no", "false", "disabled"):
-        cache_dir = None
-    else:
-        cache_dir = os.environ.get("REPRO_CACHE_DIR") or str(
-            Path.home() / ".cache" / "repro-nfp")
-    return ExperimentRunner(cache_dir=cache_dir)
+    """Build the shared runner according to the ``REPRO_*`` environment.
+
+    Every knob is validated here (first read), so a typo'd
+    ``REPRO_WORKERS=lots`` fails as a :class:`UsageError` before any
+    simulation starts.
+    """
+    return ExperimentRunner(cache_dir=cache_dir_from_env())
+
+
+def effective_settings() -> list[tuple[str, str]]:
+    """The resolved runner/resilience environment, as ``(knob, value)``
+    rows -- the ``repro dse --verbose`` doctor summary."""
+    retry = RetryPolicy.from_env()
+    chaos = ChaosPolicy.from_env()
+    cache_dir = cache_dir_from_env()
+    return [
+        ("workers", str(default_workers())),
+        ("cache", cache_dir if cache_dir else "off (in-process tier only)"),
+        ("checkpoints", str(cache_base_dir() / "runs")),
+        ("retries per task", str(retry.max_attempts)),
+        ("backoff base", f"{retry.base_delay_s:g}s"),
+        ("task timeout", f"{retry.timeout_s:g}s" if retry.timeout_s
+         else "off"),
+        ("pool failure budget", str(retry.max_pool_failures)),
+        ("chaos", chaos.spec() if chaos else "off"),
+        ("metered blocks", "on" if metered_blocks_from_env() else "off"),
+    ]
 
 
 def metered_blocks_from_env() -> bool:

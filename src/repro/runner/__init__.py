@@ -18,10 +18,31 @@ The split in :class:`repro.hw.board.Board` between :meth:`measure_raw`
 the caller in measurement order) is what makes results bit-identical no
 matter whether they were computed serially, in parallel workers, or read
 back from a warm cache.
+
+* :mod:`repro.runner.resilience` keeps all of the above alive under
+  faults: retries with backoff, pool stall watchdogs, worker-crash
+  isolation with graceful downgrade to serial execution, terminal
+  :class:`TaskFailure` payloads, cache-corruption quarantine, sweep
+  checkpoints, and the deterministic ``REPRO_CHAOS`` injection harness
+  that proves each guarantee in tests.
 """
 
-from repro.runner.cache import ResultCache
+from repro.runner.cache import CACHE_SCHEMA, ResultCache
 from repro.runner.pool import ExperimentRunner, default_workers
+from repro.runner.resilience import (
+    ChaosError,
+    ChaosPolicy,
+    CheckpointStore,
+    ResilientExecutor,
+    RetryPolicy,
+    SweepCheckpoint,
+    TaskFailedError,
+    TaskFailure,
+    UsageError,
+    ensure_payload,
+    is_failure,
+    log_event,
+)
 from repro.runner.tasks import (
     SCHEMA_VERSION,
     SimTask,
@@ -33,11 +54,24 @@ from repro.runner.tasks import (
 )
 
 __all__ = [
+    "CACHE_SCHEMA",
+    "ChaosError",
+    "ChaosPolicy",
+    "CheckpointStore",
     "ExperimentRunner",
+    "ResilientExecutor",
     "ResultCache",
+    "RetryPolicy",
     "SCHEMA_VERSION",
     "SimTask",
+    "SweepCheckpoint",
+    "TaskFailedError",
+    "TaskFailure",
+    "UsageError",
     "default_workers",
+    "ensure_payload",
+    "is_failure",
+    "log_event",
     "program_digest",
     "run_task",
     "sim_from_dict",

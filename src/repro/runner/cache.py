@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result cache.
+"""Content-addressed on-disk result cache with end-to-end integrity.
 
 One JSON file per result, named by the task's content key (a SHA-256 over
 the program image, the priced hardware configuration, the watchdog budget
@@ -6,47 +6,157 @@ and the schema version -- see :func:`repro.runner.tasks.task_key`).
 Content addressing is the whole invalidation story: changing the kernel,
 the cost tables or the result schema changes the key, so stale entries
 are never *read*, only left behind (and can be deleted wholesale at any
-time without correctness impact).  Execution-profile payloads (the
-``profile`` task mode) ride the same mechanism under the bumped
-:data:`~repro.runner.tasks.SCHEMA_VERSION`, so pre-profile entries of
-any mode can never alias them.
+time without correctness impact).
+
+Every entry is an envelope ``{"schema", "sha256", "payload"}`` carrying
+a checksum over the canonical payload JSON.  :meth:`ResultCache.get`
+verifies the envelope on every read: truncated, non-JSON, tampered or
+stale-schema files are moved to a ``corrupt/`` quarantine subdirectory
+(one ``event=quarantine`` log line each), counted as misses and
+transparently recomputed by the runner -- never a crash, never silent
+reuse of a damaged result.
 
 Writes are atomic (temp file + ``os.replace``), so concurrent processes
 -- pool workers, parallel pytest sessions -- can share one directory.
+A :class:`~repro.runner.resilience.ChaosPolicy` can be armed on the
+cache to deterministically damage fresh writes (once per key), which is
+how the quarantine path is proven in tests and CI.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
 
+from repro.runner.resilience import ChaosPolicy, log_event
+
+#: Envelope schema: bump when the integrity wrapper itself changes (old
+#: envelopes then quarantine as ``stale-schema`` and recompute).
+CACHE_SCHEMA = 1
+
+
+def payload_digest(payload: dict) -> str:
+    """SHA-256 over the canonical JSON encoding of ``payload``."""
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def corrupt_file(path: Path, style: str) -> None:
+    """Damage ``path`` in one of the :data:`CORRUPTION_STYLES` ways.
+
+    Shared by the chaos write hook and the cache-poisoning tests, so the
+    faults injected and the faults tested are the same bytes.
+    """
+    text = path.read_text()
+    if style == "truncate":
+        path.write_text(text[:max(1, len(text) // 3)])
+    elif style == "garbage":
+        path.write_bytes(b"\x00\xffnot json at all\x9c" + text[:16].encode())
+    elif style == "bad-checksum":
+        entry = json.loads(text)
+        digest = entry.get("sha256", "0" * 64)
+        entry["sha256"] = ("f" if digest[0] != "f" else "0") + digest[1:]
+        path.write_text(json.dumps(entry, sort_keys=True))
+    elif style == "stale-schema":
+        entry = json.loads(text)
+        entry["schema"] = -1
+        path.write_text(json.dumps(entry, sort_keys=True))
+    else:  # pragma: no cover - guarded by ChaosPolicy/test parametrize
+        raise ValueError(f"unknown corruption style {style!r}")
+
 
 class ResultCache:
-    """A directory of ``<sha256>.json`` payloads."""
+    """A directory of checksummed ``<sha256>.json`` payload envelopes."""
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike,
+                 chaos: ChaosPolicy | None = None):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self._chaos = chaos
+        self._chaos_corrupted: set[str] = set()
+
+    # -- reads ---------------------------------------------------------------
 
     def get(self, key: str) -> dict | None:
-        """The payload stored under ``key``, or None on a miss."""
+        """The verified payload stored under ``key``, or None on a miss.
+
+        A present-but-damaged entry (truncated write, disk corruption,
+        tampering, pre-envelope schema) is quarantined and reported as a
+        miss: the caller recomputes, and the fresh write replaces the
+        entry -- a corrupt result can never surface.
+        """
+        path = self.root / f"{key}.json"
         try:
-            text = (self.root / f"{key}.json").read_text()
-            payload = json.loads(text)
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        except UnicodeDecodeError:  # binary garbage is not even text
+            self._quarantine(path, key, "not-json")
+            self.misses += 1
+            return None
+        payload, reason = self._verify(text)
+        if reason is not None:
+            self._quarantine(path, key, reason)
             self.misses += 1
             return None
         self.hits += 1
         return payload
 
+    @staticmethod
+    def _verify(text: str) -> tuple[dict | None, str | None]:
+        """``(payload, None)`` for an intact envelope, else ``(None, why)``."""
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            return None, "not-json"
+        if not isinstance(entry, dict) or "payload" not in entry \
+                or "sha256" not in entry:
+            return None, "stale-schema"
+        if entry.get("schema") != CACHE_SCHEMA:
+            return None, "stale-schema"
+        payload = entry["payload"]
+        if payload_digest(payload) != entry["sha256"]:
+            return None, "bad-checksum"
+        return payload, None
+
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        dest = self.root / "corrupt" / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            # cross-device or permission trouble: dropping the entry
+            # still guarantees it is never read again
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - nothing left to do
+                pass
+        self.quarantined += 1
+        log_event("quarantine", key=key[:12], reason=reason,
+                  dest=str(dest))
+
+    # -- writes --------------------------------------------------------------
+
     def put(self, key: str, payload: dict) -> None:
-        """Store ``payload`` under ``key`` atomically."""
+        """Store ``payload`` under ``key`` atomically, checksummed."""
         self.root.mkdir(parents=True, exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA, "sha256": payload_digest(payload),
+                 "payload": payload}
+        target = self.root / f"{key}.json"
         tmp = self.root / f".{key}.{os.getpid()}.tmp"
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(tmp, self.root / f"{key}.json")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, target)
+        if self._chaos is not None and key not in self._chaos_corrupted:
+            style = self._chaos.corruption(key)
+            if style is not None:
+                self._chaos_corrupted.add(key)
+                corrupt_file(target, style)
+                log_event("chaos-corrupt", key=key[:12], style=style)
 
     def __len__(self) -> int:
         try:
@@ -57,4 +167,4 @@ class ResultCache:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ResultCache({str(self.root)!r}, hits={self.hits}, "
-                f"misses={self.misses})")
+                f"misses={self.misses}, quarantined={self.quarantined})")

@@ -9,21 +9,37 @@ persisting fresh results for the next figure, process or invocation.
 Within a batch, duplicate keys are computed once.  With ``workers <= 1``
 or single-task batches everything runs inline -- bit-identical either
 way, because tasks are deterministic.
+
+Execution is fault-tolerant (:mod:`repro.runner.resilience`): failed
+tasks are retried with exponential backoff, hung pool generations are
+detected by the ``REPRO_TIMEOUT_S`` watchdog, crashed workers break a
+pool that is rebuilt and -- after ``REPRO_POOL_FAILURES`` incidents --
+abandoned for in-process serial execution.  A task whose attempt budget
+(``REPRO_RETRIES``) runs out yields a terminal
+:class:`~repro.runner.resilience.TaskFailure` payload in its slot
+instead of aborting the batch; failure payloads are never cached, so the
+next batch tries again.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 
 from repro.asm.program import Program
 from repro.hw.board import RawMeasurement
 from repro.hw.config import HwConfig
 from repro.runner.cache import ResultCache
+from repro.runner.resilience import (
+    ChaosPolicy,
+    ResilientExecutor,
+    RetryPolicy,
+    ensure_payload,
+    env_int,
+    is_failure,
+)
 from repro.runner.tasks import (
     SimTask,
     raw_from_payload,
-    run_task,
     sim_from_dict,
     task_key,
 )
@@ -32,18 +48,12 @@ from repro.vm.simulator import SimulationResult
 
 
 def default_workers() -> int:
-    """``REPRO_WORKERS`` or a conservative CPU-count default."""
-    env = os.environ.get("REPRO_WORKERS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
-    return min(os.cpu_count() or 1, 8)
+    """``REPRO_WORKERS`` (validated) or a conservative CPU-count default."""
+    return env_int("REPRO_WORKERS", min(os.cpu_count() or 1, 8))
 
 
 class ExperimentRunner:
-    """Cache-fronted, pool-backed executor for simulation tasks.
+    """Cache-fronted, pool-backed, fault-tolerant executor for tasks.
 
     Parameters
     ----------
@@ -53,20 +63,41 @@ class ExperimentRunner:
     workers:
         Maximum worker processes for one batch; ``None`` picks
         :func:`default_workers`.  ``1`` computes inline.
+    retry:
+        Retry/timeout policy; ``None`` reads the ``REPRO_RETRIES`` /
+        ``REPRO_BACKOFF_S`` / ``REPRO_TIMEOUT_S`` / ``REPRO_POOL_FAILURES``
+        knobs.
+    chaos:
+        Deterministic fault injection; ``None`` arms from ``REPRO_CHAOS``
+        (usually unset, i.e. no chaos).
     """
 
     def __init__(self, cache_dir: str | os.PathLike | None = None,
-                 workers: int | None = None):
-        self.cache = ResultCache(cache_dir) if cache_dir else None
+                 workers: int | None = None,
+                 retry: RetryPolicy | None = None,
+                 chaos: ChaosPolicy | None = None):
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
+        self.chaos = chaos if chaos is not None else ChaosPolicy.from_env()
+        self.cache = (ResultCache(cache_dir, chaos=self.chaos)
+                      if cache_dir else None)
         self.workers = default_workers() if workers is None else workers
         #: process-local tier in front of (or instead of) the disk cache,
         #: so prefetch batches pay off even with persistence disabled
         self._memory: dict[str, dict] = {}
+        #: holds the degradation state (pool failures survive batches)
+        self._executor = ResilientExecutor(self.workers, policy=self.retry,
+                                           chaos=self.chaos)
 
     # -- batch interface -----------------------------------------------------
 
     def run_tasks(self, tasks: list[SimTask]) -> list[dict]:
-        """Payloads for ``tasks``, cache-first, misses fanned out."""
+        """Payloads for ``tasks``, cache-first, misses fanned out.
+
+        A slot holds a :class:`TaskFailure` record (see
+        :func:`repro.runner.resilience.is_failure`) when that task's
+        attempt budget ran out; failures are returned, not raised, and
+        never stored in any cache tier.
+        """
         keys = [task_key(task) for task in tasks]
         payloads: dict[str, dict] = {}
         missing: dict[str, SimTask] = {}
@@ -81,20 +112,18 @@ class ExperimentRunner:
             else:
                 missing[key] = task
         if missing:
-            fresh = self._compute(list(missing.values()))
+            fresh = self._compute(list(missing.values()), list(missing))
             for key, payload in zip(missing, fresh):
                 payloads[key] = payload
-                if self.cache is not None:
+                if self.cache is not None and not is_failure(payload):
                     self.cache.put(key, payload)
-        self._memory.update(payloads)
+        self._memory.update(
+            (key, payload) for key, payload in payloads.items()
+            if not is_failure(payload))
         return [payloads[key] for key in keys]
 
-    def _compute(self, tasks: list[SimTask]) -> list[dict]:
-        n = min(self.workers, len(tasks))
-        if n <= 1:
-            return [run_task(task) for task in tasks]
-        with ProcessPoolExecutor(max_workers=n) as pool:
-            return list(pool.map(run_task, tasks))
+    def _compute(self, tasks: list[SimTask], keys: list[str]) -> list[dict]:
+        return self._executor.run(tasks, keys)
 
     # -- single-task conveniences -------------------------------------------
 
@@ -103,11 +132,12 @@ class ExperimentRunner:
         """The deterministic half of ``Board(hw).measure(program)``."""
         task = SimTask(mode="metered", program=program, budget=budget,
                        hw=hw)
-        return raw_from_payload(self.run_tasks([task])[0])
+        return raw_from_payload(ensure_payload(self.run_tasks([task])[0]))
 
     def fast_sim(self, program: Program, core: CoreConfig,
                  budget: int) -> SimulationResult:
         """A functional ISS run (the estimation path's counts)."""
         task = SimTask(mode="fast", program=program, budget=budget,
                        core=core)
-        return sim_from_dict(self.run_tasks([task])[0]["sim"])
+        return sim_from_dict(
+            ensure_payload(self.run_tasks([task])[0])["sim"])
