@@ -12,7 +12,9 @@ over the PR-5 imaging-family rung):
   off;
 * *relative* speedup floors between each fast path and its recorded
   per-instruction A/B baseline from the same run -- machine-independent,
-  so they catch "the fast path stopped being fast" on any hardware.
+  so they catch "the fast path stopped being fast" on any hardware.  The
+  PR-7 batch floor compares configs/sec between the streamed
+  million-config sweep and the faithful per-point baseline sweep.
 
 Exit status is non-zero when any floor is violated or a required rung is
 missing from the report.
@@ -51,6 +53,9 @@ def main(argv: list[str] | None = None) -> int:
                         default=10.0,
                         help="profiled-vs-metered DSE sweep wall speedup "
                              "floor (default: %(default)sx)")
+    parser.add_argument("--min-batch-speedup", type=float, default=100.0,
+                        help="streamed batch pricing vs per-point sweep "
+                             "configs/sec ratio floor (default: %(default)sx)")
     args = parser.parse_args(argv)
 
     suites = json.loads(args.report.read_text())["suites"]
@@ -71,6 +76,8 @@ def main(argv: list[str] | None = None) -> int:
     dse_metered = require("test_dse_sweep_throughput_metered")
     img_profiled = require("test_imaging_sweep_throughput_profiled")
     img_metered = require("test_imaging_sweep_throughput_metered")
+    batch_streamed = require("test_batch_eval_throughput_streamed")
+    batch_per_point = require("test_batch_eval_throughput_per_point")
 
     if iss is not None:
         mips = float(iss.get("mips", 0.0))
@@ -108,6 +115,21 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"profiled {tag} sweep speedup {speedup:.2f}x is below "
                 f"the {args.min_dse_profile_speedup}x floor")
+    if batch_streamed is not None and batch_per_point is not None:
+        # the rungs sweep different-sized spaces on purpose (10^6 vs a
+        # 2,000-config subspace), so the machine-independent figure is
+        # the configs/sec ratio, not a wall-clock ratio
+        streamed_rate = (float(batch_streamed["configs"])
+                         / batch_streamed["mean_s"])
+        per_point_rate = (float(batch_per_point["configs"])
+                          / batch_per_point["mean_s"])
+        speedup = streamed_rate / per_point_rate
+        print(f"batch NFP pricing   : {speedup:8.2f}x configs/sec vs "
+              f"per-point sweep (floor {args.min_batch_speedup}x)")
+        if speedup < args.min_batch_speedup:
+            failures.append(
+                f"streamed batch pricing {speedup:.2f}x configs/sec is "
+                f"below the {args.min_batch_speedup}x floor")
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

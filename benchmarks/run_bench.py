@@ -40,6 +40,7 @@ DEFAULT_SUITES = (
     "test_bench_runner_cache.py",
     "test_bench_dse_profile.py",
     "test_bench_workloads.py",
+    "test_bench_batch_eval.py",
 )
 
 
@@ -124,8 +125,29 @@ def main(argv: list[str] | None = None) -> int:
         if scratch_cache is not None:
             shutil.rmtree(scratch_cache, ignore_errors=True)
 
+    trimmed = trim(raw)
+    # fail loudly instead of recording a hollow snapshot: a rung that
+    # silently stops producing JSON (deselected, skipped, renamed) would
+    # otherwise vanish from the perf trajectory unnoticed
+    if not trimmed["suites"]:
+        print("no benchmarks recorded: the run produced an empty report",
+              file=sys.stderr)
+        return 1
+    if not args.k:
+        # the tracked suites must each contribute at least one rung
+        # (with --all the extra suites may legitimately skip, but the
+        # tracked trajectory still has to be complete)
+        missing = [name for name in DEFAULT_SUITES
+                   if not any(name in fullname
+                              for fullname in trimmed["suites"])]
+        if missing:
+            for name in missing:
+                print(f"suite {name} produced no benchmark JSON "
+                      "(skipped or deselected?)", file=sys.stderr)
+            return 1
+
     out_path = args.out or next_output_path()
-    out_path.write_text(json.dumps(trim(raw), indent=2, sort_keys=True)
+    out_path.write_text(json.dumps(trimmed, indent=2, sort_keys=True)
                         + "\n")
     print(f"wrote {out_path}")
     return 0

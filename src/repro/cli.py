@@ -79,6 +79,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "'img:*' or 'table3,img:sobel3x3' "
                         "(default: the paper's table3 preset; see "
                         "'repro workloads list')")
+    p.add_argument("--stream", action="store_true",
+                   help="generate-price-reduce: profile each build once, "
+                        "then stream the cartesian product through the "
+                        "batch evaluator into online Pareto fronts "
+                        "without materializing the grid (memory stays "
+                        "proportional to the front; reports are "
+                        "byte-identical to the materialized --profile "
+                        "sweep at equal --front-cap)")
+    p.add_argument("--refine", type=int, default=0, metavar="N",
+                   help="run N adaptive coordinate-refinement rounds "
+                        "around the streaming aggregate knee (implies "
+                        "--stream; refined configs are off-grid "
+                        "midpoints on refinable axes)")
+    p.add_argument("--front-cap", type=int, default=None, metavar="N",
+                   dest="front_cap",
+                   help="materialize at most N front members per "
+                        "workload in streamed reports (counts, knees "
+                        "and winners stay exact; default: all)")
     p.add_argument("--format", choices=("text", "csv", "json"),
                    default="text", dest="fmt",
                    help="output rendering (default: text)")
@@ -140,7 +158,10 @@ def _run_dse(scale, args) -> int:
                                   profile=args.profile,
                                   workloads=args.workloads,
                                   resume=args.resume,
-                                  run_id=args.run_id).render(args.fmt)
+                                  run_id=args.run_id,
+                                  stream=args.stream,
+                                  refine=args.refine,
+                                  front_cap=args.front_cap).render(args.fmt)
     except dse_driver.DseInterrupted as exc:
         partial = exc.result
         root = dse_driver.checkpoint_root()

@@ -19,6 +19,7 @@ from repro.dse.axes import (
     AXES,
     DEFAULT_AXIS_NAMES,
     Axis,
+    AxisLowering,
     DesignSpace,
     SweepConfig,
     get_axis,
@@ -30,30 +31,44 @@ from repro.dse.engine import (
     DseGrid,
     DsePoint,
     FailedCell,
+    StreamSummary,
     SweepInterrupted,
+    WorkloadFront,
     sweep,
     sweep_checkpointed,
     sweep_estimated,
     sweep_profiled,
+    sweep_streamed,
 )
-from repro.dse.pareto import classify, dominates, knee_point, pareto_front
+from repro.dse.pareto import (
+    ParetoAccumulator,
+    classify,
+    dominates,
+    knee_point,
+    pareto_front,
+)
 from repro.dse.presets import explore_fpu_grid, fpu_design_space
-from repro.dse.report import SweepReport
+from repro.dse.report import StreamReport, SweepReport
 from repro.dse.workload import WorkloadPair, resolve_pairs
 
 __all__ = [
     "AGGREGATE",
     "AXES",
     "Axis",
+    "AxisLowering",
     "DEFAULT_AXIS_NAMES",
     "DesignSpace",
     "DseGrid",
     "DsePoint",
     "FailedCell",
     "OBJECTIVES",
+    "ParetoAccumulator",
+    "StreamReport",
+    "StreamSummary",
     "SweepConfig",
     "SweepInterrupted",
     "SweepReport",
+    "WorkloadFront",
     "WorkloadPair",
     "classify",
     "dominates",
@@ -68,4 +83,5 @@ __all__ = [
     "sweep_checkpointed",
     "sweep_estimated",
     "sweep_profiled",
+    "sweep_streamed",
 ]

@@ -16,13 +16,33 @@ or the ``repro dse --axes`` CLI flag.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, replace
 from types import MappingProxyType
 from typing import Callable, Sequence
 
-from repro.hw.config import HwConfig
+from repro.hw.config import HwConfig, ScaledDynTable
 from repro.hw.timing import cycle_table_with_wait_states
+
+
+@dataclass(frozen=True)
+class AxisLowering:
+    """Per-value cost-model effects of one axis, for the streamed fast path.
+
+    Aligned with the axis' value list; only the fields the axis touches
+    are set.  ``dyn_scales``/``clock_hz`` describe a DVFS-style axis
+    (dynamic energy, trap energy and static power scale; the clock
+    retimes), ``cycle_tables`` replaces the cycle table per value,
+    ``nwindows``/``has_fpu`` adjust the core, and an instance with no
+    fields set declares the axis NFP-inert (``block_size``).  Each
+    table derivation must match the axis' ``apply`` bit-for-bit -- the
+    streamed-vs-materialized byte-identity tests enforce it.
+    """
+
+    dyn_scales: tuple[float, ...] | None = None
+    clock_hz: tuple[float, ...] | None = None
+    cycle_tables: tuple | None = None
+    nwindows: tuple[int, ...] | None = None
+    has_fpu: tuple[bool, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -43,6 +63,16 @@ class Axis:
         ``str -> value`` parser for CLI-provided value lists.
     doc:
         One-line description shown in help/reports.
+    lower:
+        Optional ``(base_hw, values) -> AxisLowering`` hook.  When every
+        axis of a space provides one, the streamed sweep prices the
+        cartesian product from factored per-axis tables instead of
+        applying ``apply`` per config (:func:`repro.dse.engine.sweep_streamed`).
+    refine:
+        Optional ``(a, b) -> mid | None`` midpoint hook between two
+        swept values; axes with one are eligible for the adaptive
+        refinement pass (``repro dse --refine``).  ``None`` (the hook
+        result) means no value lies strictly between ``a`` and ``b``.
     """
 
     name: str
@@ -51,6 +81,8 @@ class Axis:
     label: Callable[[object], str]
     parse: Callable[[str], object]
     doc: str = ""
+    lower: Callable[[HwConfig, tuple], AxisLowering] | None = None
+    refine: Callable[[object, object], object | None] | None = None
 
 
 def _parse_bool(text: str) -> bool:
@@ -65,6 +97,32 @@ def _parse_bool(text: str) -> bool:
 #: The paper's synthesis frequency; voltage scaling is normalised to it.
 BASE_CLOCK_MHZ = 50.0
 
+#: Derived cost-table memo: ``(kind, id(base), param) -> (base, table)``.
+#: Applying the same axis value to the same base table yields the *same
+#: object*, so batch evaluation dedupes rows by identity and million-
+#: config iteration never rebuilds a table it has already derived.  The
+#: stored base reference keeps the id from being recycled; the memo is
+#: cleared (not evicted piecemeal) if it ever grows degenerate.
+_DERIVED_TABLES: dict[tuple, tuple] = {}
+
+
+def _derived_table(kind: str, base, param, build):
+    key = (kind, id(base), param)
+    hit = _DERIVED_TABLES.get(key)
+    if hit is not None and hit[0] is base:
+        return hit[1]
+    if len(_DERIVED_TABLES) > 65536:
+        _DERIVED_TABLES.clear()
+    table = build()
+    _DERIVED_TABLES[key] = (base, table)
+    return table
+
+
+def _clock_scale(mhz: float) -> float:
+    """The ``V^2`` energy/power factor of clocking at ``mhz`` (1.0 at base)."""
+    voltage = 0.7 + 0.3 * (mhz / BASE_CLOCK_MHZ)
+    return voltage * voltage
+
 
 def _apply_clock(hw: HwConfig, mhz) -> HwConfig:
     """Clock the platform at ``mhz``, with first-order voltage scaling.
@@ -78,14 +136,15 @@ def _apply_clock(hw: HwConfig, mhz) -> HwConfig:
     lowering it saves dynamic energy but pays static leakage for longer.
     """
     mhz = float(mhz)
-    voltage = 0.7 + 0.3 * (mhz / BASE_CLOCK_MHZ)
-    scale = voltage * voltage
-    dyn = {m: nj * scale for m, nj in hw.dyn_energy_nj.items()}
+    scale = _clock_scale(mhz)
+    dyn = _derived_table(
+        "dyn", hw.dyn_energy_nj, scale,
+        lambda: ScaledDynTable(hw.dyn_energy_nj, scale))
     return replace(
         hw, clock_hz=mhz * 1e6,
         static_power_w=hw.static_power_w * scale,
         window_trap_energy_nj=hw.window_trap_energy_nj * scale,
-        dyn_energy_nj=MappingProxyType(dyn))
+        dyn_energy_nj=dyn)
 
 
 def _apply_fpu(hw: HwConfig, present) -> HwConfig:
@@ -97,12 +156,56 @@ def _apply_nwindows(hw: HwConfig, nwindows) -> HwConfig:
 
 
 def _apply_wait_states(hw: HwConfig, wait_states) -> HwConfig:
-    table = cycle_table_with_wait_states(hw.cycle_table, int(wait_states))
-    return replace(hw, cycle_table=MappingProxyType(table))
+    ws = int(wait_states)
+    table = _derived_table(
+        "cycle", hw.cycle_table, ws,
+        lambda: MappingProxyType(
+            cycle_table_with_wait_states(hw.cycle_table, ws)))
+    return replace(hw, cycle_table=table)
 
 
 def _apply_block_size(hw: HwConfig, block_size) -> HwConfig:
     return replace(hw, core=replace(hw.core, block_size=int(block_size)))
+
+
+# -- streamed-sweep lowering hooks (must mirror the apply functions) ---------
+
+def _lower_clock(hw: HwConfig, values: tuple) -> AxisLowering:
+    mhzs = [float(v) for v in values]
+    return AxisLowering(
+        dyn_scales=tuple(_clock_scale(mhz) for mhz in mhzs),
+        clock_hz=tuple(mhz * 1e6 for mhz in mhzs))
+
+
+def _lower_fpu(hw: HwConfig, values: tuple) -> AxisLowering:
+    return AxisLowering(has_fpu=tuple(bool(v) for v in values))
+
+
+def _lower_nwindows(hw: HwConfig, values: tuple) -> AxisLowering:
+    return AxisLowering(nwindows=tuple(int(v) for v in values))
+
+
+def _lower_wait_states(hw: HwConfig, values: tuple) -> AxisLowering:
+    return AxisLowering(cycle_tables=tuple(
+        _apply_wait_states(hw, v).cycle_table for v in values))
+
+
+def _lower_block_size(hw: HwConfig, values: tuple) -> AxisLowering:
+    return AxisLowering()   # simulator knob: NFPs and area are invariant
+
+
+def _refine_float(a, b):
+    """Float midpoint, or None when the interval is empty."""
+    a, b = float(a), float(b)
+    mid = (a + b) / 2.0
+    return mid if min(a, b) < mid < max(a, b) else None
+
+
+def _refine_int(a, b):
+    """Integer midpoint strictly between ``a`` and ``b``, or None."""
+    lo, hi = sorted((int(a), int(b)))
+    mid = (lo + hi) // 2
+    return mid if lo < mid < hi else None
 
 
 AXES: dict[str, Axis] = {}
@@ -125,26 +228,31 @@ def get_axis(name: str) -> Axis:
 register_axis(Axis(
     name="clock_mhz", values=(25.0, 50.0, 80.0),
     apply=_apply_clock, label=lambda v: f"clk{v:g}", parse=float,
-    doc="core clock frequency in MHz (time vs static energy)"))
+    doc="core clock frequency in MHz (time vs static energy)",
+    lower=_lower_clock, refine=_refine_float))
 register_axis(Axis(
     name="fpu", values=(False, True),
     apply=_apply_fpu, label=lambda v: "fpu" if v else "nofpu",
     parse=_parse_bool,
-    doc="FPU presence (hard-float builds vs soft-float, Table IV)"))
+    doc="FPU presence (hard-float builds vs soft-float, Table IV)",
+    lower=_lower_fpu))
 register_axis(Axis(
     name="nwindows", values=(4, 8, 16),
     apply=_apply_nwindows, label=lambda v: f"w{v}", parse=int,
     doc="register windows (area vs window-trap overhead; 16 windows are "
         "over-provisioned for call-shallow kernels and come out "
-        "Pareto-dominated)"))
+        "Pareto-dominated)",
+    lower=_lower_nwindows, refine=_refine_int))
 register_axis(Axis(
     name="wait_states", values=(0, 2),
     apply=_apply_wait_states, label=lambda v: f"ws{v}", parse=int,
-    doc="memory wait states per bus access (area vs memory latency)"))
+    doc="memory wait states per bus access (area vs memory latency)",
+    lower=_lower_wait_states, refine=_refine_int))
 register_axis(Axis(
     name="block_size", values=(8, 32),
     apply=_apply_block_size, label=lambda v: f"bs{v}", parse=int,
-    doc="superblock fusion cap (simulator knob; NFPs are invariant)"))
+    doc="superblock fusion cap (simulator knob; NFPs are invariant)",
+    lower=_lower_block_size))
 
 #: The stock sweep: 3 x 2 x 3 x 2 = 36 candidate platforms.
 DEFAULT_AXIS_NAMES = ("clock_mhz", "fpu", "nwindows", "wait_states")
@@ -232,19 +340,57 @@ class DesignSpace:
 
     def configs(self, base: HwConfig | None = None) -> tuple[SweepConfig, ...]:
         """Every candidate platform, in deterministic product order."""
+        return tuple(self.iter_configs(base))
+
+    def iter_configs(self, base: HwConfig | None = None):
+        """Candidate platforms one at a time, in the same product order.
+
+        The streaming counterpart of :meth:`configs`: nothing is
+        materialized, and axis applications are shared across product
+        prefixes (the first axis applies once per value, not once per
+        config) -- with the axes' derived-table memoization this makes
+        iteration over million-config spaces cheap enough to price.
+        """
         base = base if base is not None else HwConfig()
-        value_lists = [values for _, values in self.axes]
-        out = []
-        for combo in itertools.product(*value_lists):
-            hw = base
-            labels = []
-            for (name, _), value in zip(self.axes, combo):
-                axis = get_axis(name)
-                hw = axis.apply(hw, value)
-                labels.append(axis.label(value))
-            name = "-".join(labels)
-            out.append(SweepConfig(
-                name=name,
-                axis_values=tuple(zip(self.axis_names, combo)),
-                hw=replace(hw, name=name)))
-        return tuple(out)
+        axes = [(get_axis(name), values) for name, values in self.axes]
+        names = self.axis_names
+
+        def rec(i: int, hw: HwConfig, labels: tuple, combo: tuple):
+            if i == len(axes):
+                name = "-".join(labels)
+                yield SweepConfig(
+                    name=name,
+                    axis_values=tuple(zip(names, combo)),
+                    hw=replace(hw, name=name))
+                return
+            axis, values = axes[i]
+            for value in values:
+                yield from rec(i + 1, axis.apply(hw, value),
+                               labels + (axis.label(value),),
+                               combo + (value,))
+
+        yield from rec(0, base, (), ())
+
+    def config_for(self, combo: Sequence,
+                   base: HwConfig | None = None) -> SweepConfig:
+        """Build the single candidate holding ``combo``'s per-axis values.
+
+        ``combo`` is aligned with :attr:`axes`; the values need not lie
+        on the swept grids (the refinement pass evaluates midpoints this
+        way), only in each axis' domain.
+        """
+        base = base if base is not None else HwConfig()
+        if len(combo) != len(self.axes):
+            raise ValueError(
+                f"combo has {len(combo)} values for {len(self.axes)} axes")
+        hw = base
+        labels = []
+        for (name, _), value in zip(self.axes, combo):
+            axis = get_axis(name)
+            hw = axis.apply(hw, value)
+            labels.append(axis.label(value))
+        name = "-".join(labels)
+        return SweepConfig(
+            name=name,
+            axis_values=tuple(zip(self.axis_names, tuple(combo))),
+            hw=replace(hw, name=name))

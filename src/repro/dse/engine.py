@@ -26,18 +26,28 @@ chunk, so an interrupted ``repro dse`` resumes from its last checkpoint
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from bisect import bisect_left, insort
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Sequence
 
-from repro.dse.axes import DesignSpace, SweepConfig
-from repro.dse.pareto import classify, knee_point, pareto_front
+from repro.dse.axes import DesignSpace, SweepConfig, get_axis
+from repro.dse.pareto import (
+    ParetoAccumulator,
+    classify,
+    knee_point,
+    pareto_front,
+)
 from repro.dse.workload import WorkloadPair
 from repro.hw.area import memctrl_les, synthesize
 from repro.hw.config import HwConfig
 from repro.runner import ExperimentRunner
+
+if TYPE_CHECKING:   # import cycle: repro.nfp's package init reaches back here
+    from repro.nfp.linear import ProfileVectors
 from repro.runner.resilience import (
     SweepCheckpoint,
     TaskFailure,
+    UsageError,
     is_failure,
     log_event,
 )
@@ -395,6 +405,373 @@ def sweep_checkpointed(space: DesignSpace | Sequence[SweepConfig],
                                total=len(jobs)) from None
     return _grid_from_jobs(jobs, [_cell_from_json(cells[key])
                                   for key in keys])
+
+
+# -- streaming sweeps --------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkloadFront:
+    """Streaming-sweep summary of one workload (or the aggregate).
+
+    ``front`` holds the first ``front_cap`` front members in arrival
+    (= flat configuration) order; ``front_size`` is always the exact
+    count, so a capped summary still reports how much was truncated.
+    """
+
+    workload: str
+    points: int                     #: configurations offered to this stream
+    front_size: int                 #: exact non-dominated count
+    front: tuple[DsePoint, ...]     #: materialized members (maybe capped)
+    knee: DsePoint
+    best_time: DsePoint
+    best_energy: DsePoint
+    best_area: DsePoint
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """Everything a streamed sweep retains: fronts, knees, per-objective
+    winners -- never the grid.
+
+    :meth:`from_grid` derives the identical structure from a materialized
+    :class:`DseGrid`, which is what the byte-identity tests (and the CI
+    streamed-vs-materialized check) compare reports through.
+    """
+
+    axis_names: tuple[str, ...]
+    workloads: tuple[str, ...]
+    configs: int                    #: configurations priced (incl. refined)
+    space_size: int                 #: cartesian size of the base space
+    refined: int                    #: refinement configurations on top
+    front_cap: int | None
+    aggregate: WorkloadFront
+    per_workload: tuple[WorkloadFront, ...]
+
+    @classmethod
+    def from_grid(cls, grid: DseGrid,
+                  front_cap: int | None = None) -> "StreamSummary":
+        """The summary a streamed sweep of the same space would produce.
+
+        Only defined for complete grids: the streamed path has no
+        failure slots (a profile that cannot be priced raises), so a
+        grid with failures has no streamed twin.
+        """
+        if grid.failures:
+            raise ValueError("a grid with failed cells has no streamed twin")
+        key = (lambda p: p.objectives)
+
+        def build(workload: str) -> WorkloadFront:
+            points = (grid.aggregate() if workload == AGGREGATE
+                      else grid.select(workload=workload))
+            front = pareto_front(points, key=key)
+            best = {}
+            for objective in OBJECTIVES:
+                index = min(range(len(points)),
+                            key=lambda i: (getattr(points[i], objective), i))
+                best[objective] = points[index]
+            return WorkloadFront(
+                workload=workload, points=len(points), front_size=len(front),
+                front=tuple(front if front_cap is None else front[:front_cap]),
+                knee=knee_point(front, key=key),
+                best_time=best["time_s"], best_energy=best["energy_j"],
+                best_area=best["area_les"])
+
+        configs = len(grid.configs())
+        return cls(
+            axis_names=grid.axis_names(),
+            workloads=grid.workloads(),
+            configs=configs,
+            space_size=configs,
+            refined=0,
+            front_cap=front_cap,
+            aggregate=build(AGGREGATE),
+            per_workload=tuple(build(w) for w in grid.workloads()),
+        )
+
+
+class _PointStream:
+    """Mutable per-workload streaming state: online front + running minima."""
+
+    __slots__ = ("workload", "acc", "best", "count")
+
+    def __init__(self, workload: str):
+        self.workload = workload
+        self.acc = ParetoAccumulator(key=lambda p: p.objectives)
+        self.best: dict[str, tuple] = {}   # objective -> (value, seq, point)
+        self.count = 0
+
+    def offer(self, seq: int, point: DsePoint) -> None:
+        self.count += 1
+        self.acc.add(point)
+        for objective in OBJECTIVES:
+            value = getattr(point, objective)
+            held = self.best.get(objective)
+            if held is None or (value, seq) < (held[0], held[1]):
+                self.best[objective] = (value, seq, point)
+
+    def finalize(self, front_cap: int | None) -> WorkloadFront:
+        front = self.acc.front()
+        return WorkloadFront(
+            workload=self.workload, points=self.count,
+            front_size=len(front),
+            front=tuple(front if front_cap is None else front[:front_cap]),
+            knee=knee_point(front, key=lambda p: p.objectives),
+            best_time=self.best["time_s"][2],
+            best_energy=self.best["energy_j"][2],
+            best_area=self.best["area_les"][2])
+
+
+def _stream_profiles(pairs: Sequence[WorkloadPair], fpu_builds: Sequence[bool],
+                     *, budget: int, runner: ExperimentRunner,
+                     base: HwConfig) -> dict[tuple[str, str], ProfileVectors]:
+    """One lowered profile per (workload, build) -- or an exception.
+
+    The streamed path has no per-cell failure slots: a profile whose
+    retries ran out raises, and an unclean (self-modifying) profile has
+    no linear pricing at all, so it raises a :class:`UsageError`
+    pointing at the materialized ``--profile`` sweep, whose per-point
+    metered fallback handles it exactly.
+    """
+    from repro.dse.evaluate import profile_task   # deferred, see _job_nfps
+    from repro.nfp.linear import ExecutionProfile, lower_profile
+    entries = []
+    for pair in pairs:
+        for fpu in fpu_builds:
+            core = replace(base.core, has_fpu=fpu)
+            build, program = pair.build_for(core)
+            entries.append((pair.name, build,
+                            profile_task(program, budget, core)))
+    vectors: dict[tuple[str, str], ProfileVectors] = {}
+    for (name, build, _), payload in zip(
+            entries, runner.run_tasks([task for _, _, task in entries])):
+        if is_failure(payload):
+            failure = TaskFailure.from_payload(payload)
+            raise RuntimeError(
+                f"profiling {name!r} ({build}) failed after "
+                f"{failure.attempts} attempts: {failure.error}")
+        profile = ExecutionProfile.from_payload(payload["profile"])
+        if not profile.clean:
+            raise UsageError(
+                f"workload {name!r} ({build}) is self-modifying; the "
+                f"streamed sweep has no metered fallback -- run the "
+                f"materialized profiled sweep instead")
+        vectors[(name, build)] = lower_profile(profile)
+    return vectors
+
+
+def _price_configs(configs: Sequence[SweepConfig],
+                   pairs: Sequence[WorkloadPair],
+                   vectors: dict[tuple[str, str], ProfileVectors],
+                   start_seq: int,
+                   streams: dict[str, _PointStream]) -> None:
+    """Price a batch of explicit configs and stream the points out.
+
+    The generic chunk evaluator (also the refinement pass' pricer):
+    one :class:`BatchNfpEngine` over the batch, one evaluation per
+    (workload, build) actually present, then per-config assembly in
+    flat order.  Point construction matches :func:`_grid_from_jobs` /
+    :meth:`DseGrid.aggregate` field for field -- the byte-identity
+    tests compare entire reports through it.
+    """
+    from repro.nfp.linear import BatchNfpEngine   # deferred, see _job_nfps
+    engine = BatchNfpEngine([config.hw for config in configs])
+    builds = sorted({config.hw.core.has_fpu for config in configs})
+    priced: dict[tuple[str, str], list] = {}
+    for pair in pairs:
+        for fpu in builds:
+            build = "float" if fpu else "fixed"
+            priced[(pair.name, build)] = engine.evaluate(
+                vectors[(pair.name, build)])
+    for i, config in enumerate(configs):
+        seq = start_seq + i
+        area = _config_area_les(config)
+        build = "float" if config.hw.core.has_fpu else "fixed"
+        agg_time: float = 0
+        agg_energy: float = 0
+        agg_retired = 0
+        agg_cycles = 0
+        for pair in pairs:
+            nfp = priced[(pair.name, build)][i]
+            streams[pair.name].offer(seq, DsePoint(
+                config=config.name, axis_values=config.axis_values,
+                workload=pair.name, build=build,
+                time_s=nfp.true_time_s, energy_j=nfp.true_energy_j,
+                area_les=area, retired=nfp.retired, cycles=nfp.cycles))
+            agg_time = agg_time + nfp.true_time_s
+            agg_energy = agg_energy + nfp.true_energy_j
+            agg_retired += nfp.retired
+            agg_cycles += nfp.cycles
+        streams[AGGREGATE].offer(seq, DsePoint(
+            config=config.name, axis_values=config.axis_values,
+            workload=AGGREGATE, build=build,
+            time_s=agg_time, energy_j=agg_energy,
+            area_les=area, retired=agg_retired, cycles=agg_cycles))
+
+
+def _refine_pass(space: DesignSpace,
+                 pairs: Sequence[WorkloadPair],
+                 vectors: dict[tuple[str, str], ProfileVectors],
+                 base: HwConfig,
+                 streams: dict[str, _PointStream],
+                 *, rounds: int, start_seq: int) -> int:
+    """Adaptive coordinate refinement around the streaming aggregate knee.
+
+    Each round reads the current aggregate knee, proposes the midpoint
+    between the knee's value and its nearest known neighbours on every
+    refinable axis (``Axis.refine``), prices the off-grid candidates
+    through the same batch pricer, and feeds them into the streaming
+    fronts.  Stops early when no axis can refine further or the knee
+    configuration is unchanged by a round, so the pass is deterministic:
+    same space, same workloads, same rounds -> same candidates in the
+    same order.  Returns the number of refinement configs priced.
+    """
+    refinable = [i for i, (name, _) in enumerate(space.axes)
+                 if get_axis(name).refine is not None]
+    if not refinable or rounds <= 0:
+        return 0
+    known: dict[int, list] = {
+        i: sorted(set(space.axes[i][1])) for i in refinable}
+    seen_combos = set()
+    seq = start_seq
+    for _ in range(rounds):
+        knee = streams[AGGREGATE].acc.knee()
+        candidates = []
+        knee_combo = tuple(knee.value(name) for name, _ in space.axes)
+        for i in refinable:
+            axis = get_axis(space.axes[i][0])
+            values = known[i]
+            value = knee_combo[i]
+            pos = bisect_left(values, value)
+            below = values[pos - 1] if pos > 0 else None
+            if pos < len(values) and values[pos] == value:
+                above = values[pos + 1] if pos + 1 < len(values) else None
+            else:
+                above = values[pos] if pos < len(values) else None
+            for lo, hi in ((below, value), (value, above)):
+                if lo is None or hi is None:
+                    continue
+                mid = axis.refine(lo, hi)
+                if mid is None or mid in values:
+                    continue
+                combo = knee_combo[:i] + (mid,) + knee_combo[i + 1:]
+                if combo not in seen_combos:
+                    seen_combos.add(combo)
+                    candidates.append((i, mid, combo))
+        if not candidates:
+            break
+        configs = [space.config_for(combo, base)
+                   for _, _, combo in candidates]
+        _price_configs(configs, pairs, vectors, seq, streams)
+        seq += len(configs)
+        for i, mid, _ in candidates:
+            insort(known[i], mid)
+        new_knee = streams[AGGREGATE].acc.knee()
+        if new_knee.config == knee.config:
+            break
+    return seq - start_seq
+
+
+def sweep_streamed(space: DesignSpace,
+                   pairs: Sequence[WorkloadPair], *,
+                   budget: int,
+                   runner: ExperimentRunner | None = None,
+                   base: HwConfig | None = None,
+                   chunk: int = 65536,
+                   refine: int = 0,
+                   front_cap: int | None = None) -> StreamSummary:
+    """Generate-price-reduce: sweep a space without materializing it.
+
+    The streaming counterpart of :func:`sweep_profiled`: each distinct
+    workload build is profiled once, then the cartesian product is
+    priced in bounded-memory chunks and reduced on the fly into online
+    Pareto fronts (:class:`~repro.dse.pareto.ParetoAccumulator`),
+    per-objective minima and knees -- the full grid never exists, so
+    million-config spaces fit in memory proportional to the front plus
+    one chunk.  Results are byte-identical to
+    ``StreamSummary.from_grid(sweep_profiled(...))`` at equal
+    ``front_cap`` (the property tests and the CI check enforce it).
+
+    When numpy is available and every axis provides a lowering hook
+    (all stock axes do), pricing runs on the factored fast path
+    (:mod:`repro.dse.stream`): per-axis cost tables combined in flat
+    index space, ~10^6 configs x the smoke suite in seconds.  Otherwise
+    the generic chunked path prices through :class:`BatchNfpEngine`
+    with the same bits.
+
+    ``refine`` adds that many adaptive coordinate-refinement rounds
+    around the streaming aggregate knee (:func:`_refine_pass`); refined
+    candidates are off-grid, so a refined summary is a superset of the
+    base space's.  ``front_cap`` bounds how many front members are
+    *materialized* as points per workload (fronts over near-continuous
+    axes can approach the grid in size); counts, knees and minima are
+    always exact.
+    """
+    from repro.nfp.linear import numpy_or_none   # deferred, see _job_nfps
+    pairs = list(pairs)
+    if not pairs:
+        raise ValueError("sweep_streamed needs at least one workload pair")
+    runner = runner if runner is not None else ExperimentRunner()
+    base = base if base is not None else HwConfig()
+    fpu_axis_values = None
+    for name, values in space.axes:
+        if name == "fpu":
+            fpu_axis_values = values
+    fpu_builds = (sorted({bool(v) for v in fpu_axis_values})
+                  if fpu_axis_values is not None
+                  else [base.core.has_fpu])
+    vectors = _stream_profiles(pairs, fpu_builds, budget=budget,
+                               runner=runner, base=base)
+
+    np = numpy_or_none()
+    fast = None
+    if np is not None:
+        from repro.dse import stream as _stream   # deferred: optional numpy
+        fast = _stream.fast_sweep(np, space, pairs, vectors, base,
+                                  chunk=chunk)
+    workload_names = [pair.name for pair in pairs]
+    if fast is not None:
+        fast.run()
+        if not refine:
+            return StreamSummary(
+                axis_names=space.axis_names,
+                workloads=tuple(workload_names),
+                configs=space.size,
+                space_size=space.size,
+                refined=0,
+                front_cap=front_cap,
+                aggregate=fast.workload_front(AGGREGATE, front_cap),
+                per_workload=tuple(fast.workload_front(name, front_cap)
+                                   for name in workload_names),
+            )
+        streams = {name: fast.point_stream(name)
+                   for name in workload_names + [AGGREGATE]}
+    else:
+        streams = {name: _PointStream(name)
+                   for name in workload_names + [AGGREGATE]}
+        buffer: list[SweepConfig] = []
+        seq = 0
+        for config in space.iter_configs(base):
+            buffer.append(config)
+            if len(buffer) >= max(1, chunk):
+                _price_configs(buffer, pairs, vectors, seq, streams)
+                seq += len(buffer)
+                buffer.clear()
+        if buffer:
+            _price_configs(buffer, pairs, vectors, seq, streams)
+
+    refined = _refine_pass(space, pairs, vectors, base, streams,
+                           rounds=refine, start_seq=space.size)
+    return StreamSummary(
+        axis_names=space.axis_names,
+        workloads=tuple(workload_names),
+        configs=space.size + refined,
+        space_size=space.size,
+        refined=refined,
+        front_cap=front_cap,
+        aggregate=streams[AGGREGATE].finalize(front_cap),
+        per_workload=tuple(streams[name].finalize(front_cap)
+                           for name in workload_names),
+    )
 
 
 def sweep_estimated(space: DesignSpace | Sequence[SweepConfig],

@@ -8,9 +8,13 @@ instruction stream; this module implements the profile-once alternative:
    is profiled exactly once (``profile`` :class:`~repro.runner.tasks.SimTask`
    through the shared cached/parallel runner -- a 36-config sweep over
    6 workload pairs needs 12 profiled runs instead of 216 metered ones);
-2. every grid point is then priced by the linear evaluator
-   (:class:`repro.nfp.linear.LinearNfpEngine`) as a dot product of its
-   configuration's cost vectors against the workload's profile.
+2. every grid point is then priced by the batch linear evaluator
+   (:class:`repro.nfp.linear.BatchNfpEngine`): per profile, all of its
+   configurations lower to a deduplicated cost-row matrix and each
+   point is one constant-size combine over exact dot products -- the
+   same bits the streamed sweep (:func:`repro.dse.engine.sweep_streamed`)
+   produces, which is what makes streamed and materialized reports
+   byte-identical.
 
 Integer counters and cycles are bit-identical to the metered sweep;
 dynamic energy agrees to the metered accumulator's own float-rounding
@@ -28,7 +32,12 @@ from typing import Sequence
 
 from repro.asm.program import Program
 from repro.hw.config import HwConfig
-from repro.nfp.linear import ExecutionProfile, LinearNfpEngine
+from repro.nfp.linear import (
+    BatchNfpEngine,
+    ExecutionProfile,
+    ProfileVectors,
+    lower_profile,
+)
 from repro.runner import ExperimentRunner
 from repro.runner.resilience import TaskFailure, is_failure, log_event
 from repro.runner.tasks import SimTask, raw_from_payload, task_key
@@ -114,9 +123,28 @@ def profiled_points(items: Sequence[tuple[HwConfig, Program]], *,
         for i, payload in zip(dirty, runner.run_tasks(mtasks)):
             fallback[i] = payload
 
-    engines: dict[int, LinearNfpEngine] = {}
+    # clean points are priced in one batch per distinct profile: the
+    # configurations lower to a deduplicated cost-row matrix and every
+    # point is a constant-size combine (cycles/time bit-identical to
+    # the per-point engine; energy within its ~1-ulp regrouping, and
+    # bit-identical to the streamed sweep, which prices the same way)
+    clean: dict[str, list[int]] = {}
+    for i, key in enumerate(keys):
+        if i not in fallback:
+            clean.setdefault(key, []).append(i)
+    linear: dict[int, PointNfp] = {}
+    vectors: dict[str, ProfileVectors] = {}
+    for key, indices in clean.items():
+        if key not in vectors:
+            vectors[key] = lower_profile(profiles[key])
+        engine = BatchNfpEngine([items[i][0] for i in indices])
+        for i, nfp in zip(indices, engine.evaluate(vectors[key])):
+            linear[i] = PointNfp(
+                time_s=nfp.true_time_s, energy_j=nfp.true_energy_j,
+                cycles=nfp.cycles, retired=nfp.retired, profiled=True)
+
     points: list[PointNfp | TaskFailure] = []
-    for i, ((hw, _), key) in enumerate(zip(items, keys)):
+    for i in range(len(items)):
         payload = fallback.get(i)
         if payload is not None:
             if is_failure(payload):
@@ -128,11 +156,5 @@ def profiled_points(items: Sequence[tuple[HwConfig, Program]], *,
                 cycles=raw.cycles, retired=raw.sim.retired,
                 profiled=False))
             continue
-        engine = engines.get(id(hw))
-        if engine is None:
-            engine = engines[id(hw)] = LinearNfpEngine(hw)
-        nfp = engine.evaluate(profiles[key])
-        points.append(PointNfp(
-            time_s=nfp.true_time_s, energy_j=nfp.true_energy_j,
-            cycles=nfp.cycles, retired=nfp.retired, profiled=True))
+        points.append(linear[i])
     return points

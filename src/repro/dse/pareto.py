@@ -9,6 +9,7 @@ and tests all share one dominance definition.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from typing import Callable, Sequence, TypeVar
 
 Item = TypeVar("Item")
@@ -85,3 +86,132 @@ def classify(items: Sequence[Item],
     return [not any(dominates(objectives[j], objectives[i])
                     for j in range(len(items)) if j != i)
             for i in range(len(items))]
+
+
+def _envelope_insert(xs: list, ys: list, x, y) -> None:
+    """Insert ``(x, y)`` into a lower-left staircase envelope.
+
+    ``xs`` strictly increasing, ``ys`` strictly decreasing; after the
+    insert, ``ys[bisect_right(xs, q) - 1]`` is ``min(y' : x' <= q)`` for
+    any query ``q`` -- the structure the streaming cross-group filter
+    queries in logarithmic time.
+    """
+    pos = bisect_right(xs, x) - 1
+    if pos >= 0 and ys[pos] <= y:
+        return                      # an existing corner already covers it
+    lo = bisect_left(xs, x)
+    hi = lo
+    while hi < len(xs) and ys[hi] >= y:
+        hi += 1
+    if hi > lo:
+        del xs[lo:hi]
+        del ys[lo:hi]
+    xs.insert(lo, x)
+    ys.insert(lo, y)
+
+
+class ParetoAccumulator:
+    """Streaming Pareto front: add points one by one, bounded memory.
+
+    The online counterpart of :func:`pareto_front` for 2- or 3-objective
+    minimisation.  Points are grouped by their objective tail (for the
+    sweep's ``(time, energy, area)`` vectors: by area, which takes few
+    distinct values across a grid); each group maintains its 2-D
+    non-dominated set as a sorted staircase, so an arriving point costs
+    one binary search plus amortised O(1) removals -- never a pass over
+    everything seen.  Memory holds only the union of per-group 2-D
+    fronts (a superset of the true front, far below the full grid).
+
+    :meth:`front` resolves cross-group dominance exactly (ascending
+    tails against a cumulative staircase envelope) and returns survivors
+    in arrival order -- element-for-element equal to
+    ``pareto_front(all_points_in_arrival_order)``, including duplicate
+    and tied vectors (the property tests pin the equivalence down).
+    """
+
+    __slots__ = ("_key", "_groups", "_seen", "_stored")
+
+    def __init__(self, key: Callable[[Item], Sequence[float]] = lambda it: it):
+        self._key = key
+        # tail -> [xs, ys, payload-lists]; staircase per tail value
+        self._groups: dict[tuple, list] = {}
+        self._seen = 0
+        self._stored = 0
+
+    def __len__(self) -> int:
+        """Entries currently stored (the bounded-memory figure)."""
+        return self._stored
+
+    @property
+    def seen(self) -> int:
+        """Points offered so far (stored or rejected)."""
+        return self._seen
+
+    def add(self, item: Item) -> bool:
+        """Offer one point; False when already dominated within its group.
+
+        A False return is definitive (the point is not on the front); a
+        True return is provisional -- a later arrival or a smaller-tail
+        group may still dominate it, which :meth:`front` resolves.
+        """
+        obj = tuple(self._key(item))
+        if len(obj) not in (2, 3):
+            raise ValueError(
+                f"ParetoAccumulator supports 2 or 3 objectives, got {obj!r}")
+        seq = self._seen
+        self._seen += 1
+        a, b, tail = obj[0], obj[1], obj[2:]
+        group = self._groups.get(tail)
+        if group is None:
+            self._groups[tail] = [[a], [b], [[(seq, item)]]]
+            self._stored += 1
+            return True
+        xs, ys, payloads = group
+        pos = bisect_right(xs, a) - 1
+        if pos >= 0:
+            y = ys[pos]
+            if y < b or (y == b and xs[pos] < a):
+                return False        # dominated inside its own group
+            if y == b and xs[pos] == a:
+                payloads[pos].append((seq, item))   # exact tie: both stay
+                self._stored += 1
+                return True
+        lo = bisect_left(xs, a)
+        hi = lo
+        # corners at x >= a with y >= b are strictly dominated by (a, b)
+        # (the exact-tie corner was handled above, so strictness holds)
+        while hi < len(xs) and ys[hi] >= b:
+            self._stored -= len(payloads[hi])
+            hi += 1
+        if hi > lo:
+            del xs[lo:hi]
+            del ys[lo:hi]
+            del payloads[lo:hi]
+        xs.insert(lo, a)
+        ys.insert(lo, b)
+        payloads.insert(lo, [(seq, item)])
+        self._stored += 1
+        return True
+
+    def front(self) -> list[Item]:
+        """The exact non-dominated set of everything added, arrival order."""
+        survivors: list[tuple[int, Item]] = []
+        xs_c: list = []     # cumulative envelope over smaller tails
+        ys_c: list = []
+        for tail in sorted(self._groups):
+            xs, ys, payloads = self._groups[tail]
+            for x, y, plist in zip(xs, ys, payloads):
+                # a smaller tail dominates on any (x', y') <= (x, y),
+                # ties included (the tail itself is strictly better)
+                pos = bisect_right(xs_c, x) - 1
+                if pos >= 0 and ys_c[pos] <= y:
+                    continue
+                survivors.extend(plist)
+            for x, y in zip(xs, ys):
+                _envelope_insert(xs_c, ys_c, x, y)
+        survivors.sort(key=lambda entry: entry[0])
+        return [item for _, item in survivors]
+
+    def knee(self) -> Item:
+        """The balanced pick over the current front (see :func:`knee_point`)."""
+        return knee_point(self.front(), self._key)

@@ -1,0 +1,633 @@
+"""The vectorized fast path of the streamed sweep (numpy only).
+
+:func:`fast_sweep` prices a cartesian design space in flat index space:
+every axis contributes small per-value cost tables (its
+:class:`~repro.dse.axes.AxisLowering`), a chunk of configurations is
+just ``arange(start, stop)`` decomposed into per-axis indices, and the
+NFP combine is a handful of table gathers plus the exact expressions of
+:meth:`repro.nfp.linear.BatchNfpEngine._evaluate_scalar` -- so a
+million-config space never materializes a single ``HwConfig``.
+
+Bit-compatibility is the design constraint, not an afterthought:
+
+- cycle dot products are computed per distinct cycle table with
+  :func:`repro.nfp.linear.cycle_dot` (exact integers) and combined in
+  int64, so cycles and times are bit-identical to the per-point path;
+- energy dot products reduce each build's *base* dynamic-energy row
+  exactly once (:func:`repro.nfp.linear.energy_dots`) and rescale the
+  four dots per DVFS value -- the same ``scale * dot`` the batch engine
+  computes for a :class:`~repro.hw.config.ScaledDynTable` -- and the
+  per-config combine mirrors the batch engine's expression order, so
+  streamed and materialized reports come out byte-identical.
+
+The streaming reduction keeps, per (workload, area) group, only the
+mutually non-dominated ``(time, energy)`` entries as sorted arrays; a
+chunk is folded in with one sort + vectorized dominance marking, and
+:meth:`_Store.finalize` resolves cross-area dominance against a
+cumulative staircase envelope -- the array twin of
+:class:`repro.dse.pareto.ParetoAccumulator`, equal by construction (and
+by the property tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.dse.axes import DesignSpace, get_axis
+from repro.dse.engine import (
+    AGGREGATE,
+    DsePoint,
+    WorkloadFront,
+    _PointStream,
+)
+from repro.dse.workload import WorkloadPair
+from repro.hw.area import memctrl_les, synthesize
+from repro.hw.config import HwConfig
+from repro.nfp.linear import ProfileVectors, cycle_dot, energy_dots
+
+
+def fast_sweep(np, space: DesignSpace, pairs: Sequence[WorkloadPair],
+               vectors: dict[tuple[str, str], ProfileVectors],
+               base: HwConfig, *, chunk: int = 65536):
+    """A :class:`_FastSweep` over ``space``, or None when not lowerable.
+
+    The fast path declines (returning None, so the engine falls back to
+    the generic chunked path with identical results) when an axis has
+    no lowering hook, when two axes claim the same cost-model field, or
+    when a cycle dot product overflows int64.
+    """
+    try:
+        return _FastSweep(np, space, pairs, vectors, base, chunk)
+    except _NotLowerable:
+        return None
+    except OverflowError:
+        return None            # cycle dots past int64: generic path prices it
+
+
+class _NotLowerable(Exception):
+    """The space cannot be priced from factored per-axis tables."""
+
+
+def _merge(np, held, cand):
+    """Fold candidate entries into a group's 2-D non-dominated arrays.
+
+    One lexicographic sort of old + new entries by ``(time, energy,
+    seq)``, then vectorized strict-dominance marking: an entry loses
+    iff a strictly-faster entry is no worse on energy (prefix minimum
+    over earlier time runs) or an equally-fast one is strictly better
+    (its run's first, i.e. minimal, energy).  Exact objective ties all
+    survive, matching :func:`repro.dse.pareto.pareto_front`.
+    """
+    if held is None:
+        merged = cand
+    else:
+        merged = {k: np.concatenate((held[k], cand[k])) for k in cand}
+    order = np.lexsort((merged["seq"], merged["e"], merged["t"]))
+    t = merged["t"][order]
+    e = merged["e"][order]
+    n = t.size
+    tchange = np.empty(n, dtype=bool)
+    tchange[0] = True
+    np.not_equal(t[1:], t[:-1], out=tchange[1:])
+    run_id = np.cumsum(tchange) - 1
+    starts = np.flatnonzero(tchange)
+    prefix = np.minimum.accumulate(e)
+    prev = np.empty(starts.size, dtype=np.float64)
+    prev[0] = np.inf
+    prev[1:] = prefix[starts[1:] - 1]
+    cover = prev[run_id]        # best energy at strictly smaller time
+    first = e[starts][run_id]   # best energy at exactly this time
+    kept = order[~((cover <= e) | (e > first))]
+    return {k: v[kept] for k, v in merged.items()}
+
+
+def _corners(np, t, e):
+    """Strictly-improving corners of a time-sorted point set.
+
+    The returned ``(t, e)`` pair is the pointwise-minimum staircase of
+    the input: t ascending, e strictly decreasing.  Looking up the last
+    corner with ``t' <= t`` therefore yields the best energy seen at
+    any time ``<= t``.
+    """
+    if not e.size:
+        return t, e
+    prefix = np.minimum.accumulate(e)
+    prev = np.empty(e.size, dtype=np.float64)
+    prev[0] = np.inf
+    prev[1:] = prefix[:-1]
+    corner = e < prev
+    return t[corner], e[corner]
+
+
+def _knee_index(np, t, e, area) -> int:
+    """Vectorized :func:`repro.dse.pareto.knee_point` over front arrays.
+
+    Same normalisation, same accumulation order over ``(time, energy,
+    area)``, same first-minimum tie-break -- bit-equal to the scalar
+    implementation on the same front.
+    """
+    dist = np.zeros(t.size, dtype=np.float64)
+    for arr in (t, e, area.astype(np.float64)):
+        low = arr.min()
+        span = arr.max() - low
+        if span > 0:
+            scaled = (arr - low) / span
+            dist = dist + scaled * scaled
+    return int(np.argmin(np.sqrt(dist)))
+
+
+class _Store:
+    """Per-workload streaming state over column arrays.
+
+    ``groups`` maps an area value to the mutually 2-D non-dominated
+    ``(time, energy)`` entries seen so far; ``best`` tracks
+    per-objective running minima with the flat sequence number as
+    tie-break.  New chunk entries accumulate in a per-group pending
+    buffer and fold in only once they outweigh the held front
+    (dominance filtering is order-free, so deferred folds keep the
+    exact set); each entry is re-sorted O(log) times instead of once
+    per chunk, and memory stays bounded by held + pending, both
+    O(front + chunk).
+    """
+
+    __slots__ = ("np", "workload", "groups", "pending", "best", "count")
+
+    # only what dominance needs travels through the merges; cycles and
+    # fpu are recomputed from the flat seq for the few entries that
+    # materialize into points (_FastSweep._reprice)
+    _COLS = ("t", "e", "seq")
+
+    def __init__(self, np, workload: str):
+        self.np = np
+        self.workload = workload
+        self.groups: dict[int, dict] = {}
+        self.pending: dict[int, list] = {}  # area -> unfolded chunk slices
+        self.best: dict[str, tuple] = {}   # objective -> (value, seq, comp)
+        self.count = 0
+
+    def offer(self, cols: dict, grouping) -> None:
+        np = self.np
+        self.count += cols["t"].size
+        for objective, arr in (("time_s", cols["t"]),
+                               ("energy_j", cols["e"]),
+                               ("area_les", cols["area"])):
+            i = int(np.argmin(arr))     # first minimum = smallest seq
+            value = arr[i].item()
+            seq = int(cols["seq"][i])
+            held = self.best.get(objective)
+            if held is None or (value, seq) < (held[0], held[1]):
+                self.best[objective] = (value, seq, _comp(cols, i))
+        for area_value, sel in grouping:
+            queue = self.pending.setdefault(area_value, [])
+            queue.append({k: cols[k][sel] for k in self._COLS})
+            held = self.groups.get(area_value)
+            if held is None or (sum(c["t"].size for c in queue)
+                                >= held["t"].size):
+                self._fold(area_value)
+
+    def _fold(self, area_value: int) -> None:
+        queue = self.pending.get(area_value)
+        if not queue:
+            return
+        np = self.np
+        cand = (queue[0] if len(queue) == 1 else
+                {k: np.concatenate([c[k] for c in queue]) for k in self._COLS})
+        self.pending[area_value] = []
+        self.groups[area_value] = _merge(
+            np, self.groups.get(area_value), cand)
+
+    def stored(self) -> int:
+        """Entries currently held (the bounded-memory figure)."""
+        return (sum(g["t"].size for g in self.groups.values())
+                + sum(c["t"].size for q in self.pending.values()
+                      for c in q))
+
+    def finalize(self) -> dict:
+        """The exact front as seq-sorted column arrays (incl. ``area``).
+
+        Ascending area groups are filtered against the cumulative
+        staircase envelope of all smaller-area entries (ties included:
+        the smaller area is strictly better), exactly like
+        :meth:`repro.dse.pareto.ParetoAccumulator.front`.
+        """
+        np = self.np
+        for area_value in list(self.pending):
+            self._fold(area_value)
+        parts = []
+        env_t = env_e = None
+        for area_value in sorted(self.groups):
+            group = self.groups[area_value]
+            if env_t is not None and env_t.size:
+                pos = np.searchsorted(env_t, group["t"], side="right") - 1
+                covered = np.where(pos >= 0,
+                                   env_e[np.maximum(pos, 0)], np.inf)
+                keep = ~(covered <= group["e"])
+                part = {k: v[keep] for k, v in group.items()}
+            else:
+                part = dict(group)
+            part["area"] = np.full(part["t"].size, area_value,
+                                   dtype=np.int64)
+            parts.append(part)
+            gt, ge = group["t"], group["e"]
+            if env_t is None:
+                st, se = gt, ge
+            else:
+                # both inputs are time-sorted (the envelope by
+                # construction, the group by _merge), so one O(n)
+                # two-array merge replaces a full sort; the order of
+                # equal-time entries cannot change the pointwise
+                # prefix-min envelope
+                n = env_t.size + gt.size
+                st = np.empty(n, dtype=np.float64)
+                se = np.empty(n, dtype=np.float64)
+                at = np.arange(env_t.size) + np.searchsorted(
+                    gt, env_t, side="left")
+                bt = np.arange(gt.size) + np.searchsorted(
+                    env_t, gt, side="right")
+                st[at] = env_t
+                st[bt] = gt
+                se[at] = env_e
+                se[bt] = ge
+            env_t, env_e = _corners(np, st, se)
+        out = {k: np.concatenate([p[k] for p in parts])
+               for k in parts[0]}
+        order = np.argsort(out["seq"], kind="stable")
+        return {k: v[order] for k, v in out.items()}
+
+
+def _comp(cols: dict, i: int) -> tuple:
+    """One entry's compact ``(seq, t, e, area, cycles, fpu)`` scalars."""
+    return (int(cols["seq"][i]), float(cols["t"][i]), float(cols["e"][i]),
+            int(cols["area"][i]), int(cols["cycles"][i]),
+            bool(cols["fpu"][i]))
+
+
+class _FastSweep:
+    """The planned fast path: factored tables + chunked flat iteration."""
+
+    def __init__(self, np, space: DesignSpace,
+                 pairs: Sequence[WorkloadPair],
+                 vectors: dict[tuple[str, str], ProfileVectors],
+                 base: HwConfig, chunk: int):
+        self.np = np
+        self.space = space
+        self.pairs = list(pairs)
+        self.base = base
+        self.chunk = max(1, chunk)
+        self.size = space.size
+
+        # -- axis geometry ---------------------------------------------------
+        self.names = space.axis_names
+        self.values = [tuple(values) for _, values in space.axes]
+        self.labels = [tuple(get_axis(name).label(v) for v in values)
+                       for (name, _), values in zip(space.axes, self.values)]
+        self.nvals = [len(v) for v in self.values]
+        strides = [1] * len(self.nvals)
+        for j in range(len(self.nvals) - 2, -1, -1):
+            strides[j] = strides[j + 1] * self.nvals[j + 1]
+        self.strides = strides
+
+        # -- role assignment from the axes' lowering hooks -------------------
+        scale_axis = chz_axis = ws_axis = nw_axis = fpu_axis = None
+        scales = clocks = cycle_tables = nw_values = fpu_values = None
+        for j, (name, values) in enumerate(space.axes):
+            axis = get_axis(name)
+            if axis.lower is None:
+                raise _NotLowerable(name)
+            low = axis.lower(base, tuple(values))
+            for field, held in (("dyn_scales", scales),
+                                ("clock_hz", clocks),
+                                ("cycle_tables", cycle_tables),
+                                ("nwindows", nw_values),
+                                ("has_fpu", fpu_values)):
+                got = getattr(low, field)
+                if got is None:
+                    continue
+                if held is not None or len(got) != len(values):
+                    raise _NotLowerable(name)   # double claim / bad hook
+            if low.dyn_scales is not None:
+                scale_axis, scales = j, low.dyn_scales
+            if low.clock_hz is not None:
+                chz_axis, clocks = j, low.clock_hz
+            if low.cycle_tables is not None:
+                ws_axis, cycle_tables = j, low.cycle_tables
+            if low.nwindows is not None:
+                nw_axis, nw_values = j, low.nwindows
+            if low.has_fpu is not None:
+                fpu_axis, fpu_values = j, low.has_fpu
+        self.axis_of = {"scale": scale_axis, "chz": chz_axis, "ws": ws_axis,
+                        "nw": nw_axis, "fpu": fpu_axis}
+        scales = scales if scales is not None else (1.0,)
+        clocks = clocks if clocks is not None else (base.clock_hz,)
+        cycle_tables = (cycle_tables if cycle_tables is not None
+                        else (base.cycle_table,))
+        nw_values = (nw_values if nw_values is not None
+                     else (base.core.nwindows,))
+        self.fpu_values = (tuple(fpu_values) if fpu_values is not None
+                           else (base.core.has_fpu,))
+        builds = sorted(set(self.fpu_values))
+
+        # memory-interface area keys off the axis *named* wait_states,
+        # exactly like the materialized _config_area_les
+        self.mem_axis = None
+        mem_values = (0,)
+        for j, name in enumerate(self.names):
+            if name == "wait_states":
+                self.mem_axis = j
+                mem_values = self.values[j]
+
+        # -- per-value cost tables -------------------------------------------
+        # scale-indexed scalars (DVFS axis): identical derivations to
+        # _apply_clock, so every float matches the materialized path
+        self.TRNJ = np.array([base.window_trap_energy_nj * s for s in scales],
+                             dtype=np.float64)
+        self.STATIC = np.array([base.static_power_w * s for s in scales],
+                               dtype=np.float64)
+        self.CYCSEC = np.array([1.0 / hz for hz in clocks], dtype=np.float64)
+        self.AMP = base.jitter_amplitude
+        self.UD = base.untaken_branch_discount
+        self.EXTRA = base.untaken_branch_energy_factor - 1.0
+        self.TRAP_CYC = base.window_trap_cycles
+
+        self.MEM = np.array([memctrl_les(int(v)) for v in mem_values],
+                            dtype=np.int64)
+        self.CORE = np.array(
+            [[synthesize(replace(base.core, nwindows=int(nw),
+                                 has_fpu=bool(f))).total_les
+              for f in self.fpu_values]
+             for nw in nw_values], dtype=np.int64)
+
+        # per-(workload, build) profile tables
+        self.keys = [(pair.name, "float" if f else "fixed")
+                     for pair in self.pairs for f in builds]
+        self.RET: dict[tuple[str, str], int] = {}
+        self.E: dict[tuple[str, str], object] = {}
+        self.CYC: dict[tuple[str, str], object] = {}
+        self.TRAPS: dict[tuple[str, str], object] = {}
+        self.TRJC: dict[tuple[str, str], object] = {}
+        self.TU: dict[tuple[str, str], int] = {}
+        self.REFUND: dict[tuple[str, str], int] = {}
+        basis = None
+        base_dyn = None
+        for key in self.keys:
+            pv = vectors[key]
+            if basis is None:
+                basis = pv.basis
+                base_dyn = [base.dyn_energy_nj[m] for m in basis]
+            self.RET[key] = pv.retired
+            self.TU[key] = pv.total_untaken
+            self.REFUND[key] = pv.div_refund
+            # one exact base-row reduction per build, rescaled per DVFS
+            # value: the same ``scale * dot`` a BatchNfpEngine computes
+            # for a ScaledDynTable, so every float matches the
+            # materialized and generic paths bit for bit (a 1.0 scale
+            # multiplies through unchanged under IEEE-754)
+            base_dots = np.asarray(energy_dots(tuple(base_dyn), pv),
+                                   dtype=np.float64)
+            self.E[key] = (np.asarray(scales, dtype=np.float64)[:, None]
+                           * base_dots[None, :])
+            # raises OverflowError past int64 -> fast_sweep declines
+            self.CYC[key] = np.array(
+                [cycle_dot(tuple(table[m] for m in basis), pv)
+                 for table in cycle_tables], dtype=np.int64)
+            win = [pv.window_at(int(nw)) for nw in nw_values]
+            self.TRAPS[key] = np.array([s + f for s, f, _ in win],
+                                       dtype=np.int64)
+            self.TRJC[key] = np.array([j for _, _, j in win],
+                                      dtype=np.float64)
+        self.AGG_RET = {
+            "float" if f else "fixed":
+                sum(self.RET[(pair.name, "float" if f else "fixed")]
+                    for pair in self.pairs)
+            for f in builds}
+
+        self.stores = {name: _Store(np, name) for name in
+                       [pair.name for pair in self.pairs] + [AGGREGATE]}
+
+    # -- execution -----------------------------------------------------------
+
+    def _axis_index(self, flat, role: str):
+        """Per-config value index on the role's axis, or None when fixed."""
+        j = self.axis_of[role]
+        if j is None:
+            return None
+        return ((flat // self.strides[j]) % self.nvals[j]).astype(self.np.intp)
+
+    def _evaluate_build(self, key, s_idx, c_idx, w_idx, n_idx):
+        """One (workload, build) NFP combine over a chunk, in index space.
+
+        The expressions mirror BatchNfpEngine._evaluate_scalar exactly
+        (same grouping, same operand order), so every float matches the
+        generic and materialized paths bit for bit.
+        """
+        edots = (self.E[key][s_idx] if s_idx is not None
+                 else self.E[key][0])
+        e1, e2, e3, e4 = (edots[..., 0], edots[..., 1],
+                          edots[..., 2], edots[..., 3])
+        cyc = self.CYC[key][w_idx] if w_idx is not None else self.CYC[key][0]
+        traps = (self.TRAPS[key][n_idx] if n_idx is not None
+                 else self.TRAPS[key][0])
+        trapjc = (self.TRJC[key][n_idx] if n_idx is not None
+                  else self.TRJC[key][0])
+        trnj = self.TRNJ[s_idx] if s_idx is not None else self.TRNJ[0]
+        static = self.STATIC[s_idx] if s_idx is not None else self.STATIC[0]
+        cycsec = self.CYCSEC[c_idx] if c_idx is not None else self.CYCSEC[0]
+        amp = self.AMP
+        cycles = (cyc - self.TU[key] * self.UD - self.REFUND[key]
+                  + traps * self.TRAP_CYC)
+        dyn = ((e1 + amp * e2) + self.EXTRA * (e3 + amp * e4)
+               + trnj * (traps + amp * trapjc))
+        time_s = cycles.astype(self.np.float64) * cycsec
+        energy = dyn * 1e-9 + static * time_s
+        return time_s, energy, cycles
+
+    def run(self) -> None:
+        """Price the whole space chunk by chunk into the stores."""
+        np = self.np
+        for start in range(0, self.size, self.chunk):
+            stop = min(self.size, start + self.chunk)
+            flat = np.arange(start, stop, dtype=np.int64)
+            n = flat.size
+            s_idx = self._axis_index(flat, "scale")
+            c_idx = self._axis_index(flat, "chz")
+            w_idx = self._axis_index(flat, "ws")
+            n_idx = self._axis_index(flat, "nw")
+            f_idx = self._axis_index(flat, "fpu")
+
+            if f_idx is not None:
+                fpu = np.asarray(self.fpu_values, dtype=bool)[f_idx]
+            else:
+                fpu = np.broadcast_to(np.asarray(self.fpu_values[0]), (n,))
+            nw_i = n_idx if n_idx is not None else 0
+            fpu_i = f_idx if f_idx is not None else 0
+            area = self.CORE[nw_i, fpu_i]
+            if self.mem_axis is not None:
+                j = self.mem_axis
+                m_idx = ((flat // self.strides[j])
+                         % self.nvals[j]).astype(np.intp)
+                area = area + self.MEM[m_idx]
+            else:
+                area = area + self.MEM[0]
+            area = np.broadcast_to(np.asarray(area, dtype=np.int64), (n,))
+
+            # one stable area grouping, shared by every store's fold
+            order = np.argsort(area, kind="stable")
+            sorted_area = area[order]
+            bounds = np.flatnonzero(np.concatenate(
+                ([True], sorted_area[1:] != sorted_area[:-1])))
+            ends = np.concatenate((bounds[1:], [n]))
+            grouping = [(int(sorted_area[b]), order[b:e])
+                        for b, e in zip(bounds, ends)]
+
+            builds = sorted(set(bool(v) for v in self.fpu_values))
+            agg = None
+            for pair in self.pairs:
+                per_build = {}
+                for f in builds:
+                    key = (pair.name, "float" if f else "fixed")
+                    per_build[f] = self._evaluate_build(
+                        key, s_idx, c_idx, w_idx, n_idx)
+                if len(per_build) == 2:
+                    tf, ef, cf = per_build[True]
+                    tx, ex, cx = per_build[False]
+                    t = np.where(fpu, tf, tx)
+                    e = np.where(fpu, ef, ex)
+                    cycles = np.where(fpu, cf, cx)
+                else:
+                    t, e, cycles = per_build[builds[0]]
+                cols = _chunk_cols(np, n, flat, t, e, area, cycles, fpu)
+                self.stores[pair.name].offer(cols, grouping)
+                if agg is None:
+                    agg = (t, e, cycles)
+                else:
+                    # left-to-right, exactly like sum() over points
+                    agg = (agg[0] + t, agg[1] + e, agg[2] + cycles)
+            cols = _chunk_cols(np, n, flat, agg[0], agg[1], area,
+                               agg[2], fpu)
+            self.stores[AGGREGATE].offer(cols, grouping)
+
+    # -- result extraction ---------------------------------------------------
+
+    def _point(self, workload: str, comp: tuple) -> DsePoint:
+        """Reconstruct the DsePoint of one stored entry from its flat seq."""
+        seq, time_s, energy_j, area_les, cycles, fpu = comp
+        indices = [(seq // self.strides[j]) % self.nvals[j]
+                   for j in range(len(self.nvals))]
+        build = "float" if fpu else "fixed"
+        retired = (self.AGG_RET[build] if workload == AGGREGATE
+                   else self.RET[(workload, build)])
+        return DsePoint(
+            config="-".join(self.labels[j][i]
+                            for j, i in enumerate(indices)),
+            axis_values=tuple(
+                (name, self.values[j][i])
+                for j, (name, i) in enumerate(zip(self.names, indices))),
+            workload=workload,
+            build=build,
+            time_s=time_s,
+            energy_j=energy_j,
+            area_les=area_les,
+            retired=retired,
+            cycles=cycles,
+        )
+
+    def _reprice(self, workload: str, flat):
+        """Vectorized ``(cycles, fpu)`` of flat indices, from scratch.
+
+        The stores only carry what dominance needs (time, energy, seq);
+        the cycle counts and build flags of the few entries that become
+        :class:`DsePoint` objects are recomputed here through the exact
+        expressions of :meth:`_evaluate_build` -- integer cycle math,
+        so the result is identical to what the chunk pass produced.
+        """
+        np = self.np
+        s_idx = self._axis_index(flat, "scale")
+        c_idx = self._axis_index(flat, "chz")
+        w_idx = self._axis_index(flat, "ws")
+        n_idx = self._axis_index(flat, "nw")
+        f_idx = self._axis_index(flat, "fpu")
+        if f_idx is not None:
+            fpu = np.asarray(self.fpu_values, dtype=bool)[f_idx]
+        else:
+            fpu = np.broadcast_to(np.asarray(self.fpu_values[0]),
+                                  (flat.size,))
+        builds = sorted(set(bool(v) for v in self.fpu_values))
+        pairs = (self.pairs if workload == AGGREGATE
+                 else [p for p in self.pairs if p.name == workload])
+        total = None
+        for pair in pairs:
+            per_build = {}
+            for f in builds:
+                key = (pair.name, "float" if f else "fixed")
+                per_build[f] = self._evaluate_build(
+                    key, s_idx, c_idx, w_idx, n_idx)[2]
+            if len(per_build) == 2:
+                cycles = np.where(fpu, per_build[True], per_build[False])
+            else:
+                cycles = per_build[builds[0]]
+            total = cycles if total is None else total + cycles
+        return np.broadcast_to(np.asarray(total, dtype=np.int64),
+                               (flat.size,)), fpu
+
+    def _fin_comps(self, workload: str, fin: dict, idxs) -> list[tuple]:
+        """Full comp tuples for selected finalized-front row indices."""
+        np = self.np
+        sel = np.asarray(list(idxs), dtype=np.int64)
+        cycles, fpu = self._reprice(workload, fin["seq"][sel])
+        return [(int(fin["seq"][i]), float(fin["t"][i]), float(fin["e"][i]),
+                 int(fin["area"][i]), int(cycles[k]), bool(fpu[k]))
+                for k, i in enumerate(sel)]
+
+    def workload_front(self, workload: str,
+                       front_cap: int | None) -> WorkloadFront:
+        """Finalize one stream straight into a WorkloadFront."""
+        store = self.stores[workload]
+        fin = store.finalize()
+        front_size = int(fin["t"].size)
+        knee_i = _knee_index(self.np, fin["t"], fin["e"], fin["area"])
+        limit = (front_size if front_cap is None
+                 else min(front_cap, front_size))
+        comps = self._fin_comps(workload, fin, [*range(limit), knee_i])
+        best = {objective: self._point(workload, comp)
+                for objective, (_, _, comp) in store.best.items()}
+        return WorkloadFront(
+            workload=workload,
+            points=store.count,
+            front_size=front_size,
+            front=tuple(self._point(workload, comp)
+                        for comp in comps[:limit]),
+            knee=self._point(workload, comps[limit]),
+            best_time=best["time_s"],
+            best_energy=best["energy_j"],
+            best_area=best["area_les"])
+
+    def point_stream(self, workload: str) -> _PointStream:
+        """Convert one stream into the point-based form refinement extends.
+
+        Seeds a ParetoAccumulator with the exact front (in seq order) --
+        sufficient, since any point dominated by a discarded entry is,
+        by transitivity, dominated by a front member.
+        """
+        stream = _PointStream(workload)
+        store = self.stores[workload]
+        fin = store.finalize()
+        for comp in self._fin_comps(workload, fin, range(fin["t"].size)):
+            stream.acc.add(self._point(workload, comp))
+        stream.count = store.count
+        stream.best = {
+            objective: (value, seq, self._point(workload, comp))
+            for objective, (value, seq, comp) in store.best.items()}
+        return stream
+
+
+def _chunk_cols(np, n: int, flat, t, e, area, cycles, fpu) -> dict:
+    """Normalize chunk columns to shape ``(n,)`` (scalars broadcast)."""
+    return {
+        "t": np.broadcast_to(np.asarray(t, dtype=np.float64), (n,)),
+        "e": np.broadcast_to(np.asarray(e, dtype=np.float64), (n,)),
+        "seq": flat,
+        "cycles": np.broadcast_to(np.asarray(cycles, dtype=np.int64), (n,)),
+        "fpu": np.broadcast_to(np.asarray(fpu, dtype=bool), (n,)),
+        "area": area,
+    }

@@ -27,8 +27,14 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.dse.axes import DesignSpace
-from repro.dse.engine import DseGrid, SweepInterrupted, sweep_checkpointed
-from repro.dse.report import SweepReport
+from repro.dse.engine import (
+    DseGrid,
+    StreamSummary,
+    SweepInterrupted,
+    sweep_checkpointed,
+    sweep_streamed,
+)
+from repro.dse.report import StreamReport, SweepReport
 from repro.dse.workload import resolve_pairs
 from repro.experiments.scale import Scale, get_scale
 from repro.experiments.setup import metered_blocks_from_env, runner_from_env
@@ -88,13 +94,32 @@ class DseInterrupted(KeyboardInterrupt):
         self.total = total
 
 
+@dataclass
+class DseStreamResult:
+    """Streamed sweep outcome: the retained summary, never a grid."""
+
+    report: StreamReport
+    space: DesignSpace
+    scale_name: str
+
+    @property
+    def summary(self) -> StreamSummary:
+        return self.report.summary
+
+    def render(self, fmt: str = "text") -> str:
+        return self.report.render(fmt)
+
+
 def run(scale: Scale | str | None = None,
         axes: str | None = None,
         profile: bool = False,
         workloads: str | None = None,
         resume: str | None = None,
         run_id: str | None = None,
-        checkpoint_every: int = 8) -> DseResult:
+        checkpoint_every: int = 8,
+        stream: bool = False,
+        refine: int = 0,
+        front_cap: int | None = None) -> DseResult | DseStreamResult:
     """Sweep ``axes`` (a ``DesignSpace.from_spec`` string, or the stock
     space) across a workload suite on the metered testbed.
 
@@ -114,6 +139,15 @@ def run(scale: Scale | str | None = None,
     taken under); ``run_id`` names a fresh run explicitly.  An
     interruption (Ctrl-C) flushes the checkpoint and raises
     :class:`DseInterrupted` with the partial result attached.
+
+    ``stream`` (the ``repro dse --stream`` flag; ``refine > 0`` implies
+    it) runs the generate-price-reduce path instead
+    (:func:`repro.dse.engine.sweep_streamed`): the grid is never
+    materialized, so million-config spaces sweep in bounded memory, and
+    the report renders byte-identically to the materialized ``--profile``
+    sweep at equal ``front_cap``.  Streamed sweeps keep no checkpoint
+    (pricing restarts in seconds; the profile simulations are already
+    content-cached), so they are incompatible with ``resume``/``run_id``.
     """
     scale = scale if isinstance(scale, Scale) else get_scale(
         scale if isinstance(scale, str) else None)
@@ -123,6 +157,24 @@ def run(scale: Scale | str | None = None,
         name="leon3",
         core=CoreConfig(metered_blocks_enabled=metered_blocks_from_env()))
     runner = runner_from_env()
+    if stream or refine:
+        if resume is not None or run_id is not None:
+            raise UsageError(
+                "streamed sweeps keep no checkpoint; drop "
+                "--resume/--run-id or drop --stream/--refine")
+        if refine < 0:
+            raise UsageError("--refine takes a non-negative round count")
+        mode = f", refine {refine}" if refine else ""
+        suite = f", workloads {workloads}" if workloads else ""
+        title = (f"design-space exploration ({scale.name} scale, "
+                 f"streamed{mode}{suite})")
+        summary = sweep_streamed(
+            space, resolve_pairs(workloads, scale),
+            budget=scale.max_instructions, runner=runner, base=base,
+            refine=refine, front_cap=front_cap)
+        return DseStreamResult(
+            report=StreamReport(summary, title=title),
+            space=space, scale_name=scale.name)
     spec = {
         "scale": scale.name,
         "axes": [[name, list(values)] for name, values in space.axes],

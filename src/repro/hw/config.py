@@ -28,6 +28,26 @@ from repro.hw.timing import (
 from repro.vm.config import CoreConfig
 
 
+class ScaledDynTable(dict):
+    """A dynamic-energy table derived as ``base * scale``.
+
+    Entry-wise identical to ``{m: nj * scale for m, nj in base.items()}``
+    but carries its factorization, so batch evaluators can reduce the
+    base table once and rescale the dots -- one multiply per derived
+    table instead of one exact reduction (see
+    :class:`repro.nfp.linear.BatchNfpEngine`).  Workers receive it
+    pickled down to a plain mapping, which only costs them the fast
+    dedup, never correctness.
+    """
+
+    __slots__ = ("base", "scale")
+
+    def __init__(self, base: Mapping[str, float], scale: float):
+        super().__init__({m: nj * scale for m, nj in base.items()})
+        self.base = base
+        self.scale = scale
+
+
 @dataclass(frozen=True)
 class HwConfig:
     """A fully priced hardware platform.

@@ -37,14 +37,34 @@ evaluations of the same profile are byte-identical.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
-from repro.hw.config import HwConfig
+from repro.hw.config import HwConfig, ScaledDynTable
 from repro.vm.blocks import FLAG_BRANCH
 
 #: Exact scale of the centred jitter index: ``idx * 2**-15 - 1``.
 _SCALE = 2.0 ** -15
+
+
+def numpy_or_none():
+    """The ``numpy`` module when importable and not disabled, else ``None``.
+
+    ``REPRO_NUMPY=0`` (or ``off``/``no``/``false``) forces the pure-python
+    path even where numpy is installed -- the knob the fallback tests use
+    to cover both paths in one environment.  The batch evaluator is
+    *bit-identical* either way (see :class:`BatchNfpEngine`), so the knob
+    changes throughput, never results.
+    """
+    if os.environ.get("REPRO_NUMPY", "").strip().lower() in (
+            "0", "off", "no", "false"):
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+        return None
+    return numpy
 
 
 @dataclass(frozen=True)
@@ -146,6 +166,168 @@ def _jit_sum(amp: float, count: int, jsum: int) -> float:
     return count + amp * ((jsum - (count << 15)) * _SCALE)
 
 
+def canonical_basis() -> tuple[str, ...]:
+    """The canonical mnemonic basis of the batch evaluator.
+
+    Every implemented instruction, sorted -- the flat index space both
+    profile count vectors (:func:`lower_profile`) and config cost rows
+    (:class:`BatchNfpEngine`) are expressed in.  Mnemonics a profile
+    never retired carry zero counts and contribute exact zeros to every
+    dot product, so the dense basis changes no result.
+    """
+    global _BASIS
+    if _BASIS is None:
+        from repro.vm.blocks import cost_flags
+        _BASIS = tuple(sorted(cost_flags()))
+    return _BASIS
+
+
+_BASIS: tuple[str, ...] | None = None
+
+
+@dataclass(frozen=True)
+class ProfileVectors:
+    """An :class:`ExecutionProfile` lowered onto the canonical basis.
+
+    Flat per-mnemonic vectors plus window-threshold suffix tables: the
+    profile side of the batch dot products.  ``jcent`` holds the exact
+    centred jitter sums ``(jsum - count * 2**15) * 2**-15`` (a double
+    holds them exactly, see :func:`_jit_sum`); the ``u*`` vectors are
+    masked to branch mnemonics, everything else is zero.  The window
+    tables are suffix sums of the depth histograms indexed by the trap
+    threshold ``t = nwindows - 1`` (clipped), so any window count is a
+    table lookup.
+    """
+
+    basis: tuple[str, ...]
+    counts: tuple[int, ...]
+    fcounts: tuple[float, ...]
+    jcent: tuple[float, ...]
+    ucounts: tuple[float, ...]
+    ujcent: tuple[float, ...]
+    total_untaken: int
+    div_refund: int
+    retired: int
+    clean: bool
+    spills_at: tuple[int, ...]
+    fills_at: tuple[int, ...]
+    trapjc_at: tuple[float, ...]   #: centred trap jitter sum per threshold
+
+    def window_at(self, nwindows: int) -> tuple[int, int, float]:
+        """``(spills, fills, centred trap jitter)`` under ``nwindows``."""
+        t = nwindows - 1
+        last = len(self.spills_at) - 1
+        if t > last:
+            t = last
+        elif t < 0:
+            t = 0
+        return self.spills_at[t], self.fills_at[t], self.trapjc_at[t]
+
+
+def _suffix_tables(profile: ExecutionProfile) -> tuple[
+        tuple[int, ...], tuple[int, ...], tuple[float, ...]]:
+    """Window-event suffix sums, one slot per trap threshold.
+
+    Slot ``t`` equals ``profile.window_events(t + 1)`` recomputed as
+    integer suffix sums; one slot past the deepest recorded depth is
+    all-zero and absorbs every larger window count.
+    """
+    depths = list(profile.save_depths) + list(profile.restore_depths)
+    top = max(depths, default=-1) + 2   # one all-zero slot past the max
+    saves = [0] * top
+    savej = [0] * top
+    rests = [0] * top
+    restj = [0] * top
+    for depth, (count, j) in profile.save_depths.items():
+        if depth >= 0:
+            saves[depth] += count
+            savej[depth] += j
+    for depth, (count, j) in profile.restore_depths.items():
+        if depth >= 0:
+            rests[depth] += count
+            restj[depth] += j
+    spills_at = [0] * top
+    fills_at = [0] * top
+    trapjc_at = [0.0] * top
+    run_s = run_f = run_j = 0
+    for t in range(top - 1, -1, -1):
+        run_s += saves[t]
+        run_f += rests[t]
+        run_j += savej[t] + restj[t]
+        spills_at[t] = run_s
+        fills_at[t] = run_f
+        traps = run_s + run_f
+        trapjc_at[t] = (run_j - (traps << 15)) * _SCALE
+    return tuple(spills_at), tuple(fills_at), tuple(trapjc_at)
+
+
+def lower_profile(profile: ExecutionProfile,
+                  basis: tuple[str, ...] | None = None) -> ProfileVectors:
+    """Lower ``profile`` to flat vectors over ``basis`` (canonical default)."""
+    from repro.vm.blocks import cost_flags
+    basis = basis or canonical_basis()
+    flags = cost_flags()
+    index = {m: i for i, m in enumerate(basis)}
+    n = len(basis)
+    counts = [0] * n
+    jcent = [0.0] * n
+    ucounts = [0.0] * n
+    ujcent = [0.0] * n
+    total_untaken = 0
+    for m, (count, jsum, uc, uj) in profile.mnemonics.items():
+        i = index.get(m)
+        if i is None:
+            raise ValueError(
+                f"profile mnemonic {m!r} is outside the evaluation basis")
+        counts[i] = count
+        jcent[i] = (jsum - (count << 15)) * _SCALE
+        if flags.get(m) == FLAG_BRANCH and uc:
+            ucounts[i] = float(uc)
+            ujcent[i] = (uj - (uc << 15)) * _SCALE
+            total_untaken += uc
+    spills_at, fills_at, trapjc_at = _suffix_tables(profile)
+    return ProfileVectors(
+        basis=basis,
+        counts=tuple(counts),
+        fcounts=tuple(float(c) for c in counts),
+        jcent=tuple(jcent),
+        ucounts=tuple(ucounts),
+        ujcent=tuple(ujcent),
+        total_untaken=total_untaken,
+        div_refund=profile.div_refund_cycles,
+        retired=profile.retired,
+        clean=profile.clean,
+        spills_at=spills_at,
+        fills_at=fills_at,
+        trapjc_at=trapjc_at,
+    )
+
+
+def cycle_dot(cycle_row: Sequence[int], vectors: ProfileVectors) -> int:
+    """Exact integer base-cycle dot product of one config row."""
+    total = 0
+    for base, count in zip(cycle_row, vectors.counts):
+        if count:
+            total += base * count
+    return total
+
+
+def energy_dots(dyn_row: Sequence[float],
+                vectors: ProfileVectors) -> tuple[float, float, float, float]:
+    """The four exact energy dot products of one dynamic-energy row.
+
+    ``(sum dyn*count, sum dyn*jcent, sum dyn*ucount, sum dyn*ujcent)``,
+    each a correctly-rounded :func:`math.fsum` -- independent of batch
+    composition and identical between the numpy and pure paths, which is
+    what makes streamed and materialized sweeps byte-identical.
+    """
+    e1 = math.fsum(map(lambda d, c: d * c, dyn_row, vectors.fcounts))
+    e2 = math.fsum(map(lambda d, c: d * c, dyn_row, vectors.jcent))
+    e3 = math.fsum(map(lambda d, c: d * c, dyn_row, vectors.ucounts))
+    e4 = math.fsum(map(lambda d, c: d * c, dyn_row, vectors.ujcent))
+    return e1, e2, e3, e4
+
+
 class LinearNfpEngine:
     """Per-configuration cost vectors, applied to profiles as dot products.
 
@@ -210,3 +392,172 @@ class LinearNfpEngine:
             fills=fills,
             retired=profile.retired,
         )
+
+
+class BatchNfpEngine:
+    """Price N configurations against one profile in a single pass.
+
+    The batch counterpart of :class:`LinearNfpEngine`: the configs lower
+    to an (N x K) cost-table structure over :func:`canonical_basis` with
+    *rows deduplicated by table identity* -- a sweep whose axes derive
+    tables from shared bases (the stock clock/wait-state axes memoize
+    them) prices each distinct row once and each config is then a
+    constant-size combine.  Worst case (every table distinct) the row
+    pass is the full matrix product, computed with exact reductions:
+
+    - cycle rows: pure-integer dot products, so ``cycles``/``time`` are
+      bit-identical to :class:`LinearNfpEngine` and the metered run;
+    - energy rows: four correctly-rounded ``fsum`` dots per row
+      (:func:`energy_dots`), combined per config in a fixed expression
+      order.  A :class:`~repro.hw.config.ScaledDynTable` (the DVFS
+      axis' derived tables) contributes its *base* row's dots rescaled
+      by one IEEE multiply, so a dense clock sweep reduces one row
+      exactly instead of one per clock value.  The combine (and the
+      scale factoring) regroups the per-point engine's single fsum, so
+      energy agrees to a few ulp (well inside the documented 1e-12
+      relative envelope); results are independent of how a batch is
+      composed and identical between the numpy and pure-python combine
+      (same expressions, same IEEE-754 double semantics).
+
+    numpy (when importable and ``REPRO_NUMPY`` does not disable it, see
+    :func:`numpy_or_none`) vectorizes only the per-config combine; small
+    batches use the scalar loop.  Both paths return the same bits.
+    """
+
+    #: below this batch size the scalar combine wins over array set-up
+    _VECTOR_MIN = 64
+
+    __slots__ = ("hws", "basis", "_rows", "_np")
+
+    def __init__(self, hws: Sequence[HwConfig],
+                 basis: tuple[str, ...] | None = None):
+        self.hws = tuple(hws)
+        self.basis = basis or canonical_basis()
+        self._np = numpy_or_none()
+        # dedupe cost rows by table identity; the tuples keep the source
+        # mappings alive so ids cannot be recycled mid-batch.  A
+        # ScaledDynTable contributes its *base* row plus a (row, scale)
+        # spec -- a dense DVFS sweep reduces one base row exactly and
+        # rescales the dots per distinct scale
+        cyc_rows: list[tuple] = []      # (source table, row)
+        dyn_rows: list[tuple] = []
+        dyn_specs: list[tuple] = []     # (source table, row index, scale)
+        cyc_index: dict[int, int] = {}
+        dyn_index: dict[int, int] = {}
+        spec_index: dict[int, int] = {}
+        per_hw: list[tuple[int, int]] = []
+        for hw in self.hws:
+            ct, dt = hw.cycle_table, hw.dyn_energy_nj
+            ci = cyc_index.get(id(ct))
+            if ci is None or cyc_rows[ci][0] is not ct:
+                ci = len(cyc_rows)
+                cyc_rows.append((ct, tuple(ct[m] for m in self.basis)))
+                cyc_index[id(ct)] = ci
+            si = spec_index.get(id(dt))
+            if si is None or dyn_specs[si][0] is not dt:
+                if isinstance(dt, ScaledDynTable):
+                    base, scale = dt.base, dt.scale
+                else:
+                    base, scale = dt, 1.0
+                di = dyn_index.get(id(base))
+                if di is None or dyn_rows[di][0] is not base:
+                    di = len(dyn_rows)
+                    dyn_rows.append((base, tuple(base[m]
+                                                 for m in self.basis)))
+                    dyn_index[id(base)] = di
+                si = len(dyn_specs)
+                dyn_specs.append((dt, di, scale))
+                spec_index[id(dt)] = si
+            per_hw.append((ci, si))
+        self._rows = (tuple(r for _, r in cyc_rows),
+                      tuple(r for _, r in dyn_rows),
+                      tuple((di, scale) for _, di, scale in dyn_specs),
+                      tuple(per_hw))
+
+    def evaluate(self, vectors: ProfileVectors) -> list[LinearNfp]:
+        """Price ``vectors`` under every config, in construction order."""
+        cyc_rows, dyn_rows, dyn_specs, per_hw = self._rows
+        cyc_dots = [cycle_dot(row, vectors) for row in cyc_rows]
+        base_dots = [energy_dots(row, vectors) for row in dyn_rows]
+        # one IEEE multiply per dot: bit-equal to the streamed tables
+        dots = [base_dots[di] if scale == 1.0
+                else tuple(scale * d for d in base_dots[di])
+                for di, scale in dyn_specs]
+        np = self._np
+        if np is not None and len(self.hws) >= self._VECTOR_MIN:
+            try:
+                return self._evaluate_vector(np, vectors, cyc_dots, dots)
+            except OverflowError:
+                # a cycle dot outside int64 (astronomical budgets):
+                # python's arbitrary-precision path still prices it
+                pass
+        return self._evaluate_scalar(vectors, cyc_dots, dots)
+
+    def _evaluate_scalar(self, vectors, cyc_dots, dots) -> list[LinearNfp]:
+        out = []
+        tu = vectors.total_untaken
+        refund = vectors.div_refund
+        retired = vectors.retired
+        cyc_rows, dyn_rows, dyn_specs, per_hw = self._rows
+        for hw, (ci, di) in zip(self.hws, per_hw):
+            amp = hw.jitter_amplitude
+            spills, fills, trapjc = vectors.window_at(hw.core.nwindows)
+            traps = spills + fills
+            cycles = (cyc_dots[ci] - tu * hw.untaken_branch_discount
+                      - refund + traps * hw.window_trap_cycles)
+            e1, e2, e3, e4 = dots[di]
+            extra = hw.untaken_branch_energy_factor - 1.0
+            dyn_energy_nj = ((e1 + amp * e2) + extra * (e3 + amp * e4)
+                             + hw.window_trap_energy_nj
+                             * (traps + amp * trapjc))
+            true_time_s = cycles * hw.cycle_seconds
+            true_energy_j = (dyn_energy_nj * 1e-9
+                             + hw.static_power_w * true_time_s)
+            out.append(LinearNfp(
+                cycles=cycles, dyn_energy_nj=dyn_energy_nj,
+                true_time_s=true_time_s, true_energy_j=true_energy_j,
+                spills=spills, fills=fills, retired=retired))
+        return out
+
+    def _evaluate_vector(self, np, vectors, cyc_dots, dots) -> list[LinearNfp]:
+        cyc_rows, dyn_rows, dyn_specs, per_hw = self._rows
+        hws = self.hws
+        n = len(hws)
+        ci = np.fromiter((c for c, _ in per_hw), dtype=np.intp, count=n)
+        di = np.fromiter((d for _, d in per_hw), dtype=np.intp, count=n)
+        # raises OverflowError past int64, caught by evaluate()
+        cdot = np.array(cyc_dots, dtype=np.int64)[ci]
+        edots = np.array(dots, dtype=np.float64)[di]
+        amp = np.fromiter((hw.jitter_amplitude for hw in hws),
+                          dtype=np.float64, count=n)
+        ud = np.fromiter((hw.untaken_branch_discount for hw in hws),
+                         dtype=np.int64, count=n)
+        extra = np.fromiter(
+            (hw.untaken_branch_energy_factor - 1.0 for hw in hws),
+            dtype=np.float64, count=n)
+        trap_cyc = np.fromiter((hw.window_trap_cycles for hw in hws),
+                               dtype=np.int64, count=n)
+        trap_nj = np.fromiter((hw.window_trap_energy_nj for hw in hws),
+                              dtype=np.float64, count=n)
+        cycsec = np.fromiter((hw.cycle_seconds for hw in hws),
+                             dtype=np.float64, count=n)
+        static = np.fromiter((hw.static_power_w for hw in hws),
+                             dtype=np.float64, count=n)
+        win = [vectors.window_at(hw.core.nwindows) for hw in hws]
+        spills = np.fromiter((w[0] for w in win), dtype=np.int64, count=n)
+        fills = np.fromiter((w[1] for w in win), dtype=np.int64, count=n)
+        trapjc = np.fromiter((w[2] for w in win), dtype=np.float64, count=n)
+        traps = spills + fills
+        cycles = (cdot - ud * vectors.total_untaken - vectors.div_refund
+                  + traps * trap_cyc)
+        e1, e2, e3, e4 = (edots[:, 0], edots[:, 1], edots[:, 2], edots[:, 3])
+        dyn = ((e1 + amp * e2) + extra * (e3 + amp * e4)
+               + trap_nj * (traps + amp * trapjc))
+        time_s = cycles.astype(np.float64) * cycsec
+        energy = dyn * 1e-9 + static * time_s
+        retired = vectors.retired
+        return [LinearNfp(
+            cycles=int(cycles[i]), dyn_energy_nj=float(dyn[i]),
+            true_time_s=float(time_s[i]), true_energy_j=float(energy[i]),
+            spills=int(spills[i]), fills=int(fills[i]), retired=retired)
+            for i in range(n)]

@@ -1,0 +1,205 @@
+"""Streamed sweeps: online Pareto fronts equal to the materialized twin.
+
+Two layers of guarantees:
+
+* :class:`repro.dse.pareto.ParetoAccumulator` -- the bounded-memory
+  online front is element-for-element equal to the batch
+  :func:`repro.dse.pareto.pareto_front` on any point sequence,
+  including duplicates and exact objective ties (property-tested);
+* :func:`repro.dse.engine.sweep_streamed` -- the streamed summary (and
+  every :class:`repro.dse.report.StreamReport` format rendered from it)
+  is byte-identical to ``StreamSummary.from_grid`` over the
+  materialized :func:`repro.dse.engine.sweep_profiled` grid, with or
+  without numpy, at any chunk size.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import (
+    DesignSpace,
+    ParetoAccumulator,
+    StreamSummary,
+    WorkloadPair,
+    knee_point,
+    pareto_front,
+    sweep_profiled,
+    sweep_streamed,
+)
+from repro.dse.report import StreamReport
+from repro.fse.kernel import build_fse_kernel
+from repro.fse.params import FseParams
+from repro.hw.config import HwConfig
+from repro.kir import compile_module
+from repro.runner import ExperimentRunner
+from repro.vm.config import CoreConfig
+
+BUDGET = 50_000_000
+
+SPACE = DesignSpace((
+    ("clock_mhz", (25.0, 50.0, 66.0)),
+    ("fpu", (False, True)),
+    ("nwindows", (2, 8)),
+    ("wait_states", (0, 2)),
+))
+
+
+@contextmanager
+def pure_python():
+    held = os.environ.get("REPRO_NUMPY")
+    os.environ["REPRO_NUMPY"] = "0"
+    try:
+        yield
+    finally:
+        if held is None:
+            os.environ.pop("REPRO_NUMPY", None)
+        else:
+            os.environ["REPRO_NUMPY"] = held
+
+
+# -- the online accumulator vs the batch front (property-based) --------------
+
+# small coordinate grids force duplicates and exact objective ties
+vectors = st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 3))
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(vectors, min_size=1, max_size=64))
+def test_accumulator_front_equals_batch_front(points):
+    acc = ParetoAccumulator()
+    for point in points:
+        acc.add(point)
+    assert acc.front() == pareto_front(points)
+    assert acc.seen == len(points)
+    assert len(acc) <= len(points)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(vectors, min_size=1, max_size=48))
+def test_accumulator_knee_matches_batch(points):
+    acc = ParetoAccumulator()
+    for point in points:
+        acc.add(point)
+    assert knee_point(acc.front()) == knee_point(pareto_front(points))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(vectors, min_size=1, max_size=48))
+def test_accumulator_add_verdict_is_definitive_when_false(points):
+    """A False add() means the point is not on the final front."""
+    acc = ParetoAccumulator()
+    rejected = []
+    for point in points:
+        if not acc.add(point):
+            rejected.append(point)
+    front = acc.front()
+    assert all(point not in front for point in rejected)
+
+
+# -- streamed vs materialized sweeps (end to end) ----------------------------
+
+
+@pytest.fixture(scope="module")
+def tiny_pair():
+    params = FseParams(block=8, iterations=2)
+    module = build_fse_kernel(0, params, size=8)
+    return WorkloadPair(
+        name="fse:00",
+        float_program=compile_module(module, "hard"),
+        fixed_program=compile_module(module, "soft"))
+
+
+@pytest.fixture(scope="module")
+def sweep_setup(tiny_pair, tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("stream-cache")
+    runner = ExperimentRunner(cache_dir=cache_dir, workers=1)
+    base = HwConfig(name="leon3", core=CoreConfig())
+    return tiny_pair, runner, base
+
+
+def streamed(setup, **kwargs):
+    pair, runner, base = setup
+    return sweep_streamed(SPACE, [pair], budget=BUDGET, runner=runner,
+                          base=base, **kwargs)
+
+
+def test_streamed_equals_materialized_summary(sweep_setup):
+    pair, runner, base = sweep_setup
+    grid = sweep_profiled(SPACE, [pair], budget=BUDGET, runner=runner,
+                          base=base)
+    assert streamed(sweep_setup) == StreamSummary.from_grid(grid)
+    assert (streamed(sweep_setup, front_cap=3)
+            == StreamSummary.from_grid(grid, front_cap=3))
+
+
+def test_streamed_report_is_byte_identical_to_materialized(sweep_setup):
+    pair, runner, base = sweep_setup
+    grid = sweep_profiled(SPACE, [pair], budget=BUDGET, runner=runner,
+                          base=base)
+    summary = streamed(sweep_setup, front_cap=4)
+    twin = StreamSummary.from_grid(grid, front_cap=4)
+    for fmt in ("text", "csv", "json"):
+        lhs = StreamReport(summary).render(fmt)
+        rhs = StreamReport(twin).render(fmt)
+        assert lhs == rhs, f"format {fmt} diverged"
+
+
+def test_streamed_pure_python_matches_numpy(sweep_setup):
+    fast = streamed(sweep_setup)
+    with pure_python():
+        pure = streamed(sweep_setup)
+    assert fast == pure
+
+
+def test_streamed_is_chunk_independent(sweep_setup):
+    reference = streamed(sweep_setup)
+    for chunk in (1, 7, 13):
+        assert streamed(sweep_setup, chunk=chunk) == reference
+
+
+def test_streamed_front_cap_bounds_materialized_points(sweep_setup):
+    capped = streamed(sweep_setup, front_cap=2)
+    full = streamed(sweep_setup)
+    assert capped.front_cap == 2
+    assert len(capped.aggregate.front) <= 2
+    # counts, knees and minima stay exact under any cap
+    assert capped.aggregate.front_size == full.aggregate.front_size
+    assert capped.aggregate.knee == full.aggregate.knee
+    assert capped.aggregate.best_energy == full.aggregate.best_energy
+    assert capped.aggregate.front == full.aggregate.front[:2]
+
+
+def test_streamed_refinement_is_deterministic(sweep_setup):
+    first = streamed(sweep_setup, refine=2)
+    again = streamed(sweep_setup, refine=2)
+    assert first == again
+    assert first.refined >= 0
+    assert first.configs == SPACE.size + first.refined
+    with pure_python():
+        pure = streamed(sweep_setup, refine=2)
+    assert pure == first
+
+
+def test_streamed_never_materializes_the_grid(sweep_setup):
+    """The summary retains fronts and winners, never per-config cells."""
+    summary = streamed(sweep_setup, front_cap=2)
+    assert summary.configs == SPACE.size
+    held = len(summary.aggregate.front) + sum(
+        len(w.front) for w in summary.per_workload)
+    assert held <= (len(summary.per_workload) + 1) * (2 + 3)
+
+
+def test_cli_parser_stream_flags():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["dse", "--stream", "--refine", "2", "--front-cap", "16"])
+    assert args.stream is True
+    assert args.refine == 2
+    assert args.front_cap == 16
