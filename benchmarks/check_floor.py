@@ -14,7 +14,9 @@ over the PR-5 imaging-family rung):
   per-instruction A/B baseline from the same run -- machine-independent,
   so they catch "the fast path stopped being fast" on any hardware.  The
   PR-7 batch floor compares configs/sec between the streamed
-  million-config sweep and the faithful per-point baseline sweep.
+  million-config sweep and the faithful per-point baseline sweep, and
+  the PR-8 server floor bounds warm ``/v1/price`` throughput from below
+  and its server-side p99 latency from above.
 
 Exit status is non-zero when any floor is violated or a required rung is
 missing from the report.
@@ -56,6 +58,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-batch-speedup", type=float, default=100.0,
                         help="streamed batch pricing vs per-point sweep "
                              "configs/sec ratio floor (default: %(default)sx)")
+    parser.add_argument("--min-server-qps", type=float, default=20.0,
+                        help="warm-profile /v1/price throughput floor in "
+                             "requests/sec (default: %(default)s)")
+    parser.add_argument("--max-server-p99-ms", type=float, default=500.0,
+                        help="server-side /v1/price p99 latency ceiling "
+                             "in ms (default: %(default)s)")
     args = parser.parse_args(argv)
 
     suites = json.loads(args.report.read_text())["suites"]
@@ -78,6 +86,7 @@ def main(argv: list[str] | None = None) -> int:
     img_metered = require("test_imaging_sweep_throughput_metered")
     batch_streamed = require("test_batch_eval_throughput_streamed")
     batch_per_point = require("test_batch_eval_throughput_per_point")
+    server = require("test_server_price_throughput")
 
     if iss is not None:
         mips = float(iss.get("mips", 0.0))
@@ -130,6 +139,20 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"streamed batch pricing {speedup:.2f}x configs/sec is "
                 f"below the {args.min_batch_speedup}x floor")
+    if server is not None:
+        qps = float(server.get("qps", 0.0))
+        p99_ms = float(server.get("p99_ms", float("inf")))
+        print(f"server /v1/price    : {qps:8.2f} req/s "
+              f"(floor {args.min_server_qps}), p99 {p99_ms:.1f} ms "
+              f"(ceiling {args.max_server_p99_ms})")
+        if qps < args.min_server_qps:
+            failures.append(
+                f"server price throughput {qps:.2f} req/s is below the "
+                f"{args.min_server_qps} req/s floor")
+        if p99_ms > args.max_server_p99_ms:
+            failures.append(
+                f"server price p99 {p99_ms:.1f} ms is above the "
+                f"{args.max_server_p99_ms} ms ceiling")
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -41,6 +41,7 @@ DEFAULT_SUITES = (
     "test_bench_dse_profile.py",
     "test_bench_workloads.py",
     "test_bench_batch_eval.py",
+    "test_bench_server.py",
 )
 
 
@@ -64,7 +65,7 @@ def trim(raw: dict) -> dict:
         extra = bench.get("extra_info") or {}
         for key in ("mips", "retired", "cycles", "translated_blocks",
                     "metered_blocks", "points", "configs",
-                    "profiled_runs"):
+                    "profiled_runs", "qps", "p99_ms", "requests"):
             if key in extra:
                 entry[key] = extra[key]
         suites[bench["fullname"]] = entry

@@ -9,6 +9,7 @@ table1          calibrate and print Table I
 table3          estimation-error evaluation (Table III)
 table4          FPU design-space exploration (Table IV)
 dse             multi-dimensional design-space exploration (Pareto)
+serve           long-lived HTTP evaluation server (``repro serve``)
 workloads       inspect the workload registry (``workloads list``)
 figure1         simulator landscape (Figure 1)
 figure2         trace one instruction through the simulator (Fig. 2)
@@ -113,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "(workers, cache, retries, timeouts, chaos) to "
                         "stderr before sweeping")
     p = sub.add_parser(
+        "serve", help="serve NFP pricing and sweeps over HTTP/JSON")
+    _add_scale(p)
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8650,
+                   help="bind port; 0 picks an ephemeral port, announced "
+                        "on stdout (default: 8650)")
+    p = sub.add_parser(
         "workloads", help="inspect the workload registry")
     p.add_argument("action", choices=("list",),
                    help="'list': print the workload catalogue")
@@ -196,7 +205,7 @@ def main(argv: list[str] | None = None) -> int:
     command = args.command
 
     if command in ("table1", "table3", "table4", "figure1", "figure4",
-                   "dse", "all"):
+                   "dse", "serve", "all"):
         import os
         if args.workers is not None:
             os.environ["REPRO_WORKERS"] = str(args.workers)
@@ -204,6 +213,9 @@ def main(argv: list[str] | None = None) -> int:
             os.environ["REPRO_METERED_BLOCKS"] = "0"
         if args.no_cache:
             os.environ["REPRO_CACHE"] = "off"
+        if command == "serve":
+            from repro.server import serve_command
+            return serve_command(args)
         from repro.experiments.scale import get_scale
         scale = get_scale(args.scale)
         if command == "dse":

@@ -202,10 +202,14 @@ class DseGrid:
         return tuple(zip(points, flags))
 
 
-def _config_area_les(config: SweepConfig) -> int:
+def config_area_les(config: SweepConfig) -> int:
     """Synthesis area of one candidate: core components + memory interface."""
     core_les = synthesize(config.hw.core, name=config.name).total_les
     return core_les + memctrl_les(int(config.value("wait_states", 0)))
+
+
+#: Historical private name (pre-serving-layer callers import it).
+_config_area_les = config_area_les
 
 
 def _grid_jobs(configs: Sequence[SweepConfig],
@@ -247,7 +251,7 @@ def _grid_from_jobs(jobs: Sequence[tuple[SweepConfig, WorkloadPair, str,
             build=build,
             time_s=time_s,
             energy_j=energy_j,
-            area_les=_config_area_les(config),
+            area_les=config_area_les(config),
             retired=retired,
             cycles=cycles,
         ))
@@ -521,9 +525,9 @@ class _PointStream:
             best_area=self.best["area_les"][2])
 
 
-def _stream_profiles(pairs: Sequence[WorkloadPair], fpu_builds: Sequence[bool],
-                     *, budget: int, runner: ExperimentRunner,
-                     base: HwConfig) -> dict[tuple[str, str], ProfileVectors]:
+def stream_profiles(pairs: Sequence[WorkloadPair], fpu_builds: Sequence[bool],
+                    *, budget: int, runner: ExperimentRunner,
+                    base: HwConfig) -> dict[tuple[str, str], ProfileVectors]:
     """One lowered profile per (workload, build) -- or an exception.
 
     The streamed path has no per-cell failure slots: a profile whose
@@ -531,6 +535,11 @@ def _stream_profiles(pairs: Sequence[WorkloadPair], fpu_builds: Sequence[bool],
     no linear pricing at all, so it raises a :class:`UsageError`
     pointing at the materialized ``--profile`` sweep, whose per-point
     metered fallback handles it exactly.
+
+    Also the evaluation server's cold-fill entry point: one (workload,
+    build) pair profiled through the resilient cached runner yields the
+    lowered vectors the server keeps hot, with exactly the failure
+    semantics above (re-entrant: no module or engine state is touched).
     """
     from repro.dse.evaluate import profile_task   # deferred, see _job_nfps
     from repro.nfp.linear import ExecutionProfile, lower_profile
@@ -584,7 +593,7 @@ def _price_configs(configs: Sequence[SweepConfig],
                 vectors[(pair.name, build)])
     for i, config in enumerate(configs):
         seq = start_seq + i
-        area = _config_area_les(config)
+        area = config_area_les(config)
         build = "float" if config.hw.core.has_fpu else "fixed"
         agg_time: float = 0
         agg_energy: float = 0
@@ -719,8 +728,8 @@ def sweep_streamed(space: DesignSpace,
     fpu_builds = (sorted({bool(v) for v in fpu_axis_values})
                   if fpu_axis_values is not None
                   else [base.core.has_fpu])
-    vectors = _stream_profiles(pairs, fpu_builds, budget=budget,
-                               runner=runner, base=base)
+    vectors = stream_profiles(pairs, fpu_builds, budget=budget,
+                              runner=runner, base=base)
 
     np = numpy_or_none()
     fast = None
@@ -804,7 +813,7 @@ def sweep_estimated(space: DesignSpace | Sequence[SweepConfig],
                 build=build,
                 time_s=report.time_s,
                 energy_j=report.energy_j,
-                area_les=_config_area_les(config),
+                area_les=config_area_les(config),
                 retired=report.sim.retired,
                 cycles=None,
             ))

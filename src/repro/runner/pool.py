@@ -24,6 +24,7 @@ next batch tries again.
 from __future__ import annotations
 
 import os
+import threading
 
 from repro.asm.program import Program
 from repro.hw.board import RawMeasurement
@@ -87,6 +88,12 @@ class ExperimentRunner:
         #: holds the degradation state (pool failures survive batches)
         self._executor = ResilientExecutor(self.workers, policy=self.retry,
                                            chaos=self.chaos)
+        #: batches execute one at a time: the memory tier and the
+        #: executor's degradation state are not safe under concurrent
+        #: mutation, so threaded callers (the evaluation server fills
+        #: cold profiles from worker threads) serialize here.  Reentrant
+        #: because single-task conveniences call ``run_tasks`` themselves.
+        self._batch_lock = threading.RLock()
 
     # -- batch interface -----------------------------------------------------
 
@@ -97,8 +104,17 @@ class ExperimentRunner:
         :func:`repro.runner.resilience.is_failure`) when that task's
         attempt budget ran out; failures are returned, not raised, and
         never stored in any cache tier.
+
+        Thread-safe: concurrent batches from different threads are
+        serialized (results are deterministic, so ordering is free);
+        parallelism belongs *inside* a batch, across the worker pool.
         """
         keys = [task_key(task) for task in tasks]
+        with self._batch_lock:
+            return self._run_tasks_locked(tasks, keys)
+
+    def _run_tasks_locked(self, tasks: list[SimTask],
+                          keys: list[str]) -> list[dict]:
         payloads: dict[str, dict] = {}
         missing: dict[str, SimTask] = {}
         for key, task in zip(keys, tasks):

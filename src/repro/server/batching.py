@@ -1,0 +1,97 @@
+"""Request coalescing: concurrent prices -> one batch evaluation.
+
+``/v1/price`` requests arriving within ``REPRO_SERVER_BATCH_WINDOW_MS``
+of each other join one :func:`repro.nfp.linear.evaluate_batch` pass:
+the first request opens a window, later arrivals append to it, and the
+flush (window timer, or ``REPRO_SERVER_MAX_BATCH`` arrivals, whichever
+first) prices every member's configuration in a single matrix-product
+evaluation per distinct hot profile.  Each request still receives
+exactly the bits a solo evaluation would produce -- the batch engine is
+bit-identical per row regardless of batch composition -- so coalescing
+changes throughput, never results.
+
+All bookkeeping runs on the event-loop thread (no locks); only the
+pricing itself runs in a worker thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.server.settings import ServerSettings
+from repro.server.stats import ServerStats
+
+
+def price_batch(entries: list[tuple]) -> list:
+    """Price ``[(hw, vectors), ...]`` -- one engine, one pass per profile.
+
+    The configurations lower into one :class:`~repro.nfp.linear.BatchNfpEngine`
+    (rows deduplicated across the whole batch); each distinct profile in
+    the batch is then evaluated once and every entry picks its own row.
+    Pure function of its arguments, safe to run in any thread.
+    """
+    from repro.nfp.linear import BatchNfpEngine
+    engine = BatchNfpEngine([hw for hw, _ in entries])
+    # keyed by id: every vectors object is alive in ``entries`` for the
+    # whole call, so ids are unique per distinct profile here
+    groups: dict[int, tuple[object, list[int]]] = {}
+    for i, (_, vectors) in enumerate(entries):
+        groups.setdefault(id(vectors), (vectors, []))[1].append(i)
+    out: list = [None] * len(entries)
+    for vectors, indices in groups.values():
+        priced = engine.evaluate(vectors)
+        for i in indices:
+            out[i] = priced[i]
+    return out
+
+
+class PriceBatcher:
+    """The coalescing window in front of the batch evaluator."""
+
+    def __init__(self, settings: ServerSettings, stats: ServerStats):
+        self._window_s = settings.batch_window_s
+        self._max_batch = max(1, settings.max_batch)
+        self._stats = stats
+        self._pending: list[tuple] = []   # (hw, vectors, future)
+        self._timer: asyncio.TimerHandle | None = None
+
+    async def submit(self, hw, vectors):
+        """Price one configuration, riding whatever batch is open.
+
+        Returns the entry's :class:`~repro.nfp.linear.LinearNfp`; a
+        pricing failure propagates to every member of the batch.
+        """
+        loop = asyncio.get_running_loop()
+        if self._window_s <= 0:
+            self._stats.record_batch(1)
+            return (await asyncio.to_thread(price_batch, [(hw, vectors)]))[0]
+        future = loop.create_future()
+        self._pending.append((hw, vectors, future))
+        if len(self._pending) >= self._max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self._window_s, self._flush)
+        return await future
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        self._stats.record_batch(len(batch))
+        asyncio.get_running_loop().create_task(self._run(batch))
+
+    async def _run(self, batch: list[tuple]) -> None:
+        try:
+            priced = await asyncio.to_thread(
+                price_batch, [(hw, vectors) for hw, vectors, _ in batch])
+        except BaseException as exc:
+            for _, _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, _, future), nfp in zip(batch, priced):
+            if not future.done():
+                future.set_result(nfp)

@@ -1,0 +1,101 @@
+"""Thin stdlib clients for the evaluation server.
+
+Two flavours, both dependency-free:
+
+- :class:`ServerClient` -- a synchronous ``http.client`` wrapper for
+  scripts and sequential checks (the smoke harness, curl-equivalents).
+- :func:`fetch` -- a raw asyncio request, one connection per call, for
+  tests that need genuinely *concurrent* requests in flight (stampede
+  and coalescing assertions).
+
+Both return ``(status, body_bytes)``; JSON decoding stays with the
+caller so byte-level checks (the sweep identity contract) see the body
+exactly as it crossed the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+
+class ServerClient:
+    """One keep-alive connection to a running evaluation server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: bytes | None = None) -> tuple[int, bytes]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def get(self, path: str) -> tuple[int, bytes]:
+        return self._request("GET", path)
+
+    def post_json(self, path: str, payload: dict) -> tuple[int, bytes]:
+        return self._request("POST", path,
+                             json.dumps(payload).encode("utf-8"))
+
+    def get_json(self, path: str) -> tuple[int, dict]:
+        status, body = self.get(path)
+        return status, json.loads(body)
+
+
+async def fetch(host: str, port: int, method: str, path: str,
+                body: bytes | None = None) -> tuple[int, bytes]:
+    """One raw HTTP/1.1 exchange on its own connection (async).
+
+    Used where the test *is* the concurrency: ``asyncio.gather`` over
+    :func:`fetch` calls puts every request on the server simultaneously,
+    which a pooled or serialized client would quietly prevent.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = body or b""
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n")
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        length = None
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        if length is None:
+            data = await reader.read()
+        else:
+            data = await reader.readexactly(length)
+        return status, data
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def fetch_json(host: str, port: int, path: str,
+                     payload: dict) -> tuple[int, dict]:
+    """POST ``payload`` and decode the JSON response."""
+    status, body = await fetch(host, port, "POST", path,
+                               json.dumps(payload).encode("utf-8"))
+    return status, json.loads(body)

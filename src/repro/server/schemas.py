@@ -1,0 +1,160 @@
+"""Request validation for the evaluation server's JSON API.
+
+Every endpoint's payload is validated here into plain typed values; any
+violation raises :class:`ApiError` carrying the HTTP status and a
+stable machine-readable ``code``, which the connection handler renders
+as ``{"error": {"code", "message"}}``.  Axis names and values go
+through the design-space registry itself (:mod:`repro.dse.axes`), so
+the API accepts exactly what ``repro dse --axes`` accepts -- no second
+vocabulary to drift.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.dse.axes import AXES, SweepConfig, DesignSpace
+from repro.hw.config import HwConfig
+
+
+class ApiError(Exception):
+    """One client-visible failure: HTTP status + stable error code."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def body(self) -> bytes:
+        return json.dumps(
+            {"error": {"code": self.code, "message": self.message}},
+            sort_keys=True).encode() + b"\n"
+
+
+def parse_json(body: bytes) -> dict:
+    """The request body as a JSON object, or a 400."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ApiError(400, "bad-json",
+                       f"request body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ApiError(400, "bad-json",
+                       "request body must be a JSON object")
+    return payload
+
+
+def _check_fields(payload: dict, allowed: tuple[str, ...]) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise ApiError(400, "unknown-field",
+                       f"unknown field(s) {unknown}; "
+                       f"expected a subset of {sorted(allowed)}")
+
+
+def price_request(payload: dict,
+                  base: HwConfig) -> tuple[SweepConfig, str,
+                                           tuple[tuple[str, object], ...]]:
+    """Validate a ``/v1/price`` payload into a single candidate platform.
+
+    Returns ``(config, workload, axes)`` where ``axes`` echoes the
+    resolved (name, value) pairs in canonical registry order.  String
+    axis values go through the axis' own CLI parser, so
+    ``{"fpu": "on"}`` and ``{"fpu": true}`` price identically.
+    """
+    _check_fields(payload, ("workload", "axes"))
+    workload = payload.get("workload")
+    if not isinstance(workload, str) or not workload:
+        raise ApiError(400, "bad-workload",
+                       "'workload' must be a non-empty workload name, "
+                       "e.g. 'img:sobel3x3'")
+    axes = payload.get("axes", {})
+    if axes is None:
+        axes = {}
+    if not isinstance(axes, dict):
+        raise ApiError(400, "bad-axes",
+                       "'axes' must be an object of axis-name: value")
+    unknown = sorted(set(axes) - set(AXES))
+    if unknown:
+        raise ApiError(400, "unknown-axis",
+                       f"unknown axis(es) {unknown}; "
+                       f"available: {sorted(AXES)}")
+    resolved: list[tuple[str, object]] = []
+    for name, axis in AXES.items():     # canonical registry order
+        if name not in axes:
+            continue
+        value = axes[name]
+        if isinstance(value, str):
+            try:
+                value = axis.parse(value)
+            except ValueError as exc:
+                raise ApiError(400, "bad-axis-value",
+                               f"axis {name!r}: {exc}") from None
+        elif not isinstance(value, (int, float, bool)):
+            raise ApiError(400, "bad-axis-value",
+                           f"axis {name!r}: expected a scalar or string, "
+                           f"got {type(value).__name__}")
+        resolved.append((name, value))
+    if not resolved:
+        config = SweepConfig(name=base.name or "base", axis_values=(),
+                             hw=base)
+    else:
+        space = DesignSpace(tuple((name, (value,))
+                                  for name, value in resolved))
+        try:
+            config = space.config_for([value for _, value in resolved],
+                                      base)
+        except (ValueError, TypeError) as exc:
+            raise ApiError(400, "bad-axis-value", str(exc)) from None
+    return config, workload, tuple(resolved)
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A validated ``/v1/sweep`` payload (defaults match ``repro dse``)."""
+
+    axes: str | None = None
+    workloads: str | None = None
+    fmt: str = "json"
+    mode: str = "profile"
+    refine: int = 0
+    front_cap: int | None = None
+
+
+def sweep_request(payload: dict) -> SweepRequest:
+    """Validate a ``/v1/sweep`` payload into a :class:`SweepRequest`."""
+    _check_fields(payload, ("axes", "workloads", "format", "mode",
+                            "refine", "front_cap"))
+    axes = payload.get("axes")
+    if axes is not None and (not isinstance(axes, str) or not axes.strip()):
+        raise ApiError(400, "bad-axes",
+                       "'axes' must be a design-space spec string, e.g. "
+                       "'clock_mhz=25:50,fpu' (or null for the stock grid)")
+    workloads = payload.get("workloads")
+    if workloads is not None and (not isinstance(workloads, str)
+                                  or not workloads.strip()):
+        raise ApiError(400, "bad-workloads",
+                       "'workloads' must be a registry filter string "
+                       "(or null for the table3 preset)")
+    fmt = payload.get("format", "json")
+    if fmt not in ("text", "csv", "json"):
+        raise ApiError(400, "bad-format",
+                       f"'format' must be text, csv or json, not {fmt!r}")
+    mode = payload.get("mode", "profile")
+    if mode not in ("profile", "stream"):
+        raise ApiError(400, "bad-mode",
+                       f"'mode' must be profile or stream, not {mode!r}")
+    refine = payload.get("refine", 0)
+    if not isinstance(refine, int) or isinstance(refine, bool) or refine < 0:
+        raise ApiError(400, "bad-refine",
+                       "'refine' must be a non-negative integer")
+    front_cap = payload.get("front_cap")
+    if front_cap is not None and (not isinstance(front_cap, int)
+                                  or isinstance(front_cap, bool)
+                                  or front_cap < 1):
+        raise ApiError(400, "bad-front-cap",
+                       "'front_cap' must be a positive integer or null")
+    return SweepRequest(axes=axes, workloads=workloads, fmt=fmt, mode=mode,
+                        refine=refine, front_cap=front_cap)

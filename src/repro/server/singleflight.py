@@ -1,0 +1,61 @@
+"""Per-key single-flight execution for cold-profile fills.
+
+A stampede of identical cold ``/v1/price`` requests must trigger exactly
+one underlying simulation: the first request for a key launches the fill
+(in a worker thread, so the event loop stays responsive) and every
+concurrent duplicate awaits the same future.  A fill that raises
+propagates to every waiter and is *not* memoised -- the next request
+retries, mirroring the result cache's never-cache-failures rule.
+
+The flight table only deduplicates *in-flight* work; completed results
+belong to the caller (the server's hot-profile dict), keeping this
+module a pure concurrency primitive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Hashable, TypeVar
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """Collapse concurrent calls per key onto one executing fill."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[Hashable, asyncio.Future] = {}
+
+    def flying(self, key: Hashable) -> bool:
+        """True while a fill for ``key`` is executing."""
+        return key in self._inflight
+
+    async def do(self, key: Hashable, fill: Callable[[], Awaitable[T]],
+                 *, on_wait: Callable[[], None] | None = None) -> T:
+        """Run ``fill`` once per key across concurrent callers.
+
+        ``fill`` is an async callable; exactly one caller per key
+        executes it while the others await its result (``on_wait`` is
+        called once per deduplicated waiter -- the stats hook).  The
+        table entry is removed when the fill settles, success or not.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            if on_wait is not None:
+                on_wait()
+            return await asyncio.shield(existing)
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            result = await fill()
+        except BaseException as exc:
+            future.set_exception(exc)
+            raise
+        else:
+            future.set_result(result)
+            return result
+        finally:
+            del self._inflight[key]
+            # a future nobody awaited must not warn on GC
+            if future.exception() is not None and not future.cancelled():
+                future.exception()

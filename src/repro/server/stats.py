@@ -1,0 +1,125 @@
+"""Operational counters of the evaluation server.
+
+All mutation happens on the event-loop thread (handlers update counters
+before and after awaiting work), so the counters need no locks; the
+``/v1/stats`` endpoint renders :meth:`ServerStats.snapshot`.
+
+Latency quantiles are computed over a bounded per-endpoint reservoir of
+the most recent samples (``REPRO_SERVER_LATENCY_WINDOW``), nearest-rank
+-- deterministic for a fixed sample window, bounded memory forever.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+
+def quantile(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending, non-empty sample list."""
+    rank = max(1, -(-int(len(sorted_samples) * q * 100) // 100))
+    index = min(len(sorted_samples) - 1, rank - 1)
+    return sorted_samples[index]
+
+
+@dataclass
+class ServerStats:
+    """Uptime, request counts, cache/batch/flight counters, latencies."""
+
+    latency_window: int = 2048
+    started_monotonic: float = field(default_factory=time.monotonic)
+    started_unix: float = field(default_factory=time.time)
+    requests: int = 0
+    responses_2xx: int = 0
+    responses_err: int = 0
+    disconnects: int = 0
+    by_endpoint: dict = field(default_factory=dict)
+    #: profile cache: hot-dict hits / misses / actual fill executions /
+    #: requests that joined another request's in-flight fill
+    profile_hits: int = 0
+    profile_misses: int = 0
+    profile_fills: int = 0
+    profile_waits: int = 0
+    #: price coalescing: batches flushed, requests they carried, largest
+    batches: int = 0
+    batched_requests: int = 0
+    max_batch: int = 0
+    sweeps: int = 0
+    _latencies: dict = field(default_factory=dict)
+
+    def record(self, endpoint: str, status: int, seconds: float) -> None:
+        """Account one finished request."""
+        self.requests += 1
+        if 200 <= status < 300:
+            self.responses_2xx += 1
+        else:
+            self.responses_err += 1
+        per = self.by_endpoint.setdefault(
+            endpoint, {"requests": 0, "errors": 0})
+        per["requests"] += 1
+        if status >= 400:
+            per["errors"] += 1
+        samples = self._latencies.get(endpoint)
+        if samples is None:
+            samples = self._latencies[endpoint] = deque(
+                maxlen=self.latency_window)
+        samples.append(seconds)
+
+    def record_batch(self, size: int) -> None:
+        """Account one flushed price-coalescing batch."""
+        self.batches += 1
+        self.batched_requests += size
+        if size > self.max_batch:
+            self.max_batch = size
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    def _latency_summary(self, endpoint: str) -> dict | None:
+        samples = self._latencies.get(endpoint)
+        if not samples:
+            return None
+        ordered = sorted(samples)
+        return {
+            "samples": len(ordered),
+            "p50_ms": quantile(ordered, 0.50) * 1000.0,
+            "p90_ms": quantile(ordered, 0.90) * 1000.0,
+            "p99_ms": quantile(ordered, 0.99) * 1000.0,
+            "max_ms": ordered[-1] * 1000.0,
+        }
+
+    def snapshot(self, profiles_hot: int) -> dict:
+        """The ``/v1/stats`` payload."""
+        uptime = self.uptime_s
+        lookups = self.profile_hits + self.profile_misses
+        return {
+            "uptime_s": uptime,
+            "started_unix": self.started_unix,
+            "requests": self.requests,
+            "responses_2xx": self.responses_2xx,
+            "responses_err": self.responses_err,
+            "disconnects": self.disconnects,
+            "qps": (self.requests / uptime) if uptime > 0 else 0.0,
+            "by_endpoint": {
+                name: dict(counts,
+                           latency=self._latency_summary(name))
+                for name, counts in sorted(self.by_endpoint.items())},
+            "profiles": {
+                "hot": profiles_hot,
+                "hits": self.profile_hits,
+                "misses": self.profile_misses,
+                "fills": self.profile_fills,
+                "waits": self.profile_waits,
+                "hit_rate": (self.profile_hits / lookups) if lookups else None,
+            },
+            "batching": {
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "max_batch": self.max_batch,
+                "mean_batch": (self.batched_requests / self.batches
+                               if self.batches else None),
+            },
+            "sweeps": self.sweeps,
+        }

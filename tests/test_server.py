@@ -1,0 +1,503 @@
+"""The evaluation server: endpoints, single-flight, coalescing, identity.
+
+The contracts under test (ISSUE 8):
+
+- a materialized ``/v1/sweep`` body is byte-identical to the
+  ``repro dse --profile`` CLI rendering of the same spec;
+- N identical concurrent cold ``/v1/price`` requests run exactly one
+  profiling simulation (single-flight), fault-free *and* under
+  injected chaos;
+- coalesced price batches return the same bits as solo evaluations;
+- error paths answer with the intended statuses and never wedge the
+  connection, and a client disconnect mid-request leaves the server's
+  caches consistent;
+- ``repro serve`` shuts down gracefully on SIGTERM (exit 0).
+
+Everything runs the real asyncio server on an ephemeral port; only the
+SIGTERM test spawns a subprocess.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import build_parser
+from repro.dse.engine import stream_profiles
+from repro.experiments.scale import get_scale
+from repro.nfp.linear import evaluate_batch
+from repro.runner import ExperimentRunner
+from repro.runner.resilience import ChaosPolicy, RetryPolicy, UsageError
+from repro.server import EvalServer, ServerSettings
+from repro.server.client import ServerClient, fetch, fetch_json
+from repro.server.singleflight import SingleFlight
+from repro.server.stats import quantile
+from repro.workloads import get_spec
+
+SCALE = get_scale("smoke")
+HOST = "127.0.0.1"
+
+PRICE = {"workload": "img:sobel3x3", "axes": {"clock_mhz": 80.0,
+                                              "fpu": True}}
+SWEEP = {"axes": "clock_mhz=25:50,fpu",
+         "workloads": "img:sobel3x3,img:histstats", "format": "json"}
+
+
+@contextlib.asynccontextmanager
+async def server_ctx(**kwargs):
+    kwargs.setdefault("scale", SCALE)
+    kwargs.setdefault("settings", ServerSettings())
+    server = EvalServer(**kwargs)
+    port = await server.start(HOST, 0)
+    try:
+        yield server, port
+    finally:
+        await server.aclose()
+
+
+# -- units -------------------------------------------------------------------
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert (args.command, args.host, args.port) == ("serve", HOST, 8650)
+    args = build_parser().parse_args(["serve", "--port", "0",
+                                      "--scale", "smoke"])
+    assert args.port == 0 and args.scale == "smoke"
+
+
+def test_settings_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVER_BATCH_WINDOW_MS", "5")
+    monkeypatch.setenv("REPRO_SERVER_MAX_GRID", "123")
+    settings = ServerSettings.from_env()
+    assert settings.batch_window_s == pytest.approx(0.005)
+    assert settings.max_grid == 123
+    monkeypatch.setenv("REPRO_SERVER_MAX_GRID", "lots")
+    with pytest.raises(UsageError):
+        ServerSettings.from_env()
+
+
+def test_quantile_nearest_rank():
+    samples = [float(i) for i in range(1, 101)]
+    assert quantile(samples, 0.50) == 50.0
+    assert quantile(samples, 0.99) == 99.0
+    assert quantile(samples, 1.00) == 100.0
+    assert quantile([7.0], 0.99) == 7.0
+
+
+def test_singleflight_collapses_and_retries_after_failure():
+    calls = {"n": 0}
+
+    async def fill():
+        calls["n"] += 1
+        await asyncio.sleep(0.01)
+        if calls["n"] == 1:
+            raise RuntimeError("first fill fails")
+        return "filled"
+
+    async def main():
+        flights = SingleFlight()
+        waits = {"n": 0}
+
+        def on_wait():
+            waits["n"] += 1
+
+        results = await asyncio.gather(
+            *[flights.do("k", fill, on_wait=on_wait) for _ in range(5)],
+            return_exceptions=True)
+        # one execution, the failure propagated to every waiter
+        assert calls["n"] == 1 and waits["n"] == 4
+        assert all(isinstance(r, RuntimeError) for r in results)
+        # the failure was not memoised: the next call retries
+        assert await flights.do("k", fill) == "filled"
+        assert calls["n"] == 2
+        assert not flights.flying("k")
+
+    asyncio.run(main())
+
+
+def test_evaluate_batch_helper_matches_engine():
+    from repro.dse.axes import DesignSpace
+    from repro.nfp.linear import BatchNfpEngine
+    configs = DesignSpace.from_spec("clock_mhz=25:80,nwindows=4:8") \
+        .configs()
+    pair = get_spec("img:sobel3x3").pair(SCALE)
+    vectors = stream_profiles([pair], [True],
+                              budget=SCALE.max_instructions,
+                              runner=ExperimentRunner(workers=1),
+                              base=configs[0].hw)[("img:sobel3x3", "float")]
+    hws = [config.hw for config in configs]
+    assert evaluate_batch(hws, vectors) \
+        == BatchNfpEngine(hws).evaluate(vectors)
+
+
+def test_runner_run_tasks_is_thread_safe(tmp_path):
+    from concurrent.futures import ThreadPoolExecutor
+    from repro.dse.evaluate import profile_task
+    from repro.vm.config import CoreConfig
+    runner = ExperimentRunner(cache_dir=tmp_path, workers=1)
+    pair = get_spec("img:histstats").pair(SCALE)
+    task = profile_task(pair.float_program, SCALE.max_instructions,
+                        CoreConfig())
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        batches = list(pool.map(lambda _: runner.run_tasks([task]),
+                                range(4)))
+    first = batches[0]
+    assert all(batch == first for batch in batches)
+
+
+# -- endpoints ---------------------------------------------------------------
+
+def test_healthz_and_stats():
+    async def main():
+        async with server_ctx() as (server, port):
+            status, body = await fetch(HOST, port, "GET", "/v1/healthz")
+            assert status == 200
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert health["scale"] == "smoke"
+            assert health["uptime_s"] >= 0
+            status, body = await fetch(HOST, port, "GET", "/v1/stats")
+            assert status == 200
+            stats = json.loads(body)
+            for field in ("uptime_s", "qps", "requests", "by_endpoint",
+                          "profiles", "batching", "sweeps"):
+                assert field in stats
+            assert stats["by_endpoint"]["/v1/healthz"]["requests"] == 1
+
+    asyncio.run(main())
+
+
+def test_price_matches_linear_evaluation_exactly():
+    async def main():
+        async with server_ctx() as (server, port):
+            status, payload = await fetch_json(HOST, port, "/v1/price",
+                                               PRICE)
+            assert status == 200
+            # the expected bits, straight from the engine
+            from repro.server.schemas import price_request
+            config, _, _ = price_request(dict(PRICE), server.base)
+            pair = server._workload_spec("img:sobel3x3").pair(SCALE)
+            vectors = stream_profiles(
+                [pair], [True], budget=SCALE.max_instructions,
+                runner=server.runner, base=server.base)[
+                    ("img:sobel3x3", "float")]
+            nfp = evaluate_batch([config.hw], vectors)[0]
+            assert payload["time_s"] == nfp.true_time_s
+            assert payload["energy_j"] == nfp.true_energy_j
+            assert payload["cycles"] == nfp.cycles
+            assert payload["retired"] == nfp.retired
+            assert payload["build"] == "float"
+            assert payload["config"] == "clk80-fpu"
+            assert payload["area_les"] > 0
+
+    asyncio.run(main())
+
+
+def _stampede_body() -> bytes:
+    return json.dumps(PRICE).encode()
+
+
+def run_stampede(server_kwargs: dict, n: int = 6) -> tuple[dict, set]:
+    """N identical concurrent cold prices; returns (stats dict, bodies)."""
+    async def main():
+        async with server_ctx(**server_kwargs) as (server, port):
+            results = await asyncio.gather(*[
+                fetch(HOST, port, "POST", "/v1/price", _stampede_body())
+                for _ in range(n)])
+            assert sorted({status for status, _ in results}) == [200]
+            _, raw = await fetch(HOST, port, "GET", "/v1/stats")
+            return json.loads(raw), {body for _, body in results}
+
+    return asyncio.run(main())
+
+
+def test_stampede_single_flight_fault_free():
+    stats, bodies = run_stampede({})
+    assert stats["profiles"]["fills"] == 1
+    assert stats["profiles"]["misses"] == 6
+    assert stats["profiles"]["waits"] == 5
+    assert len(bodies) == 1
+
+
+def test_stampede_single_flight_under_chaos(tmp_path):
+    """The single-flight contract holds while the *one* fill is being
+    retried through injected faults -- and prices the same bits."""
+    chaos_runner = ExperimentRunner(
+        cache_dir=tmp_path / "chaos", workers=1,
+        chaos=ChaosPolicy(seed=11, raise_=1.0, depth=1),
+        retry=RetryPolicy(max_attempts=4, base_delay_s=0.001))
+    stats, bodies = run_stampede({"runner": chaos_runner})
+    assert stats["profiles"]["fills"] == 1
+    assert len(bodies) == 1
+    clean_stats, clean_bodies = run_stampede(
+        {"runner": ExperimentRunner(cache_dir=tmp_path / "clean",
+                                    workers=1)})
+    assert bodies == clean_bodies   # chaos never changes the bits
+    assert clean_stats["profiles"]["fills"] == 1
+
+
+def test_price_coalescing_batches_and_matches_solo_bits():
+    async def main():
+        settings = ServerSettings(batch_window_s=0.05)
+        async with server_ctx(settings=settings) as (server, port):
+            # warm the profile so the measured batch is pure pricing
+            status, _ = await fetch(HOST, port, "POST", "/v1/price",
+                                    _stampede_body())
+            assert status == 200
+            _, raw = await fetch(HOST, port, "GET", "/v1/stats")
+            before = json.loads(raw)["batching"]
+            clocks = (25.0, 40.0, 50.0, 80.0)
+            results = await asyncio.gather(*[
+                fetch_json(HOST, port, "/v1/price",
+                           {"workload": "img:sobel3x3",
+                            "axes": {"clock_mhz": mhz, "fpu": True}})
+                for mhz in clocks])
+            assert all(status == 200 for status, _ in results)
+            _, raw = await fetch(HOST, port, "GET", "/v1/stats")
+            after = json.loads(raw)["batching"]
+            assert after["batched_requests"] - before["batched_requests"] \
+                == len(clocks)
+            # they arrived within one window: fewer flushes than requests
+            assert after["batches"] - before["batches"] < len(clocks)
+            assert after["max_batch"] >= 2
+            # coalesced bits == solo bits
+            from repro.server.schemas import price_request
+            key = ("img:sobel3x3", "float")
+            vectors = server.profiles[key]
+            for (_, payload), mhz in zip(results, clocks):
+                config, _, _ = price_request(
+                    {"workload": "img:sobel3x3",
+                     "axes": {"clock_mhz": mhz, "fpu": True}},
+                    server.base)
+                nfp = evaluate_batch([config.hw], vectors)[0]
+                assert payload["time_s"] == nfp.true_time_s
+                assert payload["energy_j"] == nfp.true_energy_j
+
+    asyncio.run(main())
+
+
+def test_window_zero_disables_coalescing():
+    async def main():
+        settings = ServerSettings(batch_window_s=0.0)
+        async with server_ctx(settings=settings) as (server, port):
+            for _ in range(2):
+                status, _ = await fetch(HOST, port, "POST", "/v1/price",
+                                        _stampede_body())
+                assert status == 200
+            assert server.stats.batches == 2
+            assert server.stats.max_batch == 1
+
+    asyncio.run(main())
+
+
+# -- error paths -------------------------------------------------------------
+
+def test_price_error_paths():
+    async def main():
+        async with server_ctx() as (server, port):
+            cases = [
+                (b"{not json", 400, "bad-json"),
+                (b"[1, 2]", 400, "bad-json"),
+                (json.dumps({"workload": "img:nope"}).encode(), 404,
+                 "unknown-workload"),
+                (json.dumps({"workload": "img:*"}).encode(), 400,
+                 "ambiguous-workload"),
+                (json.dumps({"workload": "img:sobel3x3",
+                             "axes": {"bogus": 1}}).encode(), 400,
+                 "unknown-axis"),
+                (json.dumps({"workload": "img:sobel3x3",
+                             "axes": {"fpu": "maybe"}}).encode(), 400,
+                 "bad-axis-value"),
+                (json.dumps({"workload": "img:sobel3x3",
+                             "surprise": 1}).encode(), 400,
+                 "unknown-field"),
+            ]
+            for body, want_status, want_code in cases:
+                status, raw = await fetch(HOST, port, "POST", "/v1/price",
+                                          body)
+                assert status == want_status, (body, status)
+                assert json.loads(raw)["error"]["code"] == want_code
+            status, _ = await fetch(HOST, port, "GET", "/v1/price")
+            assert status == 405
+            status, _ = await fetch(HOST, port, "GET", "/v1/nothing")
+            assert status == 404
+            # every error above was accounted
+            assert server.stats.responses_err == len(cases) + 2
+
+    asyncio.run(main())
+
+
+def test_oversized_body_rejected_413():
+    async def main():
+        settings = ServerSettings(max_body=64)
+        async with server_ctx(settings=settings) as (server, port):
+            status, raw = await fetch(HOST, port, "POST", "/v1/price",
+                                      b"x" * 200)
+            assert status == 413
+            assert json.loads(raw)["error"]["code"] == "payload-too-large"
+
+    asyncio.run(main())
+
+
+def test_oversized_grid_rejected_413():
+    async def main():
+        settings = ServerSettings(max_grid=3)
+        async with server_ctx(settings=settings) as (server, port):
+            status, raw = await fetch_json(HOST, port, "/v1/sweep",
+                                           dict(SWEEP))
+            assert status == 413
+            assert raw["error"]["code"] == "grid-too-large"
+            assert server.stats.sweeps == 0
+
+    asyncio.run(main())
+
+
+def test_sweep_error_paths():
+    async def main():
+        async with server_ctx() as (server, port):
+            status, raw = await fetch_json(
+                HOST, port, "/v1/sweep", {"axes": "warp_factor=9"})
+            assert status == 400
+            assert raw["error"]["code"] == "bad-axes"
+            status, raw = await fetch_json(
+                HOST, port, "/v1/sweep", {"workloads": "img:nope"})
+            assert status == 404
+            status, raw = await fetch_json(
+                HOST, port, "/v1/sweep", {"format": "yaml"})
+            assert status == 400
+            assert raw["error"]["code"] == "bad-format"
+            status, raw = await fetch_json(
+                HOST, port, "/v1/sweep", {"mode": "metered"})
+            assert status == 400
+            assert raw["error"]["code"] == "bad-mode"
+
+    asyncio.run(main())
+
+
+# -- the byte-identity contract ----------------------------------------------
+
+def reference_render(fmt: str, mode: str = "profile") -> bytes:
+    from repro.experiments import dse as dse_driver
+    result = dse_driver.run(SCALE, axes=SWEEP["axes"],
+                            profile=(mode == "profile"),
+                            workloads=SWEEP["workloads"],
+                            stream=(mode == "stream"))
+    return result.render(fmt).encode()
+
+
+def test_sweep_byte_identical_to_cli_driver():
+    async def main():
+        async with server_ctx() as (server, port):
+            for fmt in ("json", "csv"):
+                status, body = await fetch(
+                    HOST, port, "POST", "/v1/sweep",
+                    json.dumps(dict(SWEEP, format=fmt)).encode())
+                assert status == 200
+                assert body == reference_render(fmt), fmt
+            assert server.stats.sweeps == 2
+
+    asyncio.run(main())
+
+
+def test_streamed_sweep_byte_identical_to_driver():
+    async def main():
+        async with server_ctx() as (server, port):
+            status, body = await fetch(
+                HOST, port, "POST", "/v1/sweep",
+                json.dumps(dict(SWEEP, mode="stream")).encode())
+            assert status == 200
+            assert body == reference_render("json", mode="stream")
+
+    asyncio.run(main())
+
+
+# -- disconnects and shutdown ------------------------------------------------
+
+def test_disconnect_mid_request_is_counted_and_harmless():
+    async def main():
+        async with server_ctx() as (server, port):
+            reader, writer = await asyncio.open_connection(HOST, port)
+            head = ("POST /v1/price HTTP/1.1\r\n"
+                    "Content-Length: 100\r\n\r\n")
+            writer.write(head.encode() + b"only-ten-b")
+            await writer.drain()
+            writer.transport.abort()   # RST mid-body
+            for _ in range(100):
+                if server.stats.disconnects:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.stats.disconnects == 1
+            # the server is unharmed: next request prices normally
+            status, _ = await fetch(HOST, port, "POST", "/v1/price",
+                                    _stampede_body())
+            assert status == 200
+
+    asyncio.run(main())
+
+
+def test_disconnect_mid_sweep_leaves_results_consistent():
+    async def main():
+        async with server_ctx() as (server, port):
+            reader, writer = await asyncio.open_connection(HOST, port)
+            body = json.dumps(SWEEP).encode()
+            head = (f"POST /v1/sweep HTTP/1.1\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n")
+            writer.write(head.encode() + body)
+            await writer.drain()
+            writer.transport.abort()   # gone before the response
+            for _ in range(600):       # the sweep itself still completes
+                if server.stats.sweeps:
+                    break
+                await asyncio.sleep(0.05)
+            assert server.stats.sweeps == 1
+            # cache/checkpoint state stayed consistent: the re-issued
+            # sweep renders byte-identically to the CLI reference
+            status, payload = await fetch(HOST, port, "POST", "/v1/sweep",
+                                          json.dumps(SWEEP).encode())
+            assert status == 200
+            assert payload == reference_render("json")
+
+    asyncio.run(main())
+
+
+def test_serve_subprocess_sigterm_graceful(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env.setdefault("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--scale", "smoke"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        env=env)
+    try:
+        line = proc.stdout.readline()
+        assert "listening on" in line, line
+        port = int(line.rsplit(":", 1)[1])
+        client = ServerClient(HOST, port)
+        deadline = time.monotonic() + 30
+        while True:
+            try:
+                status, _ = client.get("/v1/healthz")
+                if status == 200:
+                    break
+            except OSError:
+                pass
+            assert time.monotonic() < deadline, "healthz never came up"
+            time.sleep(0.1)
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        proc.stdout.close()
+        proc.stderr.close()
