@@ -14,9 +14,12 @@ over the PR-5 imaging-family rung):
   per-instruction A/B baseline from the same run -- machine-independent,
   so they catch "the fast path stopped being fast" on any hardware.  The
   PR-7 batch floor compares configs/sec between the streamed
-  million-config sweep and the faithful per-point baseline sweep, and
-  the PR-8 server floor bounds warm ``/v1/price`` throughput from below
-  and its server-side p99 latency from above.
+  million-config sweep and the faithful per-point baseline sweep, the
+  PR-8 server floor bounds warm ``/v1/price`` throughput from below
+  and its server-side p99 latency from above, and the PR-9 shard floor
+  compares configs/sec between the sharded and serial streamed sweep
+  (enforced only when the recorded run had 4+ shards worth of cores;
+  smaller runners record the honest ratio without failing).
 
 Exit status is non-zero when any floor is violated or a required rung is
 missing from the report.
@@ -58,6 +61,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-batch-speedup", type=float, default=100.0,
                         help="streamed batch pricing vs per-point sweep "
                              "configs/sec ratio floor (default: %(default)sx)")
+    parser.add_argument("--min-shard-scaling", type=float, default=3.0,
+                        help="sharded vs serial streamed-sweep configs/sec "
+                             "ratio floor, enforced only when the recorded "
+                             "run had >= 4 shards (default: %(default)sx)")
     parser.add_argument("--min-server-qps", type=float, default=20.0,
                         help="warm-profile /v1/price throughput floor in "
                              "requests/sec (default: %(default)s)")
@@ -87,6 +94,8 @@ def main(argv: list[str] | None = None) -> int:
     batch_streamed = require("test_batch_eval_throughput_streamed")
     batch_per_point = require("test_batch_eval_throughput_per_point")
     server = require("test_server_price_throughput")
+    shard_serial = require("test_shard_sweep_throughput_serial")
+    shard_sharded = require("test_shard_sweep_throughput_sharded")
 
     if iss is not None:
         mips = float(iss.get("mips", 0.0))
@@ -139,6 +148,24 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"streamed batch pricing {speedup:.2f}x configs/sec is "
                 f"below the {args.min_batch_speedup}x floor")
+    if shard_serial is not None and shard_sharded is not None:
+        shards = int(shard_sharded.get("shards", 0))
+        serial_rate = float(shard_serial["configs"]) / shard_serial["mean_s"]
+        sharded_rate = (float(shard_sharded["configs"])
+                        / shard_sharded["mean_s"])
+        scaling = sharded_rate / serial_rate
+        if shards >= 4:
+            print(f"sharded sweep       : {scaling:8.2f}x configs/sec vs "
+                  f"serial at {shards} shards "
+                  f"(floor {args.min_shard_scaling}x)")
+            if scaling < args.min_shard_scaling:
+                failures.append(
+                    f"sharded sweep scaling {scaling:.2f}x at {shards} "
+                    f"shards is below the {args.min_shard_scaling}x floor")
+        else:
+            # too few cores to demand 3x: record, don't enforce
+            print(f"sharded sweep       : {scaling:8.2f}x configs/sec vs "
+                  f"serial at {shards} shards (floor skipped: needs >= 4)")
     if server is not None:
         qps = float(server.get("qps", 0.0))
         p99_ms = float(server.get("p99_ms", float("inf")))

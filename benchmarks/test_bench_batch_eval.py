@@ -91,8 +91,11 @@ def test_batch_eval_throughput_streamed(benchmark, priced_inputs, scale):
     space = million_config_space()
 
     def run():
+        # shards=1 pins the serial path: this rung measures the
+        # single-process batch evaluator, not the sharded pool
         return sweep_streamed(space, pairs, budget=scale.max_instructions,
-                              runner=runner, base=base, front_cap=64)
+                              runner=runner, base=base, front_cap=64,
+                              shards=1)
 
     summary = benchmark.pedantic(run, rounds=1, iterations=1)
     assert summary.configs == space.size == 1_000_000

@@ -93,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "around the streaming aggregate knee (implies "
                         "--stream; refined configs are off-grid "
                         "midpoints on refinable axes)")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="price the streamed flat config space across N "
+                        "parallel worker processes with exact "
+                        "Pareto-front merging (reports are "
+                        "byte-identical to --shards 1; default: "
+                        "derived from REPRO_WORKERS for large grids, "
+                        "serial for small ones)")
     p.add_argument("--front-cap", type=int, default=None, metavar="N",
                    dest="front_cap",
                    help="materialize at most N front members per "
@@ -170,7 +177,8 @@ def _run_dse(scale, args) -> int:
                                   run_id=args.run_id,
                                   stream=args.stream,
                                   refine=args.refine,
-                                  front_cap=args.front_cap).render(args.fmt)
+                                  front_cap=args.front_cap,
+                                  shards=args.shards).render(args.fmt)
     except dse_driver.DseInterrupted as exc:
         partial = exc.result
         root = dse_driver.checkpoint_root()

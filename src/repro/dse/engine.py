@@ -568,19 +568,19 @@ def stream_profiles(pairs: Sequence[WorkloadPair], fpu_builds: Sequence[bool],
     return vectors
 
 
-def _price_configs(configs: Sequence[SweepConfig],
+def _priced_points(configs: Sequence[SweepConfig],
                    pairs: Sequence[WorkloadPair],
                    vectors: dict[tuple[str, str], ProfileVectors],
-                   start_seq: int,
-                   streams: dict[str, _PointStream]) -> None:
-    """Price a batch of explicit configs and stream the points out.
+                   start_seq: int):
+    """Yield ``(seq, workload, point)`` for a batch of explicit configs.
 
-    The generic chunk evaluator (also the refinement pass' pricer):
-    one :class:`BatchNfpEngine` over the batch, one evaluation per
-    (workload, build) actually present, then per-config assembly in
-    flat order.  Point construction matches :func:`_grid_from_jobs` /
-    :meth:`DseGrid.aggregate` field for field -- the byte-identity
-    tests compare entire reports through it.
+    The generic batch evaluator (also the refinement pass' and the
+    shard materializer's pricer): one :class:`BatchNfpEngine` over the
+    batch, one evaluation per (workload, build) actually present, then
+    per-config assembly in flat order -- workloads first, the
+    left-to-right aggregate last.  Point construction matches
+    :func:`_grid_from_jobs` / :meth:`DseGrid.aggregate` field for field
+    -- the byte-identity tests compare entire reports through it.
     """
     from repro.nfp.linear import BatchNfpEngine   # deferred, see _job_nfps
     engine = BatchNfpEngine([config.hw for config in configs])
@@ -601,20 +601,31 @@ def _price_configs(configs: Sequence[SweepConfig],
         agg_cycles = 0
         for pair in pairs:
             nfp = priced[(pair.name, build)][i]
-            streams[pair.name].offer(seq, DsePoint(
+            yield seq, pair.name, DsePoint(
                 config=config.name, axis_values=config.axis_values,
                 workload=pair.name, build=build,
                 time_s=nfp.true_time_s, energy_j=nfp.true_energy_j,
-                area_les=area, retired=nfp.retired, cycles=nfp.cycles))
+                area_les=area, retired=nfp.retired, cycles=nfp.cycles)
             agg_time = agg_time + nfp.true_time_s
             agg_energy = agg_energy + nfp.true_energy_j
             agg_retired += nfp.retired
             agg_cycles += nfp.cycles
-        streams[AGGREGATE].offer(seq, DsePoint(
+        yield seq, AGGREGATE, DsePoint(
             config=config.name, axis_values=config.axis_values,
             workload=AGGREGATE, build=build,
             time_s=agg_time, energy_j=agg_energy,
-            area_les=area, retired=agg_retired, cycles=agg_cycles))
+            area_les=area, retired=agg_retired, cycles=agg_cycles)
+
+
+def _price_configs(configs: Sequence[SweepConfig],
+                   pairs: Sequence[WorkloadPair],
+                   vectors: dict[tuple[str, str], ProfileVectors],
+                   start_seq: int,
+                   streams: dict[str, _PointStream]) -> None:
+    """Price a batch of explicit configs and stream the points out."""
+    for seq, workload, point in _priced_points(configs, pairs, vectors,
+                                               start_seq):
+        streams[workload].offer(seq, point)
 
 
 def _refine_pass(space: DesignSpace,
@@ -687,7 +698,8 @@ def sweep_streamed(space: DesignSpace,
                    base: HwConfig | None = None,
                    chunk: int = 65536,
                    refine: int = 0,
-                   front_cap: int | None = None) -> StreamSummary:
+                   front_cap: int | None = None,
+                   shards: int | None = None) -> StreamSummary:
     """Generate-price-reduce: sweep a space without materializing it.
 
     The streaming counterpart of :func:`sweep_profiled`: each distinct
@@ -714,6 +726,14 @@ def sweep_streamed(space: DesignSpace,
     *materialized* as points per workload (fronts over near-continuous
     axes can approach the grid in size); counts, knees and minima are
     always exact.
+
+    ``shards`` splits the flat index space into that many contiguous
+    ranges priced in parallel worker processes, with the shard fronts
+    merged exactly in the parent (:mod:`repro.dse.shard`) -- Pareto
+    reduction is associative, so the summary (and every report built
+    from it) is byte-identical to ``shards=1``.  ``None`` picks a
+    count from the worker budget but keeps small spaces serial; ``1``
+    is today's in-process path.
     """
     from repro.nfp.linear import numpy_or_none   # deferred, see _job_nfps
     pairs = list(pairs)
@@ -730,6 +750,14 @@ def sweep_streamed(space: DesignSpace,
                   else [base.core.has_fpu])
     vectors = stream_profiles(pairs, fpu_builds, budget=budget,
                               runner=runner, base=base)
+
+    # deferred: the shard module imports back into this one
+    from repro.dse.shard import resolve_shards, sweep_shards
+    n_shards = resolve_shards(shards, space.size)
+    if n_shards > 1:
+        return sweep_shards(space, pairs, vectors, base, runner,
+                            chunk=chunk, shards=n_shards,
+                            refine=refine, front_cap=front_cap)
 
     np = numpy_or_none()
     fast = None

@@ -81,11 +81,35 @@ def knee_point(items: Sequence[Item],
 def classify(items: Sequence[Item],
              key: Callable[[Item], Sequence[float]] = lambda it: it
              ) -> list[bool]:
-    """Per-item non-dominated flags (aligned with ``items``)."""
+    """Per-item non-dominated flags (aligned with ``items``).
+
+    For the 2- and 3-objective vectors the sweep produces this runs in
+    O(n log n) through the :class:`ParetoAccumulator` staircases instead
+    of the O(n^2) pairwise definition; exact ties keep their flags (tied
+    vectors never dominate each other), and the property tests pin the
+    equivalence against the quadratic definition.  Other objective
+    arities fall back to the pairwise scan.
+    """
     objectives = [tuple(key(item)) for item in items]
+    if not objectives:
+        return []
+    dims = len(objectives[0])
+    if dims not in (2, 3) or any(len(obj) != dims for obj in objectives):
+        return _classify_quadratic(objectives)
+    acc = ParetoAccumulator()
+    for obj in objectives:
+        acc.add(obj)
+    on_front = bytearray(len(objectives))
+    for seq, _ in acc.front_entries():
+        on_front[seq] = 1
+    return [bool(flag) for flag in on_front]
+
+
+def _classify_quadratic(objectives: list[tuple]) -> list[bool]:
+    """The pairwise O(n^2) dominance scan (reference definition)."""
     return [not any(dominates(objectives[j], objectives[i])
-                    for j in range(len(items)) if j != i)
-            for i in range(len(items))]
+                    for j in range(len(objectives)) if j != i)
+            for i in range(len(objectives))]
 
 
 def _envelope_insert(xs: list, ys: list, x, y) -> None:
@@ -129,7 +153,7 @@ class ParetoAccumulator:
     and tied vectors (the property tests pin the equivalence down).
     """
 
-    __slots__ = ("_key", "_groups", "_seen", "_stored")
+    __slots__ = ("_key", "_groups", "_seen", "_stored", "_resolved")
 
     def __init__(self, key: Callable[[Item], Sequence[float]] = lambda it: it):
         self._key = key
@@ -137,6 +161,11 @@ class ParetoAccumulator:
         self._groups: dict[tuple, list] = {}
         self._seen = 0
         self._stored = 0
+        # cached front_entries(); a False add leaves the staircases
+        # untouched (the point is definitively off the front), so only
+        # accepted adds invalidate -- the refinement loop's knee reads
+        # between rejected offers then cost nothing
+        self._resolved: list[tuple[int, Item]] | None = []
 
     def __len__(self) -> int:
         """Entries currently stored (the bounded-memory figure)."""
@@ -165,6 +194,7 @@ class ParetoAccumulator:
         if group is None:
             self._groups[tail] = [[a], [b], [[(seq, item)]]]
             self._stored += 1
+            self._resolved = None
             return True
         xs, ys, payloads = group
         pos = bisect_right(xs, a) - 1
@@ -175,6 +205,7 @@ class ParetoAccumulator:
             if y == b and xs[pos] == a:
                 payloads[pos].append((seq, item))   # exact tie: both stay
                 self._stored += 1
+                self._resolved = None
                 return True
         lo = bisect_left(xs, a)
         hi = lo
@@ -191,26 +222,38 @@ class ParetoAccumulator:
         ys.insert(lo, b)
         payloads.insert(lo, [(seq, item)])
         self._stored += 1
+        self._resolved = None
         return True
+
+    def front_entries(self) -> list[tuple[int, Item]]:
+        """Exact front as ``(arrival_seq, item)`` pairs, arrival order.
+
+        The sequence numbers are the 0-based offer order (:meth:`add`
+        call order), which is what the sharded sweep shifts into global
+        flat-index space before merging shard fronts.
+        """
+        if self._resolved is None:
+            survivors: list[tuple[int, Item]] = []
+            xs_c: list = []     # cumulative envelope over smaller tails
+            ys_c: list = []
+            for tail in sorted(self._groups):
+                xs, ys, payloads = self._groups[tail]
+                for x, y, plist in zip(xs, ys, payloads):
+                    # a smaller tail dominates on any (x', y') <= (x, y),
+                    # ties included (the tail itself is strictly better)
+                    pos = bisect_right(xs_c, x) - 1
+                    if pos >= 0 and ys_c[pos] <= y:
+                        continue
+                    survivors.extend(plist)
+                for x, y in zip(xs, ys):
+                    _envelope_insert(xs_c, ys_c, x, y)
+            survivors.sort(key=lambda entry: entry[0])
+            self._resolved = survivors
+        return list(self._resolved)
 
     def front(self) -> list[Item]:
         """The exact non-dominated set of everything added, arrival order."""
-        survivors: list[tuple[int, Item]] = []
-        xs_c: list = []     # cumulative envelope over smaller tails
-        ys_c: list = []
-        for tail in sorted(self._groups):
-            xs, ys, payloads = self._groups[tail]
-            for x, y, plist in zip(xs, ys, payloads):
-                # a smaller tail dominates on any (x', y') <= (x, y),
-                # ties included (the tail itself is strictly better)
-                pos = bisect_right(xs_c, x) - 1
-                if pos >= 0 and ys_c[pos] <= y:
-                    continue
-                survivors.extend(plist)
-            for x, y in zip(xs, ys):
-                _envelope_insert(xs_c, ys_c, x, y)
-        survivors.sort(key=lambda entry: entry[0])
-        return [item for _, item in survivors]
+        return [item for _, item in self.front_entries()]
 
     def knee(self) -> Item:
         """The balanced pick over the current front (see :func:`knee_point`)."""

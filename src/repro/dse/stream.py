@@ -407,6 +407,17 @@ class _FastSweep:
 
     # -- execution -----------------------------------------------------------
 
+    def reset(self) -> None:
+        """Fresh stores; the cost tables stay.
+
+        A shard worker keeps one :class:`_FastSweep` per sweep context
+        and prices several disjoint flat ranges through it, so the
+        table construction above runs once per worker while the
+        streaming state starts clean for every range.
+        """
+        self.stores = {name: _Store(self.np, name) for name in
+                       [pair.name for pair in self.pairs] + [AGGREGATE]}
+
     def _axis_index(self, flat, role: str):
         """Per-config value index on the role's axis, or None when fixed."""
         j = self.axis_of[role]
@@ -442,12 +453,15 @@ class _FastSweep:
         energy = dyn * 1e-9 + static * time_s
         return time_s, energy, cycles
 
-    def run(self) -> None:
-        """Price the whole space chunk by chunk into the stores."""
+    def run(self, start: int = 0, stop: int | None = None) -> None:
+        """Price flat indices ``[start, stop)`` chunk by chunk into the
+        stores (the whole space by default; a contiguous shard range
+        when the sharded sweep prices this space across workers)."""
         np = self.np
-        for start in range(0, self.size, self.chunk):
-            stop = min(self.size, start + self.chunk)
-            flat = np.arange(start, stop, dtype=np.int64)
+        stop = self.size if stop is None else min(stop, self.size)
+        for cstart in range(start, stop, self.chunk):
+            cstop = min(stop, cstart + self.chunk)
+            flat = np.arange(cstart, cstop, dtype=np.int64)
             n = flat.size
             s_idx = self._axis_index(flat, "scale")
             c_idx = self._axis_index(flat, "chz")

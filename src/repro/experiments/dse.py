@@ -119,7 +119,8 @@ def run(scale: Scale | str | None = None,
         checkpoint_every: int = 8,
         stream: bool = False,
         refine: int = 0,
-        front_cap: int | None = None) -> DseResult | DseStreamResult:
+        front_cap: int | None = None,
+        shards: int | None = None) -> DseResult | DseStreamResult:
     """Sweep ``axes`` (a ``DesignSpace.from_spec`` string, or the stock
     space) across a workload suite on the metered testbed.
 
@@ -148,6 +149,13 @@ def run(scale: Scale | str | None = None,
     sweep at equal ``front_cap``.  Streamed sweeps keep no checkpoint
     (pricing restarts in seconds; the profile simulations are already
     content-cached), so they are incompatible with ``resume``/``run_id``.
+
+    ``shards`` (the ``repro dse --shards`` flag, streamed only) prices
+    the flat config space across that many parallel worker processes
+    with exact Pareto-front merging -- reports are byte-identical to
+    ``--shards 1`` (see :mod:`repro.dse.shard`).  ``None`` derives a
+    count from ``REPRO_WORKERS`` for large grids and keeps small ones
+    serial.
     """
     scale = scale if isinstance(scale, Scale) else get_scale(
         scale if isinstance(scale, str) else None)
@@ -164,6 +172,8 @@ def run(scale: Scale | str | None = None,
                 "--resume/--run-id or drop --stream/--refine")
         if refine < 0:
             raise UsageError("--refine takes a non-negative round count")
+        if shards is not None and shards < 1:
+            raise UsageError("--shards takes a positive shard count")
         mode = f", refine {refine}" if refine else ""
         suite = f", workloads {workloads}" if workloads else ""
         title = (f"design-space exploration ({scale.name} scale, "
@@ -171,10 +181,13 @@ def run(scale: Scale | str | None = None,
         summary = sweep_streamed(
             space, resolve_pairs(workloads, scale),
             budget=scale.max_instructions, runner=runner, base=base,
-            refine=refine, front_cap=front_cap)
+            refine=refine, front_cap=front_cap, shards=shards)
         return DseStreamResult(
             report=StreamReport(summary, title=title),
             space=space, scale_name=scale.name)
+    if shards is not None:
+        raise UsageError("--shards only applies to streamed sweeps; "
+                         "add --stream (or --refine)")
     spec = {
         "scale": scale.name,
         "axes": [[name, list(values)] for name, values in space.axes],

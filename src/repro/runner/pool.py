@@ -141,6 +141,23 @@ class ExperimentRunner:
     def _compute(self, tasks: list[SimTask], keys: list[str]) -> list[dict]:
         return self._executor.run(tasks, keys)
 
+    def run_raw(self, tasks: list, keys: list[str]) -> list[dict]:
+        """Resilient-pool execution for non-simulation tasks, cache-bypassed.
+
+        The sharded streamed sweep ships its
+        :class:`~repro.dse.shard.ShardTask` batches through here: the
+        tasks inherit the executor's retry budget, stall watchdog,
+        pool-rebuild/serial-downgrade ladder and chaos injection
+        unchanged, but their payloads are derived data (shard fronts
+        over already-cached profiles, keyed by shard geometry rather
+        than content), so they never enter the content-addressed
+        result cache or the memory tier.  Slots may hold terminal
+        :class:`~repro.runner.resilience.TaskFailure` payloads, exactly
+        like :meth:`run_tasks`.
+        """
+        with self._batch_lock:
+            return self._executor.run(list(tasks), list(keys))
+
     # -- single-task conveniences -------------------------------------------
 
     def metered_raw(self, program: Program, hw: HwConfig,

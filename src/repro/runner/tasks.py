@@ -151,8 +151,19 @@ def raw_from_payload(data: dict) -> RawMeasurement:
     )
 
 
-def run_task(task: SimTask) -> dict:
-    """Execute ``task`` (in this or a worker process) -> JSON payload."""
+def run_task(task) -> dict:
+    """Execute ``task`` (in this or a worker process) -> JSON payload.
+
+    Dispatches on ``task.mode``: the three :class:`SimTask` simulation
+    modes, plus the sharded streamed sweep's ``"shard"`` pricing tasks
+    (:class:`repro.dse.shard.ShardTask`) -- routed here so the
+    resilient executor's chaos injection, retries and failure records
+    apply to them unchanged.
+    """
+    if task.mode == "shard":
+        # deferred: keeps worker bootstrap light for plain sim tasks
+        from repro.dse.shard import run_shard_task
+        return run_shard_task(task)
     if task.mode == "metered":
         raw = Board(task.hw).measure_raw(task.program,
                                          max_instructions=task.budget)

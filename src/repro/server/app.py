@@ -338,7 +338,8 @@ class EvalServer:
             workloads=spec.workloads,
             stream=(spec.mode == "stream"),
             refine=spec.refine,
-            front_cap=spec.front_cap).render(spec.fmt)
+            front_cap=spec.front_cap,
+            shards=spec.shards).render(spec.fmt)
 
 
 def serve_command(args) -> int:

@@ -121,12 +121,13 @@ class SweepRequest:
     mode: str = "profile"
     refine: int = 0
     front_cap: int | None = None
+    shards: int | None = None   #: streamed only; None derives from workers
 
 
 def sweep_request(payload: dict) -> SweepRequest:
     """Validate a ``/v1/sweep`` payload into a :class:`SweepRequest`."""
     _check_fields(payload, ("axes", "workloads", "format", "mode",
-                            "refine", "front_cap"))
+                            "refine", "front_cap", "shards"))
     axes = payload.get("axes")
     if axes is not None and (not isinstance(axes, str) or not axes.strip()):
         raise ApiError(400, "bad-axes",
@@ -156,5 +157,13 @@ def sweep_request(payload: dict) -> SweepRequest:
                                   or front_cap < 1):
         raise ApiError(400, "bad-front-cap",
                        "'front_cap' must be a positive integer or null")
+    shards = payload.get("shards")
+    if shards is not None and (not isinstance(shards, int)
+                               or isinstance(shards, bool) or shards < 1):
+        raise ApiError(400, "bad-shards",
+                       "'shards' must be a positive integer or null")
+    if shards is not None and mode != "stream":
+        raise ApiError(400, "bad-shards",
+                       "'shards' only applies to mode=stream sweeps")
     return SweepRequest(axes=axes, workloads=workloads, fmt=fmt, mode=mode,
-                        refine=refine, front_cap=front_cap)
+                        refine=refine, front_cap=front_cap, shards=shards)

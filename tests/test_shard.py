@@ -1,0 +1,313 @@
+"""Sharded streamed sweeps: exact Pareto-front merging across processes.
+
+Three layers of guarantees:
+
+* :func:`repro.dse.shard.merge_front_entries` -- merging per-shard
+  fronts through one accumulator equals the single-pass front for
+  *any* contiguous split of the offer sequence, including empty
+  shards, one-point shards and exact objective ties (property-tested:
+  Pareto reduction is associative);
+* :func:`repro.dse.engine.sweep_streamed` with ``shards > 1`` -- the
+  summary and every rendered report are byte-identical to the serial
+  ``shards=1`` path, on the numpy fast path and the pure-python
+  generic path, through real pool workers, and under deterministic
+  chaos (kills and raises retry to convergence);
+* the O(n log n) :func:`repro.dse.pareto.classify` staircase rewrite
+  equals the quadratic pairwise definition, and the accumulator's
+  cached front invalidates exactly on accepted adds.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import (
+    DesignSpace,
+    ParetoAccumulator,
+    WorkloadPair,
+    pareto_front,
+    sweep_streamed,
+)
+from repro.dse.pareto import _classify_quadratic, classify
+from repro.dse.report import StreamReport
+from repro.dse.shard import (
+    MIN_SHARD_CONFIGS,
+    ShardContext,
+    _load_context,
+    _merge_front_columns,
+    _shm_export,
+    merge_front_entries,
+    publish_context,
+    resolve_shards,
+    unpublish_context,
+)
+from repro.fse.kernel import build_fse_kernel
+from repro.fse.params import FseParams
+from repro.hw.config import HwConfig
+from repro.kir import compile_module
+from repro.runner import ExperimentRunner
+from repro.runner.resilience import ChaosPolicy, UsageError
+from repro.vm.config import CoreConfig
+
+BUDGET = 50_000_000
+
+SPACE = DesignSpace((
+    ("clock_mhz", (25.0, 50.0, 66.0)),
+    ("fpu", (False, True)),
+    ("nwindows", (2, 8)),
+    ("wait_states", (0, 2)),
+))
+
+
+# -- the merge primitive (property-based) ------------------------------------
+
+# small coordinate grids force duplicates and exact objective ties
+vectors = st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 3))
+
+
+def shard_fronts(points, bounds):
+    """Per-shard front entries with global seqs, one accumulator each."""
+    fronts = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        acc = ParetoAccumulator()
+        for point in points[lo:hi]:
+            acc.add(point)
+        fronts.append([(lo + seq, item)
+                       for seq, item in acc.front_entries()])
+    return fronts
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data())
+def test_merged_shard_fronts_equal_single_pass(data):
+    points = data.draw(st.lists(vectors, min_size=1, max_size=48))
+    n = len(points)
+    # arbitrary contiguous split: sorted cut points allow empty shards
+    # at either end and in the middle, and 1-point shards throughout
+    cuts = data.draw(st.lists(st.integers(0, n), max_size=6))
+    bounds = [0] + sorted(cuts) + [n]
+    merged = merge_front_entries(shard_fronts(points, bounds))
+    serial = ParetoAccumulator()
+    for point in points:
+        serial.add(point)
+    assert [item for _, item in merged] == serial.front() \
+        == pareto_front(points)
+    # global seqs survive the merge (arrival order is the tie contract)
+    assert [seq for seq, _ in merged] == [
+        seq for seq, _ in serial.front_entries()]
+
+
+def test_merge_handles_all_empty_shards():
+    assert merge_front_entries([]) == []
+    assert merge_front_entries([[], []]) == []
+    merged = _merge_front_columns([])
+    assert sorted(merged) == ["area", "e", "seq", "t"]
+    assert all(len(col) == 0 for col in merged.values())
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data())
+def test_vectorized_column_merge_equals_reference(data):
+    """The numpy staircase merge == the accumulator merge, any split."""
+    from repro.nfp.linear import numpy_or_none
+    if numpy_or_none() is None:
+        pytest.skip("numpy unavailable")
+    points = data.draw(st.lists(vectors, min_size=1, max_size=48))
+    n = len(points)
+    cuts = data.draw(st.lists(st.integers(0, n), max_size=6))
+    bounds = [0] + sorted(cuts) + [n]
+    fronts = shard_fronts(points, bounds)
+    merged = _merge_front_columns([
+        {"t": [obj[0] for _, obj in front],
+         "e": [obj[1] for _, obj in front],
+         "area": [obj[2] for _, obj in front],
+         "seq": [seq for seq, _ in front]} for front in fronts])
+    reference = merge_front_entries(fronts)
+    # the fast path returns numpy columns; normalize before comparing
+    assert list(merged["seq"]) == [seq for seq, _ in reference]
+    assert list(merged["t"]) == [obj[0] for _, obj in reference]
+    assert list(merged["e"]) == [obj[1] for _, obj in reference]
+    assert list(merged["area"]) == [obj[2] for _, obj in reference]
+
+
+# -- classify: staircase rewrite vs the quadratic definition -----------------
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(vectors, min_size=1, max_size=48))
+def test_classify_equals_quadratic_3d(points):
+    assert classify(points) == _classify_quadratic(points)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                min_size=1, max_size=48))
+def test_classify_equals_quadratic_2d(points):
+    assert classify(points) == _classify_quadratic(points)
+
+
+def test_classify_falls_back_on_other_arities():
+    points = [(1, 2, 3, 4), (0, 0, 0, 0), (1, 2, 3, 4)]
+    assert classify(points) == _classify_quadratic(points) \
+        == [False, True, False]
+
+
+# -- the accumulator's cached front ------------------------------------------
+
+def test_front_cache_invalidated_only_by_accepted_adds():
+    acc = ParetoAccumulator()
+    acc.add((1, 1, 1))
+    first = acc.front_entries()
+    assert first == [(0, (1, 1, 1))]
+    # a dominated offer is rejected and must not disturb the cache
+    assert not acc.add((2, 2, 1))
+    assert acc.front_entries() == first
+    assert acc.knee() == (1, 1, 1)
+    # an accepted add recomputes: new point joins the front
+    assert acc.add((0, 2, 1))
+    assert acc.front_entries() == [(0, (1, 1, 1)), (2, (0, 2, 1))]
+    # mutating the returned list never corrupts the cache
+    acc.front_entries().clear()
+    assert len(acc.front_entries()) == 2
+
+
+# -- shard-count resolution and context transport ----------------------------
+
+def test_resolve_shards_explicit_and_auto(monkeypatch):
+    assert resolve_shards(4, 1000) == 4
+    assert resolve_shards(8, 3) == 3          # never an empty shard
+    assert resolve_shards(1, 10) == 1
+    with pytest.raises(ValueError):
+        resolve_shards(0, 10)
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    assert resolve_shards(None, 100) == 1     # tiny grids stay serial
+    assert resolve_shards(None, 2 * MIN_SHARD_CONFIGS) == 2
+    assert resolve_shards(None, 100 * MIN_SHARD_CONFIGS) == 4
+
+
+def test_context_transport_round_trips():
+    ctx = ShardContext(space=SPACE, base=HwConfig(), pair_names=("w",),
+                       vectors={}, chunk=7)
+    digest, blob = publish_context(ctx)
+    try:
+        assert _load_context(("pickle", blob)) == ctx
+        exported = _shm_export(blob)
+        if exported is not None:
+            segment, transport = exported
+            try:
+                assert transport[0] == "shm"
+                assert _load_context(transport) == ctx
+            finally:
+                segment.close()
+                segment.unlink()
+    finally:
+        unpublish_context(digest)
+    with pytest.raises(RuntimeError):
+        _load_context(None)
+
+
+# -- end to end: sharded == serial, byte for byte ----------------------------
+
+@pytest.fixture(scope="module")
+def sweep_setup(tmp_path_factory):
+    params = FseParams(block=8, iterations=2)
+    module = build_fse_kernel(0, params, size=8)
+    pair = WorkloadPair(
+        name="fse:00",
+        float_program=compile_module(module, "hard"),
+        fixed_program=compile_module(module, "soft"))
+    cache_dir = tmp_path_factory.mktemp("shard-cache")
+    runner = ExperimentRunner(cache_dir=cache_dir, workers=2)
+    base = HwConfig(name="leon3", core=CoreConfig())
+    return pair, runner, base
+
+
+def streamed(setup, **kwargs):
+    pair, runner, base = setup
+    return sweep_streamed(SPACE, [pair], budget=BUDGET, runner=runner,
+                          base=base, **kwargs)
+
+
+@pytest.mark.parametrize("shards", [2, 3, 24])
+def test_sharded_summary_equals_serial(sweep_setup, shards):
+    serial = streamed(sweep_setup, shards=1)
+    sharded = streamed(sweep_setup, shards=shards)
+    assert sharded == serial
+
+
+def test_sharded_reports_byte_identical(sweep_setup):
+    serial = streamed(sweep_setup, shards=1, front_cap=4)
+    sharded = streamed(sweep_setup, shards=3, front_cap=4)
+    for fmt in ("text", "csv", "json"):
+        assert (StreamReport(sharded, title="t").render(fmt)
+                == StreamReport(serial, title="t").render(fmt))
+
+
+def test_sharded_refinement_equals_serial(sweep_setup):
+    serial = streamed(sweep_setup, shards=1, refine=2)
+    sharded = streamed(sweep_setup, shards=4, refine=2)
+    assert sharded == serial
+    assert sharded.refined == serial.refined
+
+
+def test_sharded_pure_python_equals_serial(sweep_setup):
+    held = os.environ.get("REPRO_NUMPY")
+    os.environ["REPRO_NUMPY"] = "0"
+    try:
+        serial = streamed(sweep_setup, shards=1)
+        sharded = streamed(sweep_setup, shards=4)
+    finally:
+        if held is None:
+            os.environ.pop("REPRO_NUMPY", None)
+        else:
+            os.environ["REPRO_NUMPY"] = held
+    assert sharded == serial
+    # and the generic path agrees with the numpy fast path bit for bit
+    assert sharded == streamed(sweep_setup, shards=4)
+
+
+def test_sharded_chaos_converges_byte_identically(sweep_setup, tmp_path):
+    """Worker kills and raises retry until the exact same summary."""
+    pair, _, base = sweep_setup
+    clean = streamed(sweep_setup, shards=3)
+    for spec in ("7:raise=0.5,depth=1", "11:kill=0.5,depth=1"):
+        chaotic = ExperimentRunner(
+            cache_dir=tmp_path / spec.replace(",", "_").replace(":", "_"),
+            workers=2, chaos=ChaosPolicy.parse(spec))
+        summary = sweep_streamed(SPACE, [pair], budget=BUDGET,
+                                 runner=chaotic, base=base, shards=3)
+        assert summary == clean
+
+
+# -- driver and CLI wiring ---------------------------------------------------
+
+def test_cli_parser_accepts_shards():
+    from repro.cli import build_parser
+    parser = build_parser()
+    args = parser.parse_args(["dse", "--stream", "--shards", "4"])
+    assert args.shards == 4
+    assert parser.parse_args(["dse"]).shards is None
+
+
+def test_shards_require_streamed_sweep():
+    from repro.experiments import dse as dse_driver
+    with pytest.raises(UsageError, match="--stream"):
+        dse_driver.run("smoke", shards=2)
+    with pytest.raises(UsageError, match="positive"):
+        dse_driver.run("smoke", stream=True, shards=0)
+
+
+def test_server_schema_validates_shards():
+    from repro.server.schemas import ApiError, sweep_request
+    spec = sweep_request({"mode": "stream", "shards": 4})
+    assert spec.shards == 4
+    assert sweep_request({"mode": "stream"}).shards is None
+    for bad in ({"mode": "stream", "shards": 0},
+                {"mode": "stream", "shards": True},
+                {"mode": "profile", "shards": 2}):
+        with pytest.raises(ApiError, match="shards") as err:
+            sweep_request(bad)
+        assert err.value.code == "bad-shards"
