@@ -16,10 +16,12 @@ over the PR-5 imaging-family rung):
   PR-7 batch floor compares configs/sec between the streamed
   million-config sweep and the faithful per-point baseline sweep, the
   PR-8 server floor bounds warm ``/v1/price`` throughput from below
-  and its server-side p99 latency from above, and the PR-9 shard floor
+  and its server-side p99 latency from above, the PR-9 shard floor
   compares configs/sec between the sharded and serial streamed sweep
   (enforced only when the recorded run had 4+ shards worth of cores;
-  smaller runners record the honest ratio without failing).
+  smaller runners record the honest ratio without failing), and the
+  PR-10 pipeline floor compares the composed-profile pipeline sweep
+  against metering every stage invocation of the frame stream.
 
 Exit status is non-zero when any floor is violated or a required rung is
 missing from the report.
@@ -58,6 +60,9 @@ def main(argv: list[str] | None = None) -> int:
                         default=10.0,
                         help="profiled-vs-metered DSE sweep wall speedup "
                              "floor (default: %(default)sx)")
+    parser.add_argument("--min-pipeline-speedup", type=float, default=20.0,
+                        help="composed-vs-metered pipeline sweep wall "
+                             "speedup floor (default: %(default)sx)")
     parser.add_argument("--min-batch-speedup", type=float, default=100.0,
                         help="streamed batch pricing vs per-point sweep "
                              "configs/sec ratio floor (default: %(default)sx)")
@@ -91,6 +96,8 @@ def main(argv: list[str] | None = None) -> int:
     dse_metered = require("test_dse_sweep_throughput_metered")
     img_profiled = require("test_imaging_sweep_throughput_profiled")
     img_metered = require("test_imaging_sweep_throughput_metered")
+    pipe_metered = require("test_pipeline_sweep_throughput_metered")
+    pipe_composed = require("test_pipeline_sweep_throughput_composed")
     batch_streamed = require("test_batch_eval_throughput_streamed")
     batch_per_point = require("test_batch_eval_throughput_per_point")
     server = require("test_server_price_throughput")
@@ -133,6 +140,14 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"profiled {tag} sweep speedup {speedup:.2f}x is below "
                 f"the {args.min_dse_profile_speedup}x floor")
+    if pipe_metered is not None and pipe_composed is not None:
+        speedup = pipe_metered["mean_s"] / pipe_composed["mean_s"]
+        print(f"composed pipelines  : {speedup:8.2f}x vs metered stream "
+              f"sweep (floor {args.min_pipeline_speedup}x)")
+        if speedup < args.min_pipeline_speedup:
+            failures.append(
+                f"composed pipeline sweep speedup {speedup:.2f}x is "
+                f"below the {args.min_pipeline_speedup}x floor")
     if batch_streamed is not None and batch_per_point is not None:
         # the rungs sweep different-sized spaces on purpose (10^6 vs a
         # 2,000-config subspace), so the machine-independent figure is

@@ -43,6 +43,7 @@ DEFAULT_SUITES = (
     "test_bench_batch_eval.py",
     "test_bench_server.py",
     "test_bench_shard_scaling.py",
+    "test_bench_pipeline.py",
 )
 
 
@@ -66,8 +67,8 @@ def trim(raw: dict) -> dict:
         extra = bench.get("extra_info") or {}
         for key in ("mips", "retired", "cycles", "translated_blocks",
                     "metered_blocks", "points", "configs",
-                    "profiled_runs", "qps", "p99_ms", "requests",
-                    "shards", "cpus"):
+                    "profiled_runs", "frames", "qps", "p99_ms",
+                    "requests", "shards", "cpus"):
             if key in extra:
                 entry[key] = extra[key]
         suites[bench["fullname"]] = entry

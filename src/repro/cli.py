@@ -11,6 +11,8 @@ table4          FPU design-space exploration (Table IV)
 dse             multi-dimensional design-space exploration (Pareto)
 serve           long-lived HTTP evaluation server (``repro serve``)
 workloads       inspect the workload registry (``workloads list``)
+pipeline        list / structurally sweep frame-stream pipelines
+profile         warm the profile cache (``profile warm``)
 figure1         simulator landscape (Figure 1)
 figure2         trace one instruction through the simulator (Fig. 2)
 figure3         morph-function grouping (Figure 3)
@@ -138,6 +140,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=("smoke", "default", "full"),
                    default=None,
                    help="restrict the listing to one scale's suite")
+    p = sub.add_parser(
+        "pipeline",
+        help="compose and sweep frame-stream pipelines (family 'pipe')")
+    _add_scale(p)
+    p.add_argument("action", choices=("list", "sweep"),
+                   help="'list': registered pipelines with their stage "
+                        "chains; 'sweep': structural x hardware sweep on "
+                        "composed profiles")
+    p.add_argument("--pipeline", default=None, metavar="NAME",
+                   help="one registered pipeline, e.g. 'pipe:xfel' "
+                        "(default: all)")
+    p.add_argument("--axes", default=None, metavar="SPEC",
+                   help="hardware design-space spec, as in 'dse --axes' "
+                        "(default: the stock grid)")
+    p.add_argument("--variants", action="store_true",
+                   help="also sweep each pipeline's one-change structural "
+                        "neighbourhood: every stage toggled off, every "
+                        "non-terminal stage repeated")
+    p.add_argument("--repeat", type=int, default=2, metavar="N",
+                   help="repeat count for --variants stage repeats "
+                        "(default: 2)")
+    p.add_argument("--format", choices=("text", "csv", "json"),
+                   default="text", dest="fmt",
+                   help="output rendering (default: text)")
+    p = sub.add_parser(
+        "profile",
+        help="manage execution profiles (the profile-once cache)")
+    _add_scale(p)
+    p.add_argument("action", choices=("warm",),
+                   help="'warm': profile every selected workload build "
+                        "into the result cache, so 'repro serve' and "
+                        "profiled sweeps start hot")
+    p.add_argument("--workloads", default=None, metavar="FILTER",
+                   help="registry filter to warm (same syntax as "
+                        "'dse --workloads'; default: every registered "
+                        "workload)")
     sub.add_parser("figure2")
     sub.add_parser("figure3")
     p = sub.add_parser("asm")
@@ -208,12 +246,84 @@ def _run_dse(scale, args) -> int:
     return 0
 
 
+def _run_pipeline(scale, args) -> int:
+    """The ``repro pipeline`` branch: list chains or sweep structures."""
+    from repro.experiments import pipeline as pipeline_driver
+    from repro.experiments.render import text_table
+    from repro.runner.resilience import UsageError
+    try:
+        if args.action == "list":
+            rows = pipeline_driver.catalogue()
+            print(text_table(
+                ("pipeline", "stages", "frame classes", "frames"),
+                [(name, chain, classes, str(frames))
+                 for name, chain, classes, frames in rows],
+                title=f"registered pipelines: {len(rows)}"))
+            return 0
+        rendered = pipeline_driver.run(
+            scale, pipeline=args.pipeline, axes=args.axes,
+            variants=args.variants, repeat=args.repeat).render(args.fmt)
+    except (UsageError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    if args.fmt == "text":
+        print(rendered)
+    else:  # csv/json renderers terminate their own output
+        sys.stdout.write(rendered)
+    return 0
+
+
+def _run_profile_warm(scale, args) -> int:
+    """The ``repro profile warm`` branch: pre-fill the profile cache.
+
+    Profiles every selected workload build (both FPU builds; pipelines
+    profile per invocation) through the cached resilient runner --
+    exactly the tasks a profiled sweep or the evaluation server would
+    run cold, so a warmed cache makes those start hot.
+    """
+    from repro.dse.engine import stream_profiles
+    from repro.experiments.setup import (
+        metered_blocks_from_env,
+        runner_from_env,
+    )
+    from repro.hw.config import HwConfig
+    from repro.runner.resilience import UsageError
+    from repro.vm.config import CoreConfig
+    from repro.workloads import select
+    try:
+        specs = select(args.workloads or "all", scale)
+        runner = runner_from_env()
+        base = HwConfig(name="leon3", core=CoreConfig(
+            metered_blocks_enabled=metered_blocks_from_env()))
+        vectors = stream_profiles(
+            [spec.pair(scale) for spec in specs], [False, True],
+            budget=scale.max_instructions, runner=runner, base=base)
+    except (UsageError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:  # a profile task exhausted its retries
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    where = ("result cache off -- profiles computed but not persisted"
+             if runner.cache is None else f"cache: {runner.cache.root}")
+    print(f"warmed {len(vectors)} profiles "
+          f"({len(specs)} workloads x 2 builds, {scale.name} scale; "
+          f"{where})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     command = args.command
 
     if command in ("table1", "table3", "table4", "figure1", "figure4",
-                   "dse", "serve", "all"):
+                   "dse", "serve", "all", "pipeline", "profile"):
         import os
         if args.workers is not None:
             os.environ["REPRO_WORKERS"] = str(args.workers)
@@ -228,6 +338,10 @@ def main(argv: list[str] | None = None) -> int:
         scale = get_scale(args.scale)
         if command == "dse":
             return _run_dse(scale, args)
+        if command == "pipeline":
+            return _run_pipeline(scale, args)
+        if command == "profile":
+            return _run_profile_warm(scale, args)
         from repro.runner.resilience import UsageError
         from repro.experiments import (figure1, figure4, table1, table3,
                                        table4)
@@ -267,11 +381,16 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:  # filter matching nothing
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        rows = [(spec.name, spec.family, ",".join(sorted(spec.tags)),
-                 ",".join(spec.scales())) for spec in specs]
+        rows = []
+        for spec in specs:
+            # pipeline specs render their stage chain; kernels have none
+            chain = spec.chain() if hasattr(spec, "chain") else "-"
+            rows.append((spec.name, spec.family, chain,
+                         ",".join(sorted(spec.tags)),
+                         ",".join(spec.scales())))
         suite = (f" at {scale.name} scale" if scale else "")
         print(text_table(
-            ("workload", "family", "tags", "scales"), rows,
+            ("workload", "family", "stages", "tags", "scales"), rows,
             title=f"workload registry: {len(rows)} workloads{suite}"))
         return 0
 

@@ -37,7 +37,7 @@ from repro.dse.pareto import (
     knee_point,
     pareto_front,
 )
-from repro.dse.workload import WorkloadPair
+from repro.dse.workload import PipelineProgram, WorkloadPair, pipeline_parts
 from repro.hw.area import memctrl_les, synthesize
 from repro.hw.config import HwConfig
 from repro.runner import ExperimentRunner
@@ -279,17 +279,29 @@ def _job_nfps(jobs: Sequence[tuple[SweepConfig, WorkloadPair, str, object]],
                 out.append((nfp.time_s, nfp.energy_j, nfp.retired,
                             nfp.cycles))
         return out
-    tasks = [SimTask(mode="metered", program=program, budget=budget,
-                     hw=config.hw)
-             for config, _, _, program in jobs]
+    # the metered path prices a job part by part: a plain program is
+    # one part, a composed pipeline one metered run per invocation,
+    # combined exactly (weighted integer cycle sums; see
+    # :func:`repro.dse.evaluate.metered_parts_nfp`) -- the oracle the
+    # composed profile path is tested bit-identical against
+    from repro.dse.evaluate import metered_parts_nfp   # deferred, as above
+    tasks = []
+    slices = []
+    for config, _, _, program in jobs:
+        parts = pipeline_parts(program)
+        start = len(tasks)
+        for part_program, _ in parts:
+            tasks.append(SimTask(mode="metered", program=part_program,
+                                 budget=budget, hw=config.hw))
+        slices.append((config.hw, parts, start, len(tasks)))
+    payloads = runner.run_tasks(tasks)
     out = []
-    for payload in runner.run_tasks(tasks):
-        if is_failure(payload):
-            out.append(TaskFailure.from_payload(payload))
+    for hw, parts, start, stop in slices:
+        nfp = metered_parts_nfp(hw, parts, payloads[start:stop])
+        if isinstance(nfp, TaskFailure):
+            out.append(nfp)
         else:
-            raw = raw_from_payload(payload)
-            out.append((raw.true_time_s, raw.true_energy_j,
-                        raw.sim.retired, raw.cycles))
+            out.append((nfp.time_s, nfp.energy_j, nfp.retired, nfp.cycles))
     return out
 
 
@@ -530,6 +542,11 @@ def stream_profiles(pairs: Sequence[WorkloadPair], fpu_builds: Sequence[bool],
                     base: HwConfig) -> dict[tuple[str, str], ProfileVectors]:
     """One lowered profile per (workload, build) -- or an exception.
 
+    A composed pipeline pair profiles each weighted invocation and
+    lowers the exact composition
+    (:func:`repro.nfp.linear.compose_profiles`), so downstream pricing
+    never distinguishes pipelines from plain workloads.
+
     The streamed path has no per-cell failure slots: a profile whose
     retries ran out raises, and an unclean (self-modifying) profile has
     no linear pricing at all, so it raises a :class:`UsageError`
@@ -541,18 +558,26 @@ def stream_profiles(pairs: Sequence[WorkloadPair], fpu_builds: Sequence[bool],
     lowered vectors the server keeps hot, with exactly the failure
     semantics above (re-entrant: no module or engine state is touched).
     """
-    from repro.dse.evaluate import profile_task   # deferred, see _job_nfps
-    from repro.nfp.linear import ExecutionProfile, lower_profile
-    entries = []
+    from repro.dse.evaluate import (   # deferred, see _job_nfps
+        composed_vectors,
+        profile_task,
+    )
+    from repro.nfp.linear import ExecutionProfile
+    entries = []   # (name, build, [(flat task index, weight), ...])
+    tasks = []
+    owners = []    # flat task index -> (name, build)
     for pair in pairs:
         for fpu in fpu_builds:
             core = replace(base.core, has_fpu=fpu)
             build, program = pair.build_for(core)
-            entries.append((pair.name, build,
-                            profile_task(program, budget, core)))
-    vectors: dict[tuple[str, str], ProfileVectors] = {}
-    for (name, build, _), payload in zip(
-            entries, runner.run_tasks([task for _, _, task in entries])):
+            part_ids = []
+            for part_program, count in pipeline_parts(program):
+                part_ids.append((len(tasks), count))
+                tasks.append(profile_task(part_program, budget, core))
+                owners.append((pair.name, build))
+            entries.append((pair.name, build, part_ids))
+    flat_profiles: list[ExecutionProfile] = []
+    for (name, build), payload in zip(owners, runner.run_tasks(tasks)):
         if is_failure(payload):
             failure = TaskFailure.from_payload(payload)
             raise RuntimeError(
@@ -564,7 +589,11 @@ def stream_profiles(pairs: Sequence[WorkloadPair], fpu_builds: Sequence[bool],
                 f"workload {name!r} ({build}) is self-modifying; the "
                 f"streamed sweep has no metered fallback -- run the "
                 f"materialized profiled sweep instead")
-        vectors[(name, build)] = lower_profile(profile)
+        flat_profiles.append(profile)
+    vectors: dict[tuple[str, str], ProfileVectors] = {}
+    for name, build, part_ids in entries:
+        vectors[(name, build)] = composed_vectors(
+            [(flat_profiles[i], count) for i, count in part_ids])
     return vectors
 
 
@@ -831,6 +860,10 @@ def sweep_estimated(space: DesignSpace | Sequence[SweepConfig],
         estimator = estimator_for(config)
         for pair in pairs:
             build, program = pair.build_for(config.hw.core)
+            if isinstance(program, PipelineProgram):
+                raise UsageError(
+                    f"pipeline workload {pair.name!r} has no estimation "
+                    f"path; use the profiled, streamed or metered sweep")
             report = estimator.estimate_program(
                 program, kernel_name=f"{pair.name}-{build}",
                 max_instructions=budget)

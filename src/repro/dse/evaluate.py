@@ -27,15 +27,18 @@ back to full metered simulation, point by point.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.asm.program import Program
+from repro.dse.workload import pipeline_parts
 from repro.hw.config import HwConfig
 from repro.nfp.linear import (
     BatchNfpEngine,
     ExecutionProfile,
     ProfileVectors,
+    compose_profiles,
     lower_profile,
 )
 from repro.runner import ExperimentRunner
@@ -82,23 +85,87 @@ def profile_task(program: Program, budget: int,
                    core=profile_core(core))
 
 
-def profiled_points(items: Sequence[tuple[HwConfig, Program]], *,
+def composed_vectors(parts: Sequence[tuple[ExecutionProfile, int]]
+                     ) -> ProfileVectors:
+    """Lowered vectors of a weighted profile list (one part: passthrough).
+
+    The single-part unweighted case lowers the profile directly -- the
+    historical plain-workload path, preserved bit-for-bit -- and a real
+    composition prices through
+    :func:`repro.nfp.linear.compose_profiles`, so one composed vector
+    set stands for the whole frame stream.
+    """
+    if len(parts) == 1 and parts[0][1] == 1:
+        return lower_profile(parts[0][0])
+    return lower_profile(compose_profiles(parts))
+
+
+def metered_parts_nfp(hw: HwConfig,
+                      parts: Sequence[tuple[Program, int]],
+                      payloads: Sequence[dict]) -> PointNfp | TaskFailure:
+    """Combine per-part metered payloads into one exact point.
+
+    The metered twin of profile composition, and the reason metered and
+    composed pipeline sweeps stay *bit-identical* in cycles and time:
+    total cycles are the exact integer sum of weighted per-invocation
+    cycles, and total time is ``cycles * cycle_seconds`` -- the very
+    expression the linear evaluator (and :class:`~repro.hw.board.Board`
+    itself) applies to the same integer.  Dynamic energy sums the
+    weighted per-invocation nanojoule totals through ``math.fsum``
+    (exact summation; <= 1e-12 relative of the composed-profile
+    energy), and static energy is priced over the total time.  The
+    single-part unweighted case reproduces the raw payload unchanged.
+    A failed part payload surfaces as its :class:`TaskFailure`.
+    """
+    for payload in payloads:
+        if is_failure(payload):
+            return TaskFailure.from_payload(payload)
+    raws = [raw_from_payload(payload) for payload in payloads]
+    if len(parts) == 1 and parts[0][1] == 1:
+        raw = raws[0]
+        return PointNfp(
+            time_s=raw.true_time_s, energy_j=raw.true_energy_j,
+            cycles=raw.cycles, retired=raw.sim.retired, profiled=False)
+    cycles = sum(count * raw.cycles
+                 for (_, count), raw in zip(parts, raws))
+    retired = sum(count * raw.sim.retired
+                  for (_, count), raw in zip(parts, raws))
+    time_s = cycles * hw.cycle_seconds
+    dyn_nj = math.fsum(count * raw.dyn_energy_nj
+                       for (_, count), raw in zip(parts, raws))
+    return PointNfp(
+        time_s=time_s,
+        energy_j=dyn_nj * 1e-9 + hw.static_power_w * time_s,
+        cycles=cycles, retired=retired, profiled=False)
+
+
+def profiled_points(items: Sequence[tuple[HwConfig, object]], *,
                     budget: int,
                     runner: ExperimentRunner
                     ) -> list[PointNfp | TaskFailure]:
     """Evaluate every ``(configuration, program)`` grid point.
 
-    One batch of deduplicating profile tasks (the runner's content
-    addressing collapses the grid onto its distinct workload builds),
-    one linear evaluation per point, and -- only where a profile came
-    back unclean *or never came back at all* -- one batch of exact
-    metered fallback simulations.  A grid point whose profile *and*
+    ``items`` may mix plain :class:`Program` grid points with composed
+    :class:`~repro.dse.workload.PipelineProgram` points; each point is
+    a weighted part list (:func:`~repro.dse.workload.pipeline_parts`),
+    plain programs being the one-part case.
+
+    One batch of deduplicating profile tasks over all parts (the
+    runner's content addressing collapses the grid onto its distinct
+    invocation builds), one linear evaluation per point over its
+    composed vectors, and -- only where a part profile came back
+    unclean *or never came back at all* -- one batch of exact metered
+    fallback simulations, combined per point by
+    :func:`metered_parts_nfp`.  A grid point whose profile *and*
     metered fallback both exhausted their retries surfaces as the
     fallback's :class:`~repro.runner.resilience.TaskFailure` in its
     slot; nothing here raises for a failed task.
     """
-    tasks = [profile_task(program, budget, hw.core)
-             for hw, program in items]
+    parts_per_item = [pipeline_parts(program) for _, program in items]
+    tasks = []
+    for (hw, _), parts in zip(items, parts_per_item):
+        for program, _ in parts:
+            tasks.append(profile_task(program, budget, hw.core))
     keys = [task_key(task) for task in tasks]
     payloads = runner.run_tasks(tasks)
     profiles: dict[str, ExecutionProfile] = {}
@@ -106,55 +173,61 @@ def profiled_points(items: Sequence[tuple[HwConfig, Program]], *,
         if key not in profiles and not is_failure(payload):
             profiles[key] = ExecutionProfile.from_payload(payload["profile"])
 
+    # per-item composition keys: ((part task key, weight), ...) -- two
+    # grid points share pricing iff they price the same weighted parts
+    item_keys: list[tuple[tuple[str, int], ...]] = []
+    pos = 0
+    for parts in parts_per_item:
+        item_keys.append(tuple(
+            (keys[pos + j], count) for j, (_, count) in enumerate(parts)))
+        pos += len(parts)
+
     # fallback: self-modifying workloads (unclean profiles) and points
-    # whose profile task failed outright are re-simulated per point on
-    # the metered path (bit-identical to the plain metered sweep, and
-    # shared with it through the result cache)
-    dirty = [i for i, key in enumerate(keys)
-             if key not in profiles or not profiles[key].clean]
+    # whose profile task failed outright are re-simulated on the
+    # metered path (bit-identical to the plain metered sweep, and
+    # shared with it through the result cache); a pipeline point
+    # re-simulates its invocations and combines them exactly
+    dirty = [i for i, ikeys in enumerate(item_keys)
+             if any(key not in profiles or not profiles[key].clean
+                    for key, _ in ikeys)]
     failed_profiles = sum(1 for key in set(keys) if key not in profiles)
     if failed_profiles:
         log_event("profile-fallback", profiles=failed_profiles,
                   points=sum(1 for key in keys if key not in profiles))
-    fallback: dict[int, dict] = {}
+    fallback: dict[int, PointNfp | TaskFailure] = {}
     if dirty:
-        mtasks = [SimTask(mode="metered", program=items[i][1],
-                          budget=budget, hw=items[i][0]) for i in dirty]
-        for i, payload in zip(dirty, runner.run_tasks(mtasks)):
-            fallback[i] = payload
+        mtasks = []
+        slices = []
+        for i in dirty:
+            start = len(mtasks)
+            for program, _ in parts_per_item[i]:
+                mtasks.append(SimTask(mode="metered", program=program,
+                                      budget=budget, hw=items[i][0]))
+            slices.append((i, start, len(mtasks)))
+        mpayloads = runner.run_tasks(mtasks)
+        for i, start, stop in slices:
+            fallback[i] = metered_parts_nfp(
+                items[i][0], parts_per_item[i], mpayloads[start:stop])
 
-    # clean points are priced in one batch per distinct profile: the
-    # configurations lower to a deduplicated cost-row matrix and every
-    # point is a constant-size combine (cycles/time bit-identical to
-    # the per-point engine; energy within its ~1-ulp regrouping, and
+    # clean points are priced in one batch per distinct composition:
+    # the configurations lower to a deduplicated cost-row matrix and
+    # every point is a constant-size combine (cycles/time bit-identical
+    # to the per-point engine; energy within its ~1-ulp regrouping, and
     # bit-identical to the streamed sweep, which prices the same way)
-    clean: dict[str, list[int]] = {}
-    for i, key in enumerate(keys):
+    clean: dict[tuple, list[int]] = {}
+    for i, ikeys in enumerate(item_keys):
         if i not in fallback:
-            clean.setdefault(key, []).append(i)
+            clean.setdefault(ikeys, []).append(i)
     linear: dict[int, PointNfp] = {}
-    vectors: dict[str, ProfileVectors] = {}
-    for key, indices in clean.items():
-        if key not in vectors:
-            vectors[key] = lower_profile(profiles[key])
+    vectors: dict[tuple, ProfileVectors] = {}
+    for ikeys, indices in clean.items():
+        if ikeys not in vectors:
+            vectors[ikeys] = composed_vectors(
+                [(profiles[key], count) for key, count in ikeys])
         engine = BatchNfpEngine([items[i][0] for i in indices])
-        for i, nfp in zip(indices, engine.evaluate(vectors[key])):
+        for i, nfp in zip(indices, engine.evaluate(vectors[ikeys])):
             linear[i] = PointNfp(
                 time_s=nfp.true_time_s, energy_j=nfp.true_energy_j,
                 cycles=nfp.cycles, retired=nfp.retired, profiled=True)
 
-    points: list[PointNfp | TaskFailure] = []
-    for i in range(len(items)):
-        payload = fallback.get(i)
-        if payload is not None:
-            if is_failure(payload):
-                points.append(TaskFailure.from_payload(payload))
-                continue
-            raw = raw_from_payload(payload)
-            points.append(PointNfp(
-                time_s=raw.true_time_s, energy_j=raw.true_energy_j,
-                cycles=raw.cycles, retired=raw.sim.retired,
-                profiled=False))
-            continue
-        points.append(linear[i])
-    return points
+    return [fallback.get(i, linear.get(i)) for i in range(len(items))]

@@ -35,6 +35,55 @@ class WorkloadPair:
         return "fixed", self.fixed_program
 
 
+@dataclass(frozen=True)
+class PipelineProgram:
+    """One build of a composed pipeline: weighted stage invocations.
+
+    ``invocations`` holds ``(program, frames)`` in chain order -- each
+    program is one (stage, frame class) invocation run as an independent
+    standalone program, and ``frames`` is how many frames of the stream
+    execute it.  The engine prices this as the exact sum of the
+    per-invocation runs (:func:`repro.nfp.linear.compose_profiles`);
+    nothing ever simulates the concatenated stream end to end except the
+    parity oracle in the tests.
+    """
+
+    invocations: tuple[tuple[Program, int], ...]
+
+
+@dataclass(frozen=True)
+class PipelinePair:
+    """A pipeline workload in its two builds (drop-in for WorkloadPair).
+
+    ``build_for`` returns a :class:`PipelineProgram` instead of a single
+    :class:`Program`; the sweep engine branches on that type in the one
+    place it turns jobs into simulation tasks.
+    """
+
+    name: str
+    float_invocations: tuple[tuple[Program, int], ...]
+    fixed_invocations: tuple[tuple[Program, int], ...]
+
+    def build_for(self, core: CoreConfig) -> tuple[str, PipelineProgram]:
+        """The ``(tag, composed program)`` build that runs on ``core``."""
+        if core.has_fpu:
+            return "float", PipelineProgram(self.float_invocations)
+        return "fixed", PipelineProgram(self.fixed_invocations)
+
+
+def pipeline_parts(program: Program | PipelineProgram
+                   ) -> tuple[tuple[Program, int], ...]:
+    """``(program, weight)`` parts of one build, uniformly.
+
+    A plain program is one part of weight 1; a composed pipeline is its
+    weighted invocation list.  The one isinstance branch the sweep
+    engine needs: everything downstream works on weighted part lists.
+    """
+    if isinstance(program, PipelineProgram):
+        return program.invocations
+    return ((program, 1),)
+
+
 def resolve_pairs(workloads: str | None, scale) -> list[WorkloadPair]:
     """Pairs for a ``--workloads`` filter (default: the Table III preset).
 

@@ -85,9 +85,6 @@ class ExecutionProfile:
     div_sites: Mapping[int, tuple[int, int]]
     save_depths: Mapping[int, tuple[int, int]]
     restore_depths: Mapping[int, tuple[int, int]]
-    #: entry pc -> (executions, length, ((category, count), ...)) --
-    #: dispatch-path diagnostics, unused by the evaluator.
-    blocks: Mapping[int, tuple]
 
     @classmethod
     def from_payload(cls, data: dict) -> "ExecutionProfile":
@@ -112,10 +109,6 @@ class ExecutionProfile:
             div_sites=intkeys(data["div_sites"]),
             save_depths=intkeys(data["save_depths"]),
             restore_depths=intkeys(data["restore_depths"]),
-            blocks={int(pc): (count, length,
-                              tuple((cat, n) for cat, n in cats))
-                    for pc, (count, length, cats)
-                    in data.get("blocks", {}).items()},
         )
 
     @property
@@ -141,6 +134,141 @@ class ExecutionProfile:
                 fills += count
                 jsum += j
         return spills, fills, jsum
+
+
+# -- profile algebra ----------------------------------------------------------
+#
+# Every field of an ExecutionProfile is an integer count or an integer
+# sum of integers, so profiles form a commutative monoid under pointwise
+# addition and composition is *exact*: the profile of "run A, then run B
+# as an independent program" is ``add_profiles(A, B)`` with no rounding
+# anywhere.  This is what lets a many-frame image pipeline be priced as
+# ``sum_c count_c * sum_s profile(stage s, frame class c)`` instead of
+# one simulation of the whole frame stream per configuration
+# (:mod:`repro.workloads.pipeline`).
+
+#: Site keys are program counters (32-bit); composed stages are rebased
+#: into disjoint key windows of this span (:func:`offset_sites`) so
+#: same-pc sites of *different* stage programs never alias in the
+#: composed site tables.
+SITE_SPAN = 1 << 32
+
+_IDENTITY_PROFILE: "ExecutionProfile | None" = None
+
+
+def identity_profile() -> ExecutionProfile:
+    """The empty profile: the neutral element of :func:`add_profiles`."""
+    global _IDENTITY_PROFILE
+    if _IDENTITY_PROFILE is None:
+        _IDENTITY_PROFILE = ExecutionProfile(
+            retired=0, clean=True, mnemonics={}, branch_sites={},
+            div_sites={}, save_depths={}, restore_depths={})
+    return _IDENTITY_PROFILE
+
+
+def _merge_cells(tables) -> dict:
+    out: dict = {}
+    for table in tables:
+        for key, cell in table.items():
+            held = out.get(key)
+            out[key] = (tuple(cell) if held is None
+                        else tuple(a + b for a, b in zip(held, cell)))
+    return out
+
+
+def add_profiles(*profiles: ExecutionProfile) -> ExecutionProfile:
+    """Pointwise sum of profiles: the profile of the concatenated runs.
+
+    Exact by construction (integers only).  Associative and commutative;
+    :func:`identity_profile` is the neutral element.  Site tables merge
+    *by key addition* -- two profiles recorded from the same program add
+    their per-site counts, which is what ``scale_profile(p, n) ==``
+    n-fold ``add_profiles(p, ...)`` requires.  Composing *different*
+    programs must first rebase their site keys apart with
+    :func:`offset_sites` (or use :func:`compose_profiles`).  ``clean``
+    is the conjunction: one self-modifying part poisons the composite.
+    """
+    if not profiles:
+        return identity_profile()
+    if len(profiles) == 1:
+        return profiles[0]
+    return ExecutionProfile(
+        retired=sum(p.retired for p in profiles),
+        clean=all(p.clean for p in profiles),
+        mnemonics=_merge_cells(p.mnemonics for p in profiles),
+        branch_sites=_merge_cells(p.branch_sites for p in profiles),
+        div_sites=_merge_cells(p.div_sites for p in profiles),
+        save_depths=_merge_cells(p.save_depths for p in profiles),
+        restore_depths=_merge_cells(p.restore_depths for p in profiles),
+    )
+
+
+def scale_profile(profile: ExecutionProfile, n: int) -> ExecutionProfile:
+    """``n`` back-to-back runs of the same program: every count times n.
+
+    Equals the n-fold :func:`add_profiles` of ``profile`` with itself
+    (``n = 0`` yields :func:`identity_profile`), but in O(profile) --
+    pricing 1000 identical frames costs the same as pricing one.
+    """
+    if n < 0:
+        raise ValueError(f"cannot scale a profile by {n} (< 0) runs")
+    if n == 0:
+        return identity_profile()
+    if n == 1:
+        return profile
+
+    def scaled(table):
+        return {key: tuple(v * n for v in cell)
+                for key, cell in table.items()}
+
+    return ExecutionProfile(
+        retired=profile.retired * n,
+        clean=profile.clean,
+        mnemonics=scaled(profile.mnemonics),
+        branch_sites=scaled(profile.branch_sites),
+        div_sites=scaled(profile.div_sites),
+        save_depths=scaled(profile.save_depths),
+        restore_depths=scaled(profile.restore_depths),
+    )
+
+
+def offset_sites(profile: ExecutionProfile, offset: int) -> ExecutionProfile:
+    """Rebase the branch/div site keys by ``+offset`` (disambiguation).
+
+    Site keys only ever group counts (the evaluator sums over them), so
+    rebasing changes no NFP; it exists so :func:`add_profiles` over
+    *different* programs keeps their same-pc sites apart.  Depth
+    histograms are keyed by window depth, a physical quantity shared
+    across programs, and are deliberately left alone.
+    """
+    if offset == 0:
+        return profile
+    return ExecutionProfile(
+        retired=profile.retired,
+        clean=profile.clean,
+        mnemonics=profile.mnemonics,
+        branch_sites={pc + offset: cell
+                      for pc, cell in profile.branch_sites.items()},
+        div_sites={pc + offset: cell
+                   for pc, cell in profile.div_sites.items()},
+        save_depths=profile.save_depths,
+        restore_depths=profile.restore_depths,
+    )
+
+
+def compose_profiles(parts: Sequence[tuple["ExecutionProfile", int]]
+                     ) -> ExecutionProfile:
+    """``sum_i count_i * profile_i`` across distinct programs, exactly.
+
+    The pipeline composition primitive: each part is one (stage, frame
+    class) invocation profile with its frame count; parts are rebased
+    into disjoint :data:`SITE_SPAN` site-key windows by position, then
+    scaled and summed.  All integer, so the composed profile prices
+    cycles/retired bit-identically to metering every invocation.
+    """
+    return add_profiles(*(
+        scale_profile(offset_sites(profile, i * SITE_SPAN), count)
+        for i, (profile, count) in enumerate(parts)))
 
 
 @dataclass(frozen=True)
@@ -300,6 +428,83 @@ def lower_profile(profile: ExecutionProfile,
         spills_at=spills_at,
         fills_at=fills_at,
         trapjc_at=trapjc_at,
+    )
+
+
+def _pad(table: Sequence, length: int, zero) -> list:
+    """Extend a window suffix table to ``length`` slots.
+
+    Every table ends in an all-zero slot absorbing all deeper
+    thresholds, so padding with zeros is exact.
+    """
+    return list(table) + [zero] * (length - len(table))
+
+
+def add_vectors(*vectors: ProfileVectors) -> ProfileVectors:
+    """:func:`add_profiles`, on lowered vectors.
+
+    Bit-identical to ``lower_profile(add_profiles(...))`` of the source
+    profiles: the integer vectors add exactly, and the ``jcent``-style
+    floats are dyadic rationals on the shared ``2**-15`` grid, so their
+    float sums are exact too (for any run that fits a double's
+    mantissa, the same bound the scalar evaluator documents).  Useful
+    when only lowered vectors are at hand (the server's hot tier);
+    engine-side composition goes through :func:`compose_profiles`.
+    """
+    if not vectors:
+        return lower_profile(identity_profile())
+    if len(vectors) == 1:
+        return vectors[0]
+    basis = vectors[0].basis
+    for v in vectors[1:]:
+        if v.basis != basis:
+            raise ValueError("cannot add vectors over different bases")
+    n = len(basis)
+    counts = [sum(v.counts[i] for v in vectors) for i in range(n)]
+    top = max(len(v.spills_at) for v in vectors)
+    return ProfileVectors(
+        basis=basis,
+        counts=tuple(counts),
+        fcounts=tuple(float(c) for c in counts),
+        jcent=tuple(sum(v.jcent[i] for v in vectors) for i in range(n)),
+        ucounts=tuple(sum(v.ucounts[i] for v in vectors) for i in range(n)),
+        ujcent=tuple(sum(v.ujcent[i] for v in vectors) for i in range(n)),
+        total_untaken=sum(v.total_untaken for v in vectors),
+        div_refund=sum(v.div_refund for v in vectors),
+        retired=sum(v.retired for v in vectors),
+        clean=all(v.clean for v in vectors),
+        spills_at=tuple(sum(col) for col in zip(
+            *(_pad(v.spills_at, top, 0) for v in vectors))),
+        fills_at=tuple(sum(col) for col in zip(
+            *(_pad(v.fills_at, top, 0) for v in vectors))),
+        trapjc_at=tuple(sum(col) for col in zip(
+            *(_pad(v.trapjc_at, top, 0.0) for v in vectors))),
+    )
+
+
+def scale_vectors(vectors: ProfileVectors, n: int) -> ProfileVectors:
+    """:func:`scale_profile`, on lowered vectors (same exactness)."""
+    if n < 0:
+        raise ValueError(f"cannot scale vectors by {n} (< 0) runs")
+    if n == 0:
+        return lower_profile(identity_profile())
+    if n == 1:
+        return vectors
+    counts = tuple(c * n for c in vectors.counts)
+    return ProfileVectors(
+        basis=vectors.basis,
+        counts=counts,
+        fcounts=tuple(float(c) for c in counts),
+        jcent=tuple(j * n for j in vectors.jcent),
+        ucounts=tuple(u * n for u in vectors.ucounts),
+        ujcent=tuple(u * n for u in vectors.ujcent),
+        total_untaken=vectors.total_untaken * n,
+        div_refund=vectors.div_refund * n,
+        retired=vectors.retired * n,
+        clean=vectors.clean,
+        spills_at=tuple(s * n for s in vectors.spills_at),
+        fills_at=tuple(s * n for s in vectors.fills_at),
+        trapjc_at=tuple(t * n for t in vectors.trapjc_at),
     )
 
 

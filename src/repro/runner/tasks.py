@@ -32,8 +32,10 @@ from repro.vm.simulator import SimulationResult, Simulator
 #: cache entries then simply stop being addressed.  2: the ``profile``
 #: task mode and its execution-profile payloads joined the schema --
 #: pre-profile entries (metered included) address different keys, so a
-#: stale cache can never alias across the schema change.
-SCHEMA_VERSION = 2
+#: stale cache can never alias across the schema change.  3: profile
+#: payloads dropped the per-block dispatch diagnostics
+#: (``PROFILE_VERSION`` 2), so v2 entries must stop being addressed.
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -25,9 +25,12 @@ a handful of dot products (:mod:`repro.nfp.linear`):
   (restore/fill symmetrically, pre-decrement), and depth is invariant
   across window counts in the copy-on-save scheme -- so spill/fill
   counts and trap-energy indices for every candidate ``w`` fall out of
-  the single run;
-* per-block execution counts with their static category vectors
-  (diagnostics: which superblocks dominate the run).
+  the single run.
+
+Per-block execution counts (with their static category vectors) are
+still accumulated in-memory as dispatch-path diagnostics, but they are
+*not* part of :meth:`ProfileMeter.snapshot`: the evaluator never reads
+them, and they inflated every cache entry and server-held profile.
 
 The observer interface matches :class:`repro.vm.cpu.RetireObserver`; hot
 code runs on profile-fused superblocks instead
@@ -44,7 +47,8 @@ from repro.vm.state import CpuState
 
 #: Bump when the recorded profile structure or semantics change (also
 #: reflected in the task schema, see :mod:`repro.runner.tasks`).
-PROFILE_VERSION = 1
+#: 2: the per-block dispatch diagnostics left the payload.
+PROFILE_VERSION = 2
 
 #: The canonical mnemonic basis of every profile (Table-agnostic: one
 #: slot per implemented instruction, in spec order).
@@ -84,8 +88,8 @@ class ProfileMeter:
         self.save_depths: dict[int, list[int]] = {}
         self.restore_depths: dict[int, list[int]] = {}
         #: block entry pc -> [executions]; meta holds (length, static
-        #: per-block category vector) -- serialised per block by
-        #: :meth:`snapshot` as ``[executions, length, [[cat, n], ...]]``.
+        #: per-block category vector) -- in-memory dispatch diagnostics
+        #: only, never serialised (see the module docstring).
         self.block_cells: dict[int, list[int]] = {}
         self.block_meta: dict[int, tuple[int, dict[int, int]]] = {}
 
@@ -172,8 +176,4 @@ class ProfileMeter:
                             in sorted(self.save_depths.items())},
             "restore_depths": {str(d): list(cell) for d, cell
                                in sorted(self.restore_depths.items())},
-            "blocks": {str(pc): [cell[0], self.block_meta[pc][0],
-                                 sorted(self.block_meta[pc][1].items())]
-                       for pc, cell in sorted(self.block_cells.items())
-                       if cell[0]},
         }

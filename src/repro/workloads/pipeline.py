@@ -1,0 +1,653 @@
+"""Declarative frame-stream pipelines priced by profile composition.
+
+ROADMAP item 3: image processing in the field is a *stream* of frames
+through a chain of kernels (XFEL-style: background subtraction, a
+data-dependent acceptance threshold, denoise, edge extraction, feature
+statistics), not a single kernel invocation.  Simulating a 1000-frame
+stream per candidate platform would undo everything the profile-once
+path bought, so pipelines here are priced by **exact profile algebra**
+(:mod:`repro.nfp.linear`) instead:
+
+* every (stage, frame class) *invocation* is an independent standalone
+  program -- the stage kernel with its concrete input frame embedded --
+  profiled (or metered) exactly once;
+* the stream is partitioned into **frame classes** by content: frames
+  of a class are identical, so they take the same branches, including
+  the early-exit threshold whose cost is data-dependent.  Each class
+  contributes ``count_c`` frames and a chain prefix (the stages it
+  actually reaches);
+* the pipeline NFP is ``sum_c count_c * sum_s NFP(stage s, class c)``
+  -- computed by :func:`repro.nfp.linear.compose_profiles` over the
+  per-invocation profiles, bit-identical in cycles/retired to metering
+  every invocation of the stream (the tests' oracle) because profiles
+  are all-integer and every invocation runs as its own program.
+
+The composition contract, and its limits: a stage invocation must be a
+*self-contained program* -- it starts at base window depth and returns
+to it (every program run starts a fresh simulator), exits cleanly, and
+must not self-modify (unclean profiles poison the composite).  Stage
+cost may depend on frame *content* but not on cross-frame state: a
+stage carrying state between frames would break the class partition.
+Within those rules the composition is exact -- there is no "small
+interaction term" to tolerate.
+
+Pipelines register as first-class workloads (family ``pipe``) with
+golden outputs per invocation, so ``repro dse --workloads pipe:*``,
+``repro pipeline``, the evaluation server and ``repro workloads list``
+all resolve them through the one registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
+
+from repro.dse.workload import PipelinePair
+from repro.experiments.scale import Scale
+from repro.fse.images import make_image
+from repro.kir import F64, I32, U32, Module, compile_module
+from repro.workloads.imaging_ref import GAUSS_W, MASK32
+from repro.workloads.registry import WorkloadSpec, ensure_builtin, register
+
+#: immutable frame: tuple of pixel-row tuples (hashable -> cacheable)
+Image = tuple[tuple[int, ...], ...]
+
+#: acceptance threshold of the ``threshold`` stage (u8 intensity)
+THRESHOLD = 96
+
+#: a frame passes iff at least 1/PASS_DEN of its pixels clear THRESHOLD
+PASS_DEN = 8
+
+#: source index and right-shift of the synthetic detector background
+BACKGROUND_INDEX = 19
+BACKGROUND_SHIFT = 3
+
+
+def frame_image(base: int, size: int, shift: int = 0) -> Image:
+    """A deterministic frame: ``make_image(base)`` dimmed by ``>> shift``."""
+    return tuple(tuple(v >> shift for v in row)
+                 for row in make_image(base, size))
+
+
+def background_image(size: int) -> Image:
+    """The dim fixed-pattern background the ``bgsub`` stage removes."""
+    return frame_image(BACKGROUND_INDEX, size, BACKGROUND_SHIFT)
+
+
+def _flat(image: Image) -> bytes:
+    return bytes(v for row in image for v in row)
+
+
+def _digest(values) -> int:
+    h = 0
+    for v in values:
+        h = (h * 31 + v) & MASK32
+    return h
+
+
+def _console(h: int) -> str:
+    return f"{h}\n"
+
+
+# -- stage kernels (kir builders + host references) ---------------------------
+#
+# Every stage mirrors a registry imaging kernel but takes an explicit
+# input frame: the builder embeds the frame as a global, the host
+# reference computes the same output image and digest operation for
+# operation (same visit order, same double-precision accumulation, same
+# truncations), so both ABI builds print the reference digest
+# bit-for-bit and the next stage's input is known host-side without
+# simulating anything.
+
+@dataclass(frozen=True)
+class StageResult:
+    """Host-side outcome of one stage on one frame."""
+
+    console: str          #: expected console output (the golden)
+    out: Image | None     #: output frame (None: terminal stage)
+    passed: bool          #: False stops the chain after this stage
+
+
+def _stage_module(stage: str, image: Image, size: int) -> Module:
+    m = Module(f"pipe_{stage}_{size}_{_digest(_flat(image)):08x}")
+    m.global_bytes("img", _flat(image), align=4)
+    return m
+
+
+def _digest_u8(f, h, buf, count: int) -> None:
+    with f.for_range("di", 0, count) as di:
+        f.assign(h, h * 31 + f.load_u8(buf + di))
+
+
+def _finish(f, h) -> None:
+    f.sys_write_u32(h)
+    f.ret(0)
+
+
+def _build_bgsub(image: Image, size: int) -> Module:
+    m = _stage_module("bgsub", image, size)
+    m.global_bytes("bg", _flat(background_image(size)), align=4)
+    img, bg = m.addr_of("img"), m.addr_of("bg")
+    m.global_zeros("out", size * size, align=4)
+    out = m.addr_of("out")
+    f = m.function("main", ret=I32)
+    with f.for_range("i", 0, size * size) as i:
+        d = f.local(I32, "d", init=f.load_u8(img + i) - f.load_u8(bg + i))
+        with f.if_(d < 0):
+            f.assign(d, 0)
+        f.store8(out + i, d)
+    h = f.local(U32, "h", init=0)
+    _digest_u8(f, h, out, size * size)
+    _finish(f, h)
+    return m
+
+
+def _ref_bgsub(image: Image, size: int) -> StageResult:
+    bg = background_image(size)
+    out = tuple(tuple(max(p - q, 0) for p, q in zip(r1, r2))
+                for r1, r2 in zip(image, bg))
+    return StageResult(_console(_digest(_flat(out))), out, True)
+
+
+def _build_threshold(image: Image, size: int) -> Module:
+    m = _stage_module("threshold", image, size)
+    img = m.addr_of("img")
+    m.global_zeros("out", size * size, align=4)
+    out = m.addr_of("out")
+    f = m.function("main", ret=I32)
+    npass = f.local(I32, "npass", init=0)
+    with f.for_range("i", 0, size * size) as i:
+        v = f.local(I32, "v", init=f.load_u8(img + i))
+        with f.if_(v >= THRESHOLD) as c:
+            f.store8(out + i, v)
+            f.assign(npass, npass + 1)
+        with c.else_():
+            f.store8(out + i, 0)
+    h = f.local(U32, "h", init=0)
+    _digest_u8(f, h, out, size * size)
+    f.assign(h, h * 31 + npass)
+    accept = f.local(I32, "accept", init=0)
+    with f.if_(npass * PASS_DEN >= size * size):
+        f.assign(accept, 1)
+    f.assign(h, h * 31 + accept)
+    _finish(f, h)
+    return m
+
+
+def _ref_threshold(image: Image, size: int) -> StageResult:
+    out = tuple(tuple(v if v >= THRESHOLD else 0 for v in row)
+                for row in image)
+    npass = sum(1 for row in image for v in row if v >= THRESHOLD)
+    passed = npass * PASS_DEN >= size * size
+    h = _digest(_flat(out))
+    h = (h * 31 + npass) & MASK32
+    h = (h * 31 + (1 if passed else 0)) & MASK32
+    return StageResult(_console(h), out, passed)
+
+
+def _build_gauss5x5(image: Image, size: int) -> Module:
+    m = _stage_module("gauss5x5", image, size)
+    img = m.addr_of("img")
+    m.global_f64s("w5", list(GAUSS_W))
+    w5 = m.addr_of("w5")
+    m.global_zeros("tmp", size * size * 8, align=8)
+    tmp = m.addr_of("tmp")
+    m.global_zeros("out", size * size, align=4)
+    out = m.addr_of("out")
+    f = m.function("main", ret=I32)
+    acc = f.local(F64, "acc")
+    with f.for_range("y", 0, size) as y:
+        with f.for_range("x", 0, size) as x:
+            f.assign(acc, f.f64const(0.0))
+            with f.for_range("k", 0, 5) as k:
+                xi = f.local(I32, "xi", init=x + k - 2)
+                with f.if_(xi < 0):
+                    f.assign(xi, 0)
+                with f.if_(xi > size - 1):
+                    f.assign(xi, size - 1)
+                f.assign(acc, acc + f.loadf(w5 + (k << 3))
+                         * f.itod(f.load_u8(img + y * size + xi)))
+            f.storef(tmp + ((y * size + x) << 3), acc)
+    with f.for_range("vy", 0, size) as vy:
+        with f.for_range("vx", 0, size) as vx:
+            f.assign(acc, f.f64const(0.0))
+            with f.for_range("vk", 0, 5) as vk:
+                yi = f.local(I32, "yi", init=vy + vk - 2)
+                with f.if_(yi < 0):
+                    f.assign(yi, 0)
+                with f.if_(yi > size - 1):
+                    f.assign(yi, size - 1)
+                f.assign(acc, acc + f.loadf(w5 + (vk << 3))
+                         * f.loadf(tmp + ((yi * size + vx) << 3)))
+            f.store8(out + vy * size + vx, f.dtoi(acc + f.f64const(0.5)))
+    h = f.local(U32, "h", init=0)
+    _digest_u8(f, h, out, size * size)
+    _finish(f, h)
+    return m
+
+
+def _ref_gauss5x5(image: Image, size: int) -> StageResult:
+    tmp = [[0.0] * size for _ in range(size)]
+    for y in range(size):
+        for x in range(size):
+            acc = 0.0
+            for k in range(5):
+                xi = min(max(x + k - 2, 0), size - 1)
+                acc = acc + GAUSS_W[k] * float(image[y][xi])
+            tmp[y][x] = acc
+    out = []
+    for y in range(size):
+        row = []
+        for x in range(size):
+            acc = 0.0
+            for k in range(5):
+                yi = min(max(y + k - 2, 0), size - 1)
+                acc = acc + GAUSS_W[k] * tmp[yi][x]
+            row.append(int(acc + 0.5))
+        out.append(tuple(row))
+    out = tuple(out)
+    return StageResult(_console(_digest(_flat(out))), out, True)
+
+
+def _build_sobel3x3(image: Image, size: int) -> Module:
+    m = _stage_module("sobel3x3", image, size)
+    img = m.addr_of("img")
+    m.global_zeros("out", size * size, align=4)
+    out = m.addr_of("out")
+    f = m.function("main", ret=I32)
+    mag = f.local(I32, "mag")
+    with f.for_range("y", 1, size - 1) as y:
+        with f.for_range("x", 1, size - 1) as x:
+            off = f.local(I32, "off", init=y * size + x)
+            nw = f.local(I32, "nw", init=f.load_u8(img + off - size - 1))
+            no = f.local(I32, "no", init=f.load_u8(img + off - size))
+            ne = f.local(I32, "ne", init=f.load_u8(img + off - size + 1))
+            we = f.local(I32, "we", init=f.load_u8(img + off - 1))
+            ea = f.local(I32, "ea", init=f.load_u8(img + off + 1))
+            sw = f.local(I32, "sw", init=f.load_u8(img + off + size - 1))
+            so = f.local(I32, "so", init=f.load_u8(img + off + size))
+            se = f.local(I32, "se", init=f.load_u8(img + off + size + 1))
+            gx = f.local(I32, "gx", init=ne + 2 * ea + se - nw - 2 * we - sw)
+            gy = f.local(I32, "gy", init=sw + 2 * so + se - nw - 2 * no - ne)
+            f.assign(mag, f.dtoi(f.fsqrt(f.itod(gx * gx + gy * gy))
+                                 + f.f64const(0.5)))
+            with f.if_(mag > 255):
+                f.assign(mag, 255)
+            f.store8(out + off, mag)
+    h = f.local(U32, "h", init=0)
+    _digest_u8(f, h, out, size * size)
+    _finish(f, h)
+    return m
+
+
+def _ref_sobel3x3(image: Image, size: int) -> StageResult:
+    import math
+    out = [[0] * size for _ in range(size)]
+    p = image
+    for y in range(1, size - 1):
+        for x in range(1, size - 1):
+            gx = (p[y - 1][x + 1] + 2 * p[y][x + 1] + p[y + 1][x + 1]
+                  - p[y - 1][x - 1] - 2 * p[y][x - 1] - p[y + 1][x - 1])
+            gy = (p[y + 1][x - 1] + 2 * p[y + 1][x] + p[y + 1][x + 1]
+                  - p[y - 1][x - 1] - 2 * p[y - 1][x] - p[y - 1][x + 1])
+            mag = int(math.sqrt(float(gx * gx + gy * gy)) + 0.5)
+            out[y][x] = min(mag, 255)
+    frozen = tuple(tuple(row) for row in out)
+    return StageResult(_console(_digest(_flat(frozen))), frozen, True)
+
+
+def _build_histstats(image: Image, size: int) -> Module:
+    m = _stage_module("histstats", image, size)
+    img = m.addr_of("img")
+    m.global_zeros("hist", 256 * 4, align=4)
+    hist = m.addr_of("hist")
+    f = m.function("main", ret=I32)
+    mn = f.local(I32, "mn", init=255)
+    mx = f.local(I32, "mx", init=0)
+    fsum = f.local(F64, "fsum", init=f.f64const(0.0))
+    fsq = f.local(F64, "fsq", init=f.f64const(0.0))
+    fv = f.local(F64, "fv")
+    with f.for_range("i", 0, size * size) as i:
+        pv = f.local(I32, "pv", init=f.load_u8(img + i))
+        slot = f.local(U32, "slot", init=hist + (pv << 2))
+        f.store(slot, f.load(slot) + 1)
+        with f.if_(pv < mn):
+            f.assign(mn, pv)
+        with f.if_(pv > mx):
+            f.assign(mx, pv)
+        f.assign(fv, f.itod(pv))
+        f.assign(fsum, fsum + fv)
+        f.assign(fsq, fsq + fv * fv)
+    n = f.local(F64, "n", init=f.f64const(float(size * size)))
+    mean = f.local(F64, "mean", init=fsum / n)
+    var = f.local(F64, "var", init=fsq / n - mean * mean)
+    with f.if_(var < f.f64const(0.0)):
+        f.assign(var, f.f64const(0.0))
+    sd = f.local(F64, "sd", init=f.fsqrt(var))
+    h = f.local(U32, "h", init=0)
+    with f.for_range("b", 0, 256) as b:
+        f.assign(h, h * 31 + f.load(hist + (b << 2)))
+    f.assign(h, h * 31 + mn)
+    f.assign(h, h * 31 + mx)
+    f.assign(h, h * 31 + f.dtoi(mean * f.f64const(1000.0)))
+    f.assign(h, h * 31 + f.dtoi(sd * f.f64const(1000.0)))
+    _finish(f, h)
+    return m
+
+
+def _ref_histstats(image: Image, size: int) -> StageResult:
+    import math
+    hist = [0] * 256
+    mn, mx = 255, 0
+    fsum = 0.0
+    fsq = 0.0
+    for row in image:
+        for v in row:
+            hist[v] += 1
+            if v < mn:
+                mn = v
+            if v > mx:
+                mx = v
+            fv = float(v)
+            fsum = fsum + fv
+            fsq = fsq + fv * fv
+    n = float(size * size)
+    mean = fsum / n
+    var = fsq / n - mean * mean
+    if var < 0.0:
+        var = 0.0
+    sd = math.sqrt(var)
+    h = _digest(hist)
+    for v in (mn, mx, int(mean * 1000.0), int(sd * 1000.0)):
+        h = (h * 31 + v) & MASK32
+    return StageResult(_console(h), None, True)
+
+
+@dataclass(frozen=True)
+class StageKernel:
+    """One pipeline stage kernel: builder + mirrored host reference."""
+
+    name: str
+    build: Callable[[Image, int], Module]
+    ref: Callable[[Image, int], StageResult]
+    tags: tuple[str, ...] = ()
+
+
+STAGES: dict[str, StageKernel] = {s.name: s for s in (
+    StageKernel("bgsub", _build_bgsub, _ref_bgsub, ("integer",)),
+    StageKernel("threshold", _build_threshold, _ref_threshold,
+                ("integer", "early-exit")),
+    StageKernel("gauss5x5", _build_gauss5x5, _ref_gauss5x5, ("float",)),
+    StageKernel("sobel3x3", _build_sobel3x3, _ref_sobel3x3, ("float",)),
+    StageKernel("histstats", _build_histstats, _ref_histstats,
+                ("float", "terminal")),
+)}
+
+
+# -- pipeline specs -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class FrameClass:
+    """One content class of the frame stream.
+
+    Frames of a class are identical (same deterministic source image),
+    so they take identical paths through every stage -- the property
+    that lets one representative invocation price ``count`` frames.
+    """
+
+    name: str
+    base: int         #: ``make_image`` source index
+    count: int        #: frames of this class in the priced stream
+    shift: int = 0    #: right-shift dimming (dark / rejected classes)
+
+    def image(self, size: int) -> Image:
+        return frame_image(self.base, size, self.shift)
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A declarative stage chain over a classed frame stream."""
+
+    name: str
+    stages: tuple[str, ...]
+    classes: tuple[FrameClass, ...]
+
+    def __post_init__(self) -> None:
+        for stage in self.stages:
+            if stage not in STAGES:
+                raise ValueError(
+                    f"pipeline {self.name!r} uses unknown stage "
+                    f"{stage!r}; known: {sorted(STAGES)}")
+        if not self.stages or not self.classes:
+            raise ValueError(
+                f"pipeline {self.name!r} needs stages and frame classes")
+
+    @property
+    def frames(self) -> int:
+        """Total frames in the priced stream."""
+        return sum(c.count for c in self.classes)
+
+    def chain(self) -> str:
+        """The stage chain as rendered by ``repro workloads list``."""
+        return " -> ".join(self.stages)
+
+
+def pipeline_variant(spec: PipelineSpec, *,
+                     drop: Sequence[str] = (),
+                     repeats: Mapping[str, int] | None = None
+                     ) -> PipelineSpec:
+    """A structural variant: stages toggled off and/or repeated.
+
+    The structural sweep axes of ``repro pipeline sweep``: ``drop``
+    removes stages from the chain, ``repeats`` applies a stage ``n``
+    times back to back (each repeat consumes its predecessor's output).
+    The variant is a full :class:`PipelineSpec` -- chains, goldens and
+    invocations are recomputed host-side -- named after its deltas, so
+    variants ride through a sweep as distinct workloads.
+    """
+    repeats = dict(repeats or {})
+    for stage in list(drop) + list(repeats):
+        if stage not in spec.stages:
+            raise ValueError(
+                f"pipeline {spec.name!r} has no stage {stage!r} "
+                f"(chain: {spec.chain()})")
+    stages: list[str] = []
+    suffix: list[str] = []
+    for stage in spec.stages:
+        if stage in drop:
+            continue
+        n = repeats.get(stage, 1)
+        if n < 1:
+            raise ValueError(f"stage {stage!r} repeat count {n} must "
+                             f"be >= 1")
+        stages.extend([stage] * n)
+    for stage in spec.stages:
+        if stage in drop:
+            suffix.append(f"no-{stage}")
+        elif repeats.get(stage, 1) != 1:
+            suffix.append(f"{stage}x{repeats[stage]}")
+    if not stages:
+        raise ValueError(f"variant of {spec.name!r} drops every stage")
+    name = spec.name + "".join(f"~{part}" for part in suffix)
+    return replace(spec, name=name, stages=tuple(stages))
+
+
+# -- chain evaluation + invocation enumeration --------------------------------
+
+@dataclass(frozen=True)
+class Invocation:
+    """One (stage, frame class) unit of work: program input + oracle."""
+
+    stage: str
+    frame_class: str
+    frames: int       #: stream frames that execute this invocation
+    image: Image      #: the stage's input frame for this class
+    golden: str       #: expected console output (host reference)
+
+
+_CHAIN_CACHE: dict[tuple, tuple] = {}
+
+
+def _class_chain(spec: PipelineSpec, cls: FrameClass,
+                 size: int) -> tuple[tuple[str, Image, StageResult], ...]:
+    """The per-class executed prefix: (stage, input, result) per stage.
+
+    Evaluated entirely host-side from the mirrored references; the
+    chain stops *after* a stage that rejects the frame (its cost still
+    counts -- the hardware ran it to find out).
+    """
+    key = (spec.name, spec.stages, cls, size)
+    chain = _CHAIN_CACHE.get(key)
+    if chain is not None:
+        return chain
+    runs = []
+    image = cls.image(size)
+    for pos, stage_name in enumerate(spec.stages):
+        stage = STAGES[stage_name]
+        result = stage.ref(image, size)
+        runs.append((stage_name, image, result))
+        if not result.passed:
+            break
+        if pos + 1 < len(spec.stages):
+            if result.out is None:
+                raise ValueError(
+                    f"pipeline {spec.name!r}: terminal stage "
+                    f"{stage_name!r} cannot feed {spec.stages[pos + 1]!r}")
+            image = result.out
+    chain = tuple(runs)
+    _CHAIN_CACHE[key] = chain
+    return chain
+
+
+def pipeline_invocations(spec: PipelineSpec,
+                         size: int) -> tuple[Invocation, ...]:
+    """Every (stage, class) invocation of the priced stream, in order."""
+    out = []
+    for cls in spec.classes:
+        for stage_name, image, result in _class_chain(spec, cls, size):
+            out.append(Invocation(
+                stage=stage_name, frame_class=cls.name, frames=cls.count,
+                image=image, golden=result.console))
+    return tuple(out)
+
+
+_PROGRAM_CACHE: dict[tuple, object] = {}
+
+
+def _invocation_program(stage: str, image: Image, size: int, abi: str):
+    """Compile one stage invocation (memoised; variants share entries)."""
+    key = (stage, size, image, abi)
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        program = compile_module(STAGES[stage].build(image, size),
+                                 float_abi=abi)
+        _PROGRAM_CACHE[key] = program
+    return program
+
+
+def pipeline_pair(spec: PipelineSpec, scale: Scale) -> PipelinePair:
+    """Both builds of every invocation, as the DSE engine consumes them."""
+    size = scale.image_size
+    invocations = pipeline_invocations(spec, size)
+    return PipelinePair(
+        name=spec.name,
+        float_invocations=tuple(
+            (_invocation_program(inv.stage, inv.image, size, "hard"),
+             inv.frames) for inv in invocations),
+        fixed_invocations=tuple(
+            (_invocation_program(inv.stage, inv.image, size, "soft"),
+             inv.frames) for inv in invocations),
+    )
+
+
+def clear_program_cache() -> None:
+    """Drop memoised invocation builds (test isolation hook)."""
+    _PROGRAM_CACHE.clear()
+    _CHAIN_CACHE.clear()
+
+
+# -- registry integration -----------------------------------------------------
+
+@dataclass(frozen=True)
+class PipelineWorkloadSpec(WorkloadSpec):
+    """A pipeline as a first-class registry workload.
+
+    ``pair`` returns a :class:`~repro.dse.workload.PipelinePair`
+    (weighted invocation programs per build) instead of one program;
+    ``golden`` is the concatenation of the per-invocation goldens in
+    chain order.  There is no single ``program``: callers that need to
+    execute something use the pair's invocations.
+    """
+
+    pipeline: PipelineSpec = field(default=None)  # type: ignore[assignment]
+
+    def program(self, abi: str, scale: Scale):
+        raise ValueError(
+            f"pipeline workload {self.name!r} has no single program; "
+            f"use pair(scale).{ 'float' if abi == 'hard' else 'fixed'}"
+            f"_invocations")
+
+    def pair(self, scale: Scale) -> PipelinePair:
+        return pipeline_pair(self.pipeline, scale)
+
+    def chain(self) -> str:
+        return self.pipeline.chain()
+
+
+def _pipeline_golden(spec: PipelineSpec, scale: Scale) -> str:
+    return "".join(inv.golden
+                   for inv in pipeline_invocations(spec, scale.image_size))
+
+
+def register_pipeline(spec: PipelineSpec,
+                      tags: Sequence[str] = ()) -> PipelineWorkloadSpec:
+    """Register ``spec`` as a workload (family ``pipe``)."""
+    wspec = PipelineWorkloadSpec(
+        name=spec.name,
+        family="pipe",
+        build_module=None,  # type: ignore[arg-type]  # no single program
+        scale_key=lambda scale: (scale.image_size,),
+        golden=lambda scale, spec=spec: _pipeline_golden(spec, scale),
+        tags=frozenset(("pipeline", *tags)),
+        pipeline=spec,
+    )
+    register(wspec)
+    return wspec
+
+
+#: the XFEL-style detector pipeline: subtract the fixed-pattern
+#: background, accept frames with enough bright pixels (the
+#: data-dependent early exit: dark frames stop here), then denoise,
+#: extract edges and reduce to feature statistics.  The stream prices
+#: 1000 frames from three content classes.
+XFEL = PipelineSpec(
+    name="pipe:xfel",
+    stages=("bgsub", "threshold", "gauss5x5", "sobel3x3", "histstats"),
+    classes=(
+        FrameClass("signal", base=2, count=650),
+        FrameClass("burst", base=6, count=100),
+        FrameClass("dark", base=8, count=250, shift=2),
+    ),
+)
+
+#: a thresholdless edge-statistics pipeline: every frame runs the full
+#: chain (no early exit), two content classes.
+EDGES = PipelineSpec(
+    name="pipe:edges",
+    stages=("gauss5x5", "sobel3x3", "histstats"),
+    classes=(
+        FrameClass("calm", base=4, count=600),
+        FrameClass("busy", base=13, count=400),
+    ),
+)
+
+PIPELINES: tuple[PipelineSpec, ...] = (XFEL, EDGES)
+
+# registration order defines suite order: when this module is imported
+# directly (rather than through the registry), pull in the earlier
+# builtin families first so ``pipe`` still registers last.  The nested
+# ensure_builtin skips this (partially-initialized) module through its
+# sys.modules check, so there is no import cycle.
+ensure_builtin()
+for _spec in PIPELINES:
+    register_pipeline(_spec, tags=("stream",))

@@ -140,7 +140,7 @@ def ensure_builtin() -> None:
     global _BUILTIN_LOADED
     if _BUILTIN_LOADED:
         return
-    # registration order defines suite order: fse, hevc, then imaging
+    # registration order defines suite order: fse, hevc, imaging, pipeline
     # (the table3 preset must enumerate exactly like the pre-registry
     # workload lists did).  Each family imports atomically: on failure
     # its partial registrations are rolled back and the error re-raised,
@@ -149,7 +149,7 @@ def ensure_builtin() -> None:
     # half-registered one.
     import importlib
     import sys
-    for module in ("fse", "hevc", "imaging"):
+    for module in ("fse", "hevc", "imaging", "pipeline"):
         qualified = f"repro.workloads.{module}"
         if qualified in sys.modules:
             continue

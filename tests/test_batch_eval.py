@@ -67,8 +67,7 @@ def profiles(draw) -> ExecutionProfile:
     return ExecutionProfile(
         retired=retired, clean=True, mnemonics=mnemonics,
         branch_sites={}, div_sites=div_sites,
-        save_depths=depth_table(), restore_depths=depth_table(),
-        blocks={})
+        save_depths=depth_table(), restore_depths=depth_table())
 
 
 @st.composite

@@ -196,11 +196,12 @@ class TestLinearEvaluation:
     def test_profiled_blocks_match_stepwise_observation(self, pair):
         """Block-fused profiling == per-instruction observation, exactly.
 
-        The profile is all integers, so the equality is bitwise (the
-        per-block execution counts are dispatch-path diagnostics and are
-        excluded).
+        The profile is all integers, so the equality is bitwise.  The
+        per-block execution counts stay in-memory dispatch diagnostics
+        (populated only on the block path) and never reach the payload.
         """
         snaps = []
+        meters = []
         for metered_blocks in (True, False):
             meter = ProfileMeter()
             core = profile_core(CoreConfig())
@@ -209,10 +210,10 @@ class TestLinearEvaluation:
                 core.with_metered_blocks(metered_blocks))
             sim = simulator.run_profiled(meter, max_instructions=BUDGET)
             snaps.append(meter.snapshot(sim, clean=True))
+            meters.append(meter)
         blocked, stepped = snaps
-        assert stepped["blocks"] == {}
-        blocked.pop("blocks")
-        stepped.pop("blocks")
+        assert "blocks" not in blocked and "blocks" not in stepped
+        assert meters[0].block_cells and not meters[1].block_cells
         assert blocked == stepped
 
     def test_payload_roundtrip_is_lossless(self, pair):

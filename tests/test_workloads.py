@@ -25,6 +25,9 @@ from repro.workloads import (
 )
 
 SMOKE_SPECS = specs(scale=SMOKE)
+# pipeline specs have no single program; their golden parity is checked
+# per invocation in test_pipeline.py
+KERNEL_SPECS = tuple(s for s in SMOKE_SPECS if s.family != "pipe")
 
 
 def run_build(spec, abi: str, fpu: bool):
@@ -35,10 +38,11 @@ def run_build(spec, abi: str, fpu: bool):
 
 class TestRegistry:
     def test_families_and_counts(self):
-        assert families() == ("fse", "hevc", "img")
+        assert families() == ("fse", "hevc", "img", "pipe")
         assert len(specs("fse")) == 24
         assert len(specs("hevc")) == 36
         assert len(specs("img")) >= 7
+        assert len(specs("pipe")) >= 2
 
     def test_smoke_suite_membership(self):
         names = [spec.name for spec in SMOKE_SPECS]
@@ -49,7 +53,8 @@ class TestRegistry:
 
     def test_scale_growth(self):
         assert len(specs("fse", DEFAULT)) == 8
-        assert len(specs(scale=FULL)) == 24 + 36 + len(specs("img"))
+        assert len(specs(scale=FULL)) == (24 + 36 + len(specs("img"))
+                                          + len(specs("pipe")))
 
     def test_select_presets_families_and_globs(self):
         table3 = select("table3", SMOKE)
@@ -116,7 +121,7 @@ class TestRegistry:
 
 class TestGoldenParity:
     @pytest.mark.parametrize(
-        "spec", SMOKE_SPECS, ids=[s.name for s in SMOKE_SPECS])
+        "spec", KERNEL_SPECS, ids=[s.name for s in KERNEL_SPECS])
     def test_hard_and_soft_builds_match_golden(self, spec):
         """Both ABI builds print the registered golden output, bit-exact."""
         golden = spec.golden(SMOKE)
@@ -165,7 +170,8 @@ class TestCli:
         assert main(["workloads", "list", "--scale", "smoke"]) == 0
         out = capsys.readouterr().out
         assert "img:sobel3x3" in out and "fse:00" in out
-        assert "13 workloads" in out
+        assert "pipe:xfel" in out
+        assert "15 workloads" in out
         assert "fse:23" not in out
 
     def test_workloads_list_filter(self, capsys):
